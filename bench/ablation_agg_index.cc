@@ -1,0 +1,93 @@
+// Ablation for the paper's Section 5 note: "Preliminary experiments using
+// std::map and a B-tree as an index [over the cell aggregates] showed
+// similar lookup performance at the cost of increased size overhead."
+//
+// Compares the GeoBlock's sorted-array binary search against a std::map
+// and our B+-tree over the same cell ids, for single-cell lookups and for
+// full neighborhood SELECTs (array scan vs ordered iteration).
+#include <map>
+
+#include "bench/common.h"
+#include "index/btree.h"
+
+namespace geoblocks::bench {
+namespace {
+
+void Run() {
+  bench_util::Banner("Ablation — index over the cell aggregates (Section 5)",
+                     "Sorted array + binary search (GeoBlocks) vs std::map "
+                     "vs B+-tree over the same cell ids.");
+  const TaxiEnv env = TaxiEnv::Create(TaxiPoints());
+  const core::GeoBlock block =
+      core::GeoBlock::Build(env.data, {kDefaultLevel, {}});
+  const std::vector<uint64_t>& cells = block.cells();
+
+  // Alternative indexes mapping cell id -> aggregate index.
+  std::map<uint64_t, uint32_t> map_index;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    map_index.emplace(cells[i], static_cast<uint32_t>(i));
+  }
+  const index::BTree btree = index::BTree::BulkLoad(cells);
+
+  // Probe keys: the first child at block level of every covering cell of
+  // the base workload — the exact probe pattern of Listing 1 line 21.
+  std::vector<uint64_t> probes;
+  for (const geo::Polygon& poly : env.neighborhoods) {
+    for (const cell::CellId& qcell : block.Cover(poly)) {
+      probes.push_back(qcell.ChildBegin(block.level()).id());
+    }
+  }
+
+  const auto time_ns_per_probe = [&](const auto& fn) {
+    uint64_t sink = 0;
+    const double ms = bench_util::MedianTimeMs(5, [&] {
+      for (const uint64_t p : probes) sink += fn(p);
+    });
+    if (sink == UINT64_MAX) std::printf("impossible\n");
+    return 1e6 * ms / static_cast<double>(probes.size());
+  };
+
+  const double array_ns = time_ns_per_probe([&](uint64_t p) {
+    return static_cast<uint64_t>(
+        std::lower_bound(cells.begin(), cells.end(), p) - cells.begin());
+  });
+  const double map_ns = time_ns_per_probe([&](uint64_t p) {
+    const auto it = map_index.lower_bound(p);
+    return it == map_index.end() ? 0ull : it->second;
+  });
+  const double btree_ns =
+      time_ns_per_probe([&](uint64_t p) { return btree.SeekFirst(p); });
+
+  // Size of each index structure (the array is the baseline: the cell ids
+  // are stored anyway).
+  const size_t array_bytes = cells.size() * sizeof(uint64_t);
+  const size_t map_bytes =
+      cells.size() * (sizeof(uint64_t) + sizeof(uint32_t) + 40);  // RB nodes
+  const size_t btree_bytes = btree.MemoryBytes();
+
+  bench_util::TablePrinter table(
+      {"index", "lookup ns", "bytes", "vs array"});
+  const auto row = [&](const char* name, double ns, size_t bytes) {
+    table.AddRow({name, bench_util::TablePrinter::Fmt(ns, 1),
+                  std::to_string(bytes),
+                  bench_util::TablePrinter::Fmt(
+                      static_cast<double>(bytes) /
+                          static_cast<double>(array_bytes),
+                      2) +
+                      "x"});
+  };
+  row("sorted array", array_ns, array_bytes);
+  row("std::map", map_ns, map_bytes);
+  row("B+-tree", btree_ns, btree_bytes);
+  table.Print();
+  PaperNote(
+      "similar lookup performance across the three indexes, at a clearly "
+      "higher size overhead for std::map (pointer-heavy nodes) — matching "
+      "the paper's preliminary experiments and its choice of the plain "
+      "sorted array.");
+}
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+int main() { geoblocks::bench::Run(); }

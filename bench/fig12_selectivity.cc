@@ -1,0 +1,88 @@
+// Reproduces Figure 12: query runtime for varying selectivity (fraction of
+// all rides contained in the query polygon) across all six approaches.
+#include "bench/common.h"
+#include "index/artree.h"
+#include "index/binary_search.h"
+#include "index/btree_index.h"
+#include "index/phtree.h"
+
+namespace geoblocks::bench {
+namespace {
+
+void Run() {
+  bench_util::Banner("Figure 12 — query runtime vs selectivity",
+                     "Selectivity-controlled polygons around the data "
+                     "centroid; SELECT with 7 aggregates; times in "
+                     "microseconds per query.");
+  const TaxiEnv env = TaxiEnv::Create(TaxiPoints());
+  const core::GeoBlock block =
+      core::GeoBlock::Build(env.data, {kDefaultLevel, {}});
+  const index::BinarySearchIndex bs(&env.data);
+  const index::BTreeIndex bt(&env.data);
+  const index::PhTreeIndex ph(&env.data);
+  // aR-tree on a subset, as its insertion build dominates otherwise.
+  const size_t art_points = std::min<size_t>(env.data.num_rows(), 250'000);
+  const storage::PointTable art_raw = workload::GenTaxi(art_points);
+  storage::ExtractOptions art_opt;
+  art_opt.clean_bounds = workload::NycBounds();
+  const auto art_data = storage::SortedDataset::Extract(art_raw, art_opt);
+  const index::ARTree art = index::ARTree::Build(&art_data);
+
+  const core::AggregateRequest req = RequestN(7, env.data.num_columns());
+
+  bench_util::TablePrinter table({"selectivity", "BinarySearch us",
+                                  "Block us", "BlockQC us", "BTree us",
+                                  "PHTree us", "aRTree us"});
+  for (const double sel : {0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0}) {
+    double achieved = 0.0;
+    const geo::Polygon poly =
+        workload::SelectivityPolygon(env.data, sel, &achieved);
+    const auto covering = block.Cover(poly);
+    const auto time_us = [&](const auto& fn) {
+      // Median of repeats to stabilize sub-millisecond measurements.
+      return 1000.0 * bench_util::MedianTimeMs(5, fn);
+    };
+    const double bs_us =
+        time_us([&] { (void)bs.SelectCovering(covering, req); });
+    const double block_us =
+        time_us([&] { (void)block.SelectCovering(covering, req); });
+    // BlockQC with a 2% cache, warmed on the same workload (the paper notes
+    // QC wins even on the unskewed workload because few covering cells
+    // dominate each polygon).
+    core::GeoBlockQC qc(&block, {0.02, 0});
+    for (int warm = 0; warm < 2; ++warm) {
+      (void)qc.SelectCovering(covering, req);
+      qc.RebuildCache();
+    }
+    const double qc_us =
+        time_us([&] { (void)qc.SelectCovering(covering, req); });
+    const double bt_us =
+        time_us([&] { (void)bt.SelectCovering(covering, req); });
+    const double ph_us = time_us([&] { (void)ph.Select(poly, req); });
+    const double art_us = time_us([&] { (void)art.Select(poly, req); });
+
+    table.AddRow({bench_util::TablePrinter::Fmt(100.0 * achieved, 1) + "%",
+                  bench_util::TablePrinter::Fmt(bs_us, 1),
+                  bench_util::TablePrinter::Fmt(block_us, 1),
+                  bench_util::TablePrinter::Fmt(qc_us, 1),
+                  bench_util::TablePrinter::Fmt(bt_us, 1),
+                  bench_util::TablePrinter::Fmt(ph_us, 1),
+                  bench_util::TablePrinter::Fmt(art_us, 1)});
+  }
+  table.Print();
+  std::printf("(aRTree measured on %zu points; PHTree/aRTree use the "
+              "interior rectangle and therefore cover fewer tuples)\n",
+              art_points);
+  PaperNote(
+      "runtime rises steeply above 1% selectivity for the on-the-fly "
+      "baselines but only softly for both Block variants; BlockQC beats "
+      "Block at every selectivity; the aRTree trails Block at low "
+      "selectivity, catches up around 50%, and drops sharply at 100% "
+      "(root-aggregate shortcut). Blocks win by 2-3 orders of magnitude "
+      "against the non-aggregating baselines (6x-1667x in the paper).");
+}
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+int main() { geoblocks::bench::Run(); }

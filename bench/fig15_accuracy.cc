@@ -1,0 +1,95 @@
+// Reproduces Figure 15: average per-query runtime and relative error for
+// US-state polygons and for randomly generated rectangles on the Twitter
+// dataset, querying each area individually.
+#include "bench/common.h"
+#include "index/artree.h"
+#include "index/binary_search.h"
+#include "index/btree_index.h"
+#include "index/phtree.h"
+#include "workload/exact.h"
+
+namespace geoblocks::bench {
+namespace {
+
+void RunCase(const char* name, const storage::SortedDataset& data,
+             const core::GeoBlock& block, const index::ARTree& art,
+             const std::vector<geo::Polygon>& polygons, int level) {
+  const index::BinarySearchIndex bs(&data);
+  const index::BTreeIndex bt(&data);
+  const index::PhTreeIndex ph(&data);
+  const core::AggregateRequest req = RequestN(4, data.num_columns());
+
+  std::vector<uint64_t> exact;
+  exact.reserve(polygons.size());
+  for (const geo::Polygon& poly : polygons) {
+    exact.push_back(workload::ExactCount(data, poly));
+  }
+
+  std::printf("\n%s (%zu polygons, level %d)\n", name, polygons.size(),
+              level);
+  bench_util::TablePrinter table(
+      {"algorithm", "avg runtime ms", "avg rel. error"});
+  const auto measure = [&](const char* alg, const auto& fn) {
+    double total_error = 0.0;
+    size_t measured = 0;
+    bench_util::Timer timer;
+    for (size_t i = 0; i < polygons.size(); ++i) {
+      const uint64_t count = fn(polygons[i]);
+      if (exact[i] > 0) {
+        total_error += workload::RelativeError(count, exact[i]);
+        ++measured;
+      }
+    }
+    const double ms = timer.ElapsedMs();
+    table.AddRow(
+        {alg,
+         bench_util::TablePrinter::Fmt(
+             ms / static_cast<double>(polygons.size()), 3),
+         bench_util::TablePrinter::Fmt(
+             100.0 * total_error / static_cast<double>(measured), 2) +
+             "%"});
+  };
+  measure("BinarySearch", [&](const geo::Polygon& p) {
+    return bs.Select(p, req, level).count;
+  });
+  measure("Block",
+          [&](const geo::Polygon& p) { return block.Select(p, req).count; });
+  measure("BTree", [&](const geo::Polygon& p) {
+    return bt.Select(p, req, level).count;
+  });
+  measure("PHTree",
+          [&](const geo::Polygon& p) { return ph.Select(p, req).count; });
+  measure("aRTree",
+          [&](const geo::Polygon& p) { return art.Select(p, req).count; });
+  table.Print();
+}
+
+void Run() {
+  bench_util::Banner("Figure 15 — accuracy on US states vs rectangles",
+                     "Twitter dataset; each area queried individually; "
+                     "level 11 (~7 km diagonal), as in the paper.");
+  const int level = 11;
+  storage::PointTable tweets = workload::GenTweets(TweetPoints());
+  storage::ExtractOptions options;
+  options.clean_bounds = workload::UsBounds();
+  const auto data = storage::SortedDataset::Extract(tweets, options);
+  const core::GeoBlock block = core::GeoBlock::Build(data, {level, {}});
+  const index::ARTree art = index::ARTree::Build(&data);
+
+  // ~49 "states" tiling the contiguous US, and 51 random rectangles.
+  RunCase("States", data, block, art,
+          workload::TilingPolygons(workload::UsBounds(), 7, 7, 0.35), level);
+  RunCase("Rectangles", data, block, art,
+          workload::RandomRectangles(workload::UsBounds(), 51), level);
+  PaperNote(
+      "same trends for both polygon shapes: the aRTree is slightly faster "
+      "than Block (large areas answered high up in the tree) but highly "
+      "imprecise even for rectangles (double counting of overlapping "
+      "nodes), while the Block error stays small; aggregating approaches "
+      "far outperform the point indices.");
+}
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+int main() { geoblocks::bench::Run(); }

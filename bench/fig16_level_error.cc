@@ -1,0 +1,68 @@
+// Reproduces Figure 16: relative error and per-query runtime for block
+// levels 13-21 on the taxi dataset.
+#include "bench/common.h"
+#include "workload/exact.h"
+
+namespace geoblocks::bench {
+namespace {
+
+void Run() {
+  bench_util::Banner("Figure 16 — relative error and runtime per level",
+                     "Neighborhood workload; SELECT with 7 aggregates; "
+                     "error of the covering count vs exact ground truth.");
+  const TaxiEnv env = TaxiEnv::Create(TaxiPoints());
+  const workload::Workload wl = workload::BaseWorkload(env.neighborhoods);
+  const core::AggregateRequest req = RequestN(7, env.data.num_columns());
+
+  std::vector<uint64_t> exact;
+  exact.reserve(wl.size());
+  for (const geo::Polygon* poly : wl.queries) {
+    exact.push_back(workload::ExactCount(env.data, *poly));
+  }
+
+  bench_util::TablePrinter table(
+      {"level", "~cell diag", "runtime us/query", "rel. error"});
+  for (int level = 13; level <= 21; ++level) {
+    const core::GeoBlock block = core::GeoBlock::Build(env.data, {level, {}});
+    // Coverings are recomputed per level (they must not descend below the
+    // block's grid), but timed separately from the aggregate probing.
+    const auto coverings = CoverAll(block, wl);
+    double total_error = 0.0;
+    size_t measured = 0;
+    for (size_t i = 0; i < coverings.size(); ++i) {
+      if (exact[i] == 0) continue;
+      total_error += workload::RelativeError(
+          block.CountCovering(coverings[i]), exact[i]);
+      ++measured;
+    }
+    const double ms = bench_util::MedianTimeMs(3, [&] {
+      double sink = 0.0;
+      for (const auto& covering : coverings) {
+        sink +=
+            static_cast<double>(block.SelectCovering(covering, req).count);
+      }
+      if (sink < 0) std::printf("impossible\n");
+    });
+    table.AddRow(
+        {std::to_string(level),
+         bench_util::TablePrinter::Fmt(
+             cell::ApproxCellDiagonalMeters(level), 0) +
+             "m",
+         bench_util::TablePrinter::Fmt(
+             1000.0 * ms / static_cast<double>(wl.size()), 1),
+         bench_util::TablePrinter::Fmt(
+             100.0 * total_error / static_cast<double>(measured), 2) +
+             "%"});
+  }
+  table.Print();
+  PaperNote(
+      "the higher the level, the lower the relative error and the higher "
+      "the runtime; past a certain level further refinement stops paying "
+      "off (errors flatten while runtime keeps rising). Acceptable "
+      "trade-offs sit around levels 17-18.");
+}
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+int main() { geoblocks::bench::Run(); }

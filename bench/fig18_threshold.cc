@@ -1,0 +1,99 @@
+// Reproduces Figure 18: impact of the aggregate threshold (query-cache size
+// as a fraction of the cell aggregates) on workload runtime and cache hit
+// rate; also reports the average trie lookup time (the paper quotes
+// 58-81 ns).
+#include "bench/common.h"
+
+namespace geoblocks::bench {
+namespace {
+
+void Run() {
+  bench_util::Banner("Figure 18 — impact of the aggregate threshold",
+                     "1x base + 4x skewed; hit rates measured separately "
+                     "for the base and skewed parts after cache warm-up.");
+  const TaxiEnv env = TaxiEnv::Create(TaxiPoints());
+  const core::GeoBlock block =
+      core::GeoBlock::Build(env.data, {kDefaultLevel, {}});
+  const core::AggregateRequest req = RequestN(7, env.data.num_columns());
+
+  const workload::Workload base = workload::BaseWorkload(env.neighborhoods);
+  const workload::Workload skewed =
+      workload::SkewedWorkload(env.neighborhoods);
+  const auto base_coverings = CoverAll(block, base);
+  const auto skew_coverings = CoverAll(block, skewed);
+
+  bench_util::TablePrinter table({"threshold", "base ms", "skew ms",
+                                  "hit rate base", "hit rate skew",
+                                  "cached cells", "lookup ns"});
+  for (const double threshold :
+       {0.0025, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    core::GeoBlockQC qc(&block, {threshold, 0});
+    // Warm-up pass: run the whole workload once to gather statistics, then
+    // build the cache.
+    double sink = 0.0;
+    for (const auto& c : base_coverings) {
+      sink += static_cast<double>(qc.SelectCovering(c, req).count);
+    }
+    for (int r = 0; r < 4; ++r) {
+      for (const auto& c : skew_coverings) {
+        sink += static_cast<double>(qc.SelectCovering(c, req).count);
+      }
+    }
+    qc.RebuildCache();
+
+    // Measured pass.
+    qc.ResetCounters();
+    bench_util::Timer timer;
+    for (const auto& c : base_coverings) {
+      sink += static_cast<double>(qc.SelectCovering(c, req).count);
+    }
+    const double base_ms = timer.ElapsedMs();
+    const double base_hits = qc.counters().HitRate();
+    qc.ResetCounters();
+    timer.Restart();
+    for (int r = 0; r < 4; ++r) {
+      for (const auto& c : skew_coverings) {
+        sink += static_cast<double>(qc.SelectCovering(c, req).count);
+      }
+    }
+    const double skew_ms = timer.ElapsedMs();
+    const double skew_hits = qc.counters().HitRate();
+    if (sink < 0) std::printf("impossible\n");
+
+    // Average trie lookup latency over all covering cells.
+    size_t lookups = 0;
+    bench_util::Timer lookup_timer;
+    uint64_t probe_sink = 0;
+    for (const auto& coverings : {&base_coverings, &skew_coverings}) {
+      for (const auto& covering : *coverings) {
+        for (const cell::CellId& c : covering) {
+          probe_sink += qc.trie().Lookup(c).node_exists ? 1 : 0;
+          ++lookups;
+        }
+      }
+    }
+    const double lookup_ns =
+        lookup_timer.ElapsedMs() * 1e6 / static_cast<double>(lookups);
+    if (probe_sink == UINT64_MAX) std::printf("impossible\n");
+
+    table.AddRow({bench_util::TablePrinter::Fmt(100.0 * threshold, 2) + "%",
+                  bench_util::TablePrinter::Fmt(base_ms),
+                  bench_util::TablePrinter::Fmt(skew_ms),
+                  bench_util::TablePrinter::Fmt(100.0 * base_hits, 1) + "%",
+                  bench_util::TablePrinter::Fmt(100.0 * skew_hits, 1) + "%",
+                  std::to_string(qc.trie().num_cached()),
+                  bench_util::TablePrinter::Fmt(lookup_ns, 1)});
+  }
+  table.Print();
+  PaperNote(
+      "the skewed part is cached almost immediately (hit rate ~100% by a "
+      "~5% threshold) while the base hit rate grows roughly linearly with "
+      "the cache size; past the point where everything queried is cached "
+      "(~50%) more cache brings no further speedup. Lookups stay in the "
+      "tens of nanoseconds (paper: 58-81 ns).");
+}
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+int main() { geoblocks::bench::Run(); }

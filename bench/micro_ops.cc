@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations the
+// paper's performance claims rest on: cell-id algebra, Hilbert transforms,
+// polygon covering, Block probing (with and without the lastAgg shortcut),
+// COUNT range sums, and AggregateTrie lookups (paper: 58-81 ns).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "cell/hilbert.h"
+#include "core/aggregate_trie.h"
+
+namespace geoblocks::bench {
+namespace {
+
+const TaxiEnv& Env() {
+  static const TaxiEnv env = TaxiEnv::Create(
+      std::min<size_t>(TaxiPoints(), 500'000), kNumNeighborhoods);
+  return env;
+}
+
+const core::GeoBlock& Block() {
+  static const core::GeoBlock block =
+      core::GeoBlock::Build(Env().data, {kDefaultLevel, {}});
+  return block;
+}
+
+void BM_HilbertXYToD(benchmark::State& state) {
+  uint32_t i = 123456789;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell::HilbertXYToD(i, i ^ 0x5a5a5a5a));
+    i = i * 1664525u + 1013904223u;
+  }
+}
+BENCHMARK(BM_HilbertXYToD);
+
+void BM_CellIdFromPoint(benchmark::State& state) {
+  double x = 0.123;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell::CellId::FromPoint({x, 1.0 - x}));
+    x += 1e-7;
+    if (x >= 1.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_CellIdFromPoint);
+
+void BM_CellIdParentChild(benchmark::State& state) {
+  const cell::CellId leaf = cell::CellId::FromPoint({0.37, 0.61});
+  for (auto _ : state) {
+    const cell::CellId parent = leaf.Parent(12);
+    benchmark::DoNotOptimize(parent.Child(2).RangeMax());
+  }
+}
+BENCHMARK(BM_CellIdParentChild);
+
+void BM_PolygonCovering(benchmark::State& state) {
+  const auto& env = Env();
+  const geo::Polygon& poly = env.neighborhoods[7];
+  size_t cells = 0;
+  for (auto _ : state) {
+    cells += Block().Cover(poly).size();
+  }
+  state.counters["cells"] =
+      static_cast<double>(cells) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PolygonCovering);
+
+void BM_BlockSelect(benchmark::State& state) {
+  const auto& env = Env();
+  const core::AggregateRequest req =
+      RequestN(static_cast<size_t>(state.range(0)), env.data.num_columns());
+  const auto covering = Block().Cover(env.neighborhoods[3]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block().SelectCovering(covering, req));
+  }
+}
+BENCHMARK(BM_BlockSelect)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_BlockCount(benchmark::State& state) {
+  const auto& env = Env();
+  const auto covering = Block().Cover(env.neighborhoods[3]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block().CountCovering(covering));
+  }
+}
+BENCHMARK(BM_BlockCount);
+
+// Ablation: SELECT with the lastAgg successor shortcut (contiguous
+// covering, cells adjacent) vs a covering of scattered cells where every
+// probe falls back to binary search.
+void BM_BlockSelectAdjacentCells(benchmark::State& state) {
+  const auto& env = Env();
+  const core::AggregateRequest req = RequestN(4, env.data.num_columns());
+  // 64 adjacent grid cells taken from the middle of the block.
+  std::vector<cell::CellId> covering;
+  const size_t start = Block().num_cells() / 2;
+  for (size_t i = 0; i < 64 && start + i < Block().num_cells(); ++i) {
+    covering.push_back(cell::CellId(Block().cells()[start + i]));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block().SelectCovering(covering, req));
+  }
+}
+BENCHMARK(BM_BlockSelectAdjacentCells);
+
+void BM_BlockSelectScatteredCells(benchmark::State& state) {
+  const auto& env = Env();
+  const core::AggregateRequest req = RequestN(4, env.data.num_columns());
+  // 64 cells spread across the whole block: the successor check always
+  // misses and every cell costs a binary search.
+  std::vector<cell::CellId> covering;
+  const size_t stride = std::max<size_t>(1, Block().num_cells() / 64);
+  for (size_t i = 0; i < Block().num_cells() && covering.size() < 64;
+       i += stride) {
+    covering.push_back(cell::CellId(Block().cells()[i]));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block().SelectCovering(covering, req));
+  }
+}
+BENCHMARK(BM_BlockSelectScatteredCells);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto& env = Env();
+  static core::GeoBlockQC* qc = [] {
+    auto* q = new core::GeoBlockQC(&Block(), {0.05, 0});
+    const core::AggregateRequest req = RequestN(7, Env().data.num_columns());
+    for (const geo::Polygon& poly : Env().neighborhoods) {
+      (void)q->Select(poly, req);
+    }
+    q->RebuildCache();
+    return q;
+  }();
+  const auto covering = Block().Cover(env.neighborhoods[11]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc->trie().Lookup(covering[i % covering.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TrieLookup);
+
+void BM_AccumulatorAddAggregate(benchmark::State& state) {
+  const core::AggregateRequest req = RequestN(7, 7);
+  core::Accumulator acc(&req);
+  std::vector<core::ColumnAggregate> cols(7);
+  for (auto& c : cols) c.Add(1.0);
+  for (auto _ : state) {
+    acc.AddAggregate(10, cols.data());
+  }
+  benchmark::DoNotOptimize(acc.Finish());
+}
+BENCHMARK(BM_AccumulatorAddAggregate);
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#include "bench_util/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace geoblocks::bench_util {
+
+double ScaleFactor() {
+  const char* env = std::getenv("GEOBLOCKS_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+size_t Scaled(size_t base) {
+  const double scaled = static_cast<double>(base) * ScaleFactor();
+  return std::max<size_t>(1, static_cast<size_t>(scaled));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) line += "  ";
+      const std::string& cell = rows_[r][c];
+      line.append(widths[c] - cell.size(), ' ');
+      line += cell;
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string sep;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        if (c > 0) sep += "  ";
+        sep.append(widths[c], '-');
+      }
+      std::printf("%s\n", sep.c_str());
+    }
+  }
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TablePrinter::FmtCount(uint64_t v) { return std::to_string(v); }
+
+void Banner(const std::string& title, const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), description.c_str());
+}
+
+}  // namespace geoblocks::bench_util

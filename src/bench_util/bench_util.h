@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace geoblocks::bench_util {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedUs() const { return ElapsedMs() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `fn` and returns its wall-clock duration in milliseconds.
+template <typename Fn>
+double TimeMs(const Fn& fn) {
+  Timer t;
+  fn();
+  return t.ElapsedMs();
+}
+
+/// Median wall-clock milliseconds over `repeats` runs of `fn`.
+template <typename Fn>
+double MedianTimeMs(size_t repeats, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (size_t r = 0; r < repeats; ++r) samples.push_back(TimeMs(fn));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Dataset scale multiplier from the GEOBLOCKS_SCALE environment variable
+/// (default 1.0). Raise it to approach the paper's dataset sizes.
+double ScaleFactor();
+
+/// base * ScaleFactor(), at least 1.
+size_t Scaled(size_t base);
+
+/// Fixed-width table printer for bench output: prints a header row, then
+/// one row per AddRow call, all columns right-aligned to the widest entry.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print() const;
+
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtCount(uint64_t v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a bench section banner.
+void Banner(const std::string& title, const std::string& description);
+
+}  // namespace geoblocks::bench_util

@@ -1,0 +1,128 @@
+#include "cell/cell_union.h"
+
+#include <algorithm>
+
+namespace geoblocks::cell {
+
+CellUnion CellUnion::FromCells(std::vector<CellId> cells) {
+  CellUnion u;
+  cells.erase(std::remove_if(cells.begin(), cells.end(),
+                             [](const CellId& c) { return !c.is_valid(); }),
+              cells.end());
+  std::sort(cells.begin(), cells.end());
+  // Drop cells contained in a predecessor (after sorting, an ancestor
+  // precedes all of its descendants' range... note: an ancestor's id can be
+  // *larger* than a descendant's id, so check both directions via ranges).
+  std::vector<CellId> disjoint;
+  for (const CellId& c : cells) {
+    if (!disjoint.empty()) {
+      const CellId& last = disjoint.back();
+      if (last.Contains(c)) continue;
+      // Remove previously added cells that `c` contains.
+      while (!disjoint.empty() && c.Contains(disjoint.back())) {
+        disjoint.pop_back();
+      }
+    }
+    disjoint.push_back(c);
+  }
+  // Merge sibling quadruples bottom-up until a fixpoint.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    std::vector<CellId> out;
+    out.reserve(disjoint.size());
+    size_t i = 0;
+    while (i < disjoint.size()) {
+      const CellId c = disjoint[i];
+      if (c.level() > 0 && i + 3 < disjoint.size()) {
+        const CellId parent = c.Parent();
+        bool all = c == parent.Child(0);
+        for (int k = 1; all && k < 4; ++k) {
+          if (disjoint[i + static_cast<size_t>(k)] != parent.Child(k)) {
+            all = false;
+          }
+        }
+        if (all) {
+          out.push_back(parent);
+          i += 4;
+          merged = true;
+          continue;
+        }
+      }
+      out.push_back(c);
+      ++i;
+    }
+    disjoint = std::move(out);
+  }
+  u.cells_ = std::move(disjoint);
+  return u;
+}
+
+CellUnion CellUnion::FromNormalized(std::vector<CellId> cells) {
+  CellUnion u;
+  u.cells_ = std::move(cells);
+  return u;
+}
+
+bool CellUnion::Contains(const geo::Point& unit_point) const {
+  return Contains(CellId::FromPoint(unit_point));
+}
+
+bool CellUnion::Contains(CellId cell) const {
+  // The only candidate container is the last union cell whose RangeMin is
+  // <= the probe's RangeMin (cells are sorted and disjoint).
+  const auto it = std::upper_bound(
+      cells_.begin(), cells_.end(), cell,
+      [](const CellId& probe, const CellId& c) {
+        return probe.RangeMin().id() < c.RangeMin().id();
+      });
+  if (it == cells_.begin()) return false;
+  return std::prev(it)->Contains(cell);
+}
+
+bool CellUnion::Intersects(CellId cell) const {
+  if (Contains(cell)) return true;
+  // Any union cell inside the probe's leaf range intersects it.
+  const auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), cell,
+      [](const CellId& c, const CellId& probe) {
+        return c.RangeMax().id() < probe.RangeMin().id();
+      });
+  return it != cells_.end() && it->RangeMin().id() <= cell.RangeMax().id();
+}
+
+bool CellUnion::Contains(const CellUnion& other) const {
+  for (const CellId& c : other.cells_) {
+    if (!Contains(c)) return false;
+  }
+  return true;
+}
+
+bool CellUnion::Intersects(const CellUnion& other) const {
+  for (const CellId& c : other.cells_) {
+    if (Intersects(c)) return true;
+  }
+  return false;
+}
+
+CellUnion CellUnion::Union(const CellUnion& other) const {
+  std::vector<CellId> all = cells_;
+  all.insert(all.end(), other.cells_.begin(), other.cells_.end());
+  return FromCells(std::move(all));
+}
+
+uint64_t CellUnion::NumLeaves() const {
+  uint64_t leaves = 0;
+  for (const CellId& c : cells_) {
+    leaves += uint64_t{1} << (2 * (CellId::kMaxLevel - c.level()));
+  }
+  return leaves;
+}
+
+double CellUnion::Area() const {
+  double area = 0.0;
+  for (const CellId& c : cells_) area += c.ToRect().Area();
+  return area;
+}
+
+}  // namespace geoblocks::cell

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "cell/cell_id.h"
+
+namespace geoblocks::cell {
+
+/// A normalized set of cells: sorted, mutually disjoint, with no four
+/// sibling cells that could be replaced by their parent. This is the
+/// canonical representation of a covering and supports the set algebra a
+/// covering consumer needs (the S2CellUnion counterpart of our coverer).
+class CellUnion {
+ public:
+  CellUnion() = default;
+
+  /// Normalizes arbitrary input cells: invalid ids are dropped, cells
+  /// contained in other input cells are removed, complete sibling
+  /// quadruples are merged recursively.
+  static CellUnion FromCells(std::vector<CellId> cells);
+
+  /// Wraps cells that are already normalized (checked in debug builds
+  /// only; used for coverer output, which is canonical by construction).
+  static CellUnion FromNormalized(std::vector<CellId> cells);
+
+  const std::vector<CellId>& cells() const { return cells_; }
+  bool empty() const { return cells_.empty(); }
+  size_t size() const { return cells_.size(); }
+
+  /// True when the point's leaf cell is covered.
+  bool Contains(const geo::Point& unit_point) const;
+
+  /// True when `cell` is fully covered by the union.
+  bool Contains(CellId cell) const;
+
+  /// True when `cell` shares at least one leaf with the union.
+  bool Intersects(CellId cell) const;
+
+  /// True when every cell of `other` is covered by this union.
+  bool Contains(const CellUnion& other) const;
+
+  /// True when the two unions share at least one leaf.
+  bool Intersects(const CellUnion& other) const;
+
+  /// Set union (normalized).
+  CellUnion Union(const CellUnion& other) const;
+
+  /// Number of leaf cells covered (exact, as a 128-bit-safe accumulation
+  /// is unnecessary: at most 4^30 < 2^63).
+  uint64_t NumLeaves() const;
+
+  /// Total covered area in unit-square units.
+  double Area() const;
+
+  friend bool operator==(const CellUnion& a, const CellUnion& b) {
+    return a.cells_ == b.cells_;
+  }
+
+ private:
+  std::vector<CellId> cells_;
+};
+
+}  // namespace geoblocks::cell

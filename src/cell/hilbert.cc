@@ -1,0 +1,50 @@
+#include "cell/hilbert.h"
+
+namespace geoblocks::cell {
+
+namespace {
+
+/// Rotates/flips the quadrant of side `n` so that the curve orientation is
+/// canonical for the next finer level (classic Hilbert transform step).
+inline void Rotate(uint32_t n, uint32_t* i, uint32_t* j, uint32_t ri,
+                   uint32_t rj) {
+  if (rj == 0) {
+    if (ri == 1) {
+      *i = n - 1 - *i;
+      *j = n - 1 - *j;
+    }
+    const uint32_t t = *i;
+    *i = *j;
+    *j = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertXYToD(uint32_t i, uint32_t j) {
+  uint64_t d = 0;
+  for (uint32_t s = kHilbertSide / 2; s > 0; s /= 2) {
+    const uint32_t ri = (i & s) ? 1 : 0;
+    const uint32_t rj = (j & s) ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * ri) ^ rj);
+    Rotate(kHilbertSide, &i, &j, ri, rj);
+  }
+  return d;
+}
+
+std::pair<uint32_t, uint32_t> HilbertDToXY(uint64_t d) {
+  uint32_t i = 0;
+  uint32_t j = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < kHilbertSide; s *= 2) {
+    const uint32_t ri = static_cast<uint32_t>(1 & (t / 2));
+    const uint32_t rj = static_cast<uint32_t>(1 & (t ^ ri));
+    Rotate(s, &i, &j, ri, rj);
+    i += s * ri;
+    j += s * rj;
+    t /= 4;
+  }
+  return {i, j};
+}
+
+}  // namespace geoblocks::cell

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace geoblocks::cell {
+
+/// Order of the Hilbert curve used for the spatial decomposition: the unit
+/// square is resolved into 2^30 x 2^30 leaf cells, mirroring the 30 levels
+/// of Google S2 that the paper builds on.
+inline constexpr int kHilbertOrder = 30;
+
+/// Number of grid positions per dimension (2^30).
+inline constexpr uint32_t kHilbertSide = 1u << kHilbertOrder;
+
+/// Maps grid coordinates (i, j), each in [0, 2^30), to the position of that
+/// grid point along the order-30 Hilbert curve. The mapping is a bijection
+/// onto [0, 4^30) and is *hierarchical*: all positions sharing their top
+/// 2*l bits form an axis-aligned square of side 2^(30-l). This hierarchy is
+/// what makes prefix-based cell containment work (paper Section 3.1).
+uint64_t HilbertXYToD(uint32_t i, uint32_t j);
+
+/// Inverse of HilbertXYToD.
+std::pair<uint32_t, uint32_t> HilbertDToXY(uint64_t d);
+
+}  // namespace geoblocks::cell

@@ -1,0 +1,31 @@
+#include "core/aggregate.h"
+
+namespace geoblocks::core {
+
+std::string ToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  return "?";
+}
+
+AggregateRequest AggregateRequest::FirstN(size_t n, size_t num_columns) {
+  AggregateRequest req;
+  if (n == 0) return req;
+  req.Add(AggFn::kCount);
+  static constexpr AggFn kCycle[] = {AggFn::kSum, AggFn::kMin, AggFn::kMax,
+                                     AggFn::kAvg};
+  size_t fn_idx = 0;
+  for (size_t i = 1; i < n; ++i) {
+    req.Add(kCycle[fn_idx % 4],
+            num_columns == 0 ? 0 : static_cast<int>((i - 1) % num_columns));
+    ++fn_idx;
+  }
+  return req;
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,215 @@
+#include "core/aggregate_trie.h"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+namespace geoblocks::core {
+
+namespace {
+
+struct TmpNode {
+  bool has_agg = false;
+  bool has_children = false;
+};
+
+}  // namespace
+
+uint32_t AggregateTrie::ReadU32(size_t offset) const {
+  uint32_t v;
+  std::memcpy(&v, arena_.data() + offset, sizeof(v));
+  return v;
+}
+
+void AggregateTrie::WriteU32(size_t offset, uint32_t value) {
+  std::memcpy(arena_.data() + offset, &value, sizeof(value));
+}
+
+AggregateTrie::BuildResult AggregateTrie::Build(
+    const GeoBlock& block, const std::vector<cell::CellId>& ranked,
+    size_t byte_budget, const AggregateTrie* previous) {
+  arena_.clear();
+  num_cached_ = 0;
+  num_columns_ = block.num_columns();
+  root_cell_ = cell::CellId();
+  if (block.num_cells() == 0) return {};
+
+  // The root encloses the block's input data (Section 3.6).
+  root_cell_ = cell::CellId::CommonAncestor(
+      cell::CellId(block.header().min_cell),
+      cell::CellId(block.header().max_cell));
+
+  // Phase 1: decide the cached set under the budget. Nodes are tracked in a
+  // temporary keyed trie; allocating the children of a node costs one
+  // 4-node block (32 bytes).
+  std::unordered_map<uint64_t, TmpNode> tmp;
+  tmp[root_cell_.id()];  // root node always exists
+  size_t bytes = 8 + kNodeBytes;  // reserved header + root node
+  size_t num_blocks = 0;
+  std::vector<cell::CellId> cached;
+  for (const cell::CellId& cand : ranked) {
+    if (!root_cell_.Contains(cand)) continue;
+    if (tmp.count(cand.id()) && tmp[cand.id()].has_agg) continue;
+    // Cost of the path root -> cand: one block per ancestor that has no
+    // child block yet, plus the aggregate payload.
+    size_t new_blocks = 0;
+    for (int l = root_cell_.level(); l < cand.level(); ++l) {
+      const cell::CellId ancestor = cand.Parent(l);
+      const auto it = tmp.find(ancestor.id());
+      if (it == tmp.end() || !it->second.has_children) ++new_blocks;
+    }
+    const size_t added = new_blocks * kBlockBytes + AggBytes();
+    if (bytes + added > byte_budget) break;  // reserved area is filled
+    bytes += added;
+    num_blocks += new_blocks;
+    for (int l = root_cell_.level(); l < cand.level(); ++l) {
+      tmp[cand.Parent(l).id()].has_children = true;
+      tmp[cand.Parent(l + 1).id()];  // ensure the child node exists
+    }
+    tmp[cand.id()].has_agg = true;
+    cached.push_back(cand);
+  }
+
+  // Phase 2: serialize. Node blocks are laid out in BFS order directly
+  // after the root; aggregates follow the node region.
+  const size_t node_region_end = 8 + kNodeBytes + num_blocks * kBlockBytes;
+  arena_.assign(node_region_end + cached.size() * AggBytes(), 0);
+
+  size_t next_block = 8 + kNodeBytes;
+  size_t next_agg = node_region_end;
+  std::deque<std::pair<cell::CellId, uint32_t>> queue;  // (cell, node offset)
+  queue.emplace_back(root_cell_, kRootOffset);
+  while (!queue.empty()) {
+    const auto [cell, offset] = queue.front();
+    queue.pop_front();
+    const TmpNode& node = tmp.at(cell.id());
+    if (node.has_agg) {
+      uint8_t* dst = arena_.data() + next_agg;
+      const uint8_t* prev_agg =
+          previous != nullptr ? previous->Lookup(cell).agg : nullptr;
+      if (prev_agg != nullptr) {
+        // Cheap refresh: the cell was already cached; its payload is
+        // unchanged (blocks are write-once between explicit updates).
+        std::memcpy(dst, prev_agg, AggBytes());
+      } else {
+        const AggregateVector agg = block.AggregateForCell(cell);
+        std::memcpy(dst, &agg.count, sizeof(uint64_t));
+        dst += sizeof(uint64_t);
+        for (size_t c = 0; c < num_columns_; ++c) {
+          std::memcpy(dst, &agg.columns[c], 3 * sizeof(double));
+          dst += 3 * sizeof(double);
+        }
+      }
+      WriteU32(offset + 4, static_cast<uint32_t>(next_agg));
+      next_agg += AggBytes();
+      ++num_cached_;
+    }
+    if (node.has_children) {
+      const uint32_t block_offset = static_cast<uint32_t>(next_block);
+      next_block += kBlockBytes;
+      WriteU32(offset, block_offset);
+      for (int k = 0; k < 4; ++k) {
+        const cell::CellId child = cell.Child(k);
+        if (tmp.count(child.id())) {
+          queue.emplace_back(child,
+                             block_offset + static_cast<uint32_t>(k) * 8);
+        }
+      }
+    }
+  }
+
+  return {num_cached_, arena_.size()};
+}
+
+AggregateTrie::Probe AggregateTrie::Lookup(cell::CellId cell) const {
+  Probe probe;
+  if (arena_.empty() || !root_cell_.is_valid()) return probe;
+  if (!root_cell_.Contains(cell)) return probe;
+  uint32_t offset = kRootOffset;
+  for (int l = root_cell_.level() + 1; l <= cell.level(); ++l) {
+    const uint32_t child_block = ReadU32(offset);
+    if (child_block == 0) return probe;  // no node for this cell
+    const int k = cell.Parent(l).ChildPosition();
+    offset = child_block + static_cast<uint32_t>(k) * kNodeBytes;
+  }
+  // A zeroed slot in an allocated block means the child node was never
+  // created ("n/a" in Figure 7).
+  if (ReadU32(offset) == 0 && ReadU32(offset + 4) == 0 &&
+      cell != root_cell_) {
+    return probe;
+  }
+  probe.node_exists = true;
+  probe.node_offset = offset;
+  const uint32_t agg_offset = ReadU32(offset + 4);
+  if (agg_offset != 0) probe.agg = arena_.data() + agg_offset;
+  return probe;
+}
+
+std::array<AggregateTrie::ChildInfo, 4> AggregateTrie::DirectChildren(
+    uint32_t node_offset) const {
+  std::array<ChildInfo, 4> out;
+  const uint32_t child_block = ReadU32(node_offset);
+  if (child_block == 0) return out;
+  for (int k = 0; k < 4; ++k) {
+    const uint32_t off = child_block + static_cast<uint32_t>(k) * kNodeBytes;
+    const uint32_t child_ptr = ReadU32(off);
+    const uint32_t agg_ptr = ReadU32(off + 4);
+    out[k].exists = child_ptr != 0 || agg_ptr != 0;
+    if (agg_ptr != 0) out[k].agg = arena_.data() + agg_ptr;
+  }
+  return out;
+}
+
+void AggregateTrie::Combine(const uint8_t* agg, Accumulator* acc) const {
+  uint64_t count;
+  std::memcpy(&count, agg, sizeof(count));
+  // The (min, max, sum) triples are layout-compatible with ColumnAggregate;
+  // copy them out to keep the access well-defined.
+  thread_local std::vector<ColumnAggregate> scratch;
+  scratch.resize(num_columns_);
+  std::memcpy(scratch.data(), agg + sizeof(uint64_t),
+              num_columns_ * 3 * sizeof(double));
+  acc->AddAggregate(count, scratch.data());
+}
+
+size_t AggregateTrie::ApplyTupleUpdate(cell::CellId leaf,
+                                       const double* values) {
+  if (arena_.empty() || !root_cell_.is_valid()) return 0;
+  if (!root_cell_.Contains(leaf)) return 0;
+  size_t updated = 0;
+  uint32_t offset = kRootOffset;
+  // Walk from the root towards the leaf, patching every cached aggregate
+  // along the path (each such cell contains the new tuple).
+  for (int level = root_cell_.level();; ++level) {
+    const uint32_t agg_offset = ReadU32(offset + 4);
+    if (agg_offset != 0) {
+      uint8_t* agg = arena_.data() + agg_offset;
+      uint64_t count;
+      std::memcpy(&count, agg, sizeof(count));
+      ++count;
+      std::memcpy(agg, &count, sizeof(count));
+      for (size_t c = 0; c < num_columns_; ++c) {
+        ColumnAggregate col;
+        std::memcpy(&col, agg + 8 + c * 24, sizeof(col));
+        col.Add(values[c]);
+        std::memcpy(agg + 8 + c * 24, &col, sizeof(col));
+      }
+      ++updated;
+    }
+    if (level >= cell::CellId::kMaxLevel) break;
+    const uint32_t child_block = ReadU32(offset);
+    if (child_block == 0) break;
+    const int k = leaf.Parent(level + 1).ChildPosition();
+    offset = child_block + static_cast<uint32_t>(k) * kNodeBytes;
+    if (ReadU32(offset) == 0 && ReadU32(offset + 4) == 0) break;  // n/a slot
+  }
+  return updated;
+}
+
+uint64_t AggregateTrie::CachedCount(const uint8_t* agg) {
+  uint64_t count;
+  std::memcpy(&count, agg, sizeof(count));
+  return count;
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "cell/cell_id.h"
+#include "core/aggregate.h"
+#include "core/geoblock.h"
+
+namespace geoblocks::core {
+
+/// The trie-like query cache of Section 3.6 (Figure 7): pre-aggregated
+/// answers for frequently queried cells, stored in one contiguous memory
+/// region ("in-place with the cell aggregates").
+///
+/// Layout of the arena:
+///   [8 reserved bytes][root node][4-node child blocks ...][aggregates ...]
+///
+/// A node is two 32-bit integers: the byte offset of its first child (the
+/// children of a node are always allocated as one contiguous block of four
+/// nodes) and the byte offset of its cached aggregate; 0 encodes "n/a".
+/// The root corresponds to the cell level that encloses the input data;
+/// each following trie level encodes exactly one cell level (fanout 4).
+///
+/// A cached aggregate is `8 + 24 * num_columns` bytes: a uint64 tuple count
+/// followed by (min, max, sum) doubles per column.
+class AggregateTrie {
+ public:
+  struct BuildResult {
+    size_t cached_cells = 0;  ///< cells whose aggregate was materialized
+    size_t bytes_used = 0;    ///< total arena bytes (nodes + aggregates)
+  };
+
+  AggregateTrie() = default;
+
+  /// Builds the cache for `block` from `ranked` candidate cells (most
+  /// relevant first, see QueryStats::RankedCells), inserting cells until
+  /// the next one would exceed `byte_budget`. When `previous` is given
+  /// (typically the trie being replaced), aggregates of cells it already
+  /// caches are copied instead of recomputed from the block — this makes
+  /// periodic cache refreshes cheap once the cached set stabilizes.
+  BuildResult Build(const GeoBlock& block,
+                    const std::vector<cell::CellId>& ranked,
+                    size_t byte_budget,
+                    const AggregateTrie* previous = nullptr);
+
+  bool empty() const { return num_cached_ == 0; }
+  size_t num_cached() const { return num_cached_; }
+  cell::CellId root_cell() const { return root_cell_; }
+  size_t MemoryBytes() const { return arena_.size(); }
+
+  /// Outcome of locating `cell`'s trie node (first two decision points of
+  /// Figure 8).
+  struct Probe {
+    bool node_exists = false;       ///< a node for the cell exists
+    uint32_t node_offset = 0;       ///< arena offset of that node
+    const uint8_t* agg = nullptr;   ///< cached aggregate, or null
+  };
+
+  Probe Lookup(cell::CellId cell) const;
+
+  /// Direct-children inspection for partially cached cells (Figure 8,
+  /// bottom-left branch). `exists` is true when the child has a node.
+  struct ChildInfo {
+    bool exists = false;
+    const uint8_t* agg = nullptr;
+  };
+
+  std::array<ChildInfo, 4> DirectChildren(uint32_t node_offset) const;
+
+  /// True when the exact cell has a cached aggregate.
+  bool IsCached(cell::CellId cell) const { return Lookup(cell).agg != nullptr; }
+
+  /// Folds a cached aggregate into an accumulator.
+  void Combine(const uint8_t* agg, Accumulator* acc) const;
+
+  /// Persists the trie (root cell, column count, raw arena) so a warmed
+  /// cache survives restarts, matching the paper's in-place storage of the
+  /// AggregateTrie next to the cell aggregates.
+  void WriteTo(std::ostream& out) const;
+  static AggregateTrie ReadFrom(std::istream& in);
+
+  /// Integrates a newly arriving tuple into every cached aggregate on the
+  /// path from the root to the tuple's cell (Section 5: "update all cached
+  /// parents of the grid cell ... in a single depth-first traversal").
+  /// `values` must hold one value per block column. Returns the number of
+  /// cached aggregates updated.
+  size_t ApplyTupleUpdate(cell::CellId leaf, const double* values);
+
+  /// Tuple count of a cached aggregate.
+  static uint64_t CachedCount(const uint8_t* agg);
+
+ private:
+  static constexpr uint32_t kRootOffset = 8;
+  static constexpr size_t kNodeBytes = 8;
+  static constexpr size_t kBlockBytes = 4 * kNodeBytes;
+
+  size_t AggBytes() const { return 8 + 24 * num_columns_; }
+
+  uint32_t ReadU32(size_t offset) const;
+  void WriteU32(size_t offset, uint32_t value);
+
+  std::vector<uint8_t> arena_;
+  cell::CellId root_cell_;
+  size_t num_columns_ = 0;
+  size_t num_cached_ = 0;
+};
+
+}  // namespace geoblocks::core

@@ -1,0 +1,102 @@
+#include "core/block_qc.h"
+
+namespace geoblocks::core {
+
+QueryResult GeoBlockQC::Select(const geo::Polygon& polygon,
+                               const AggregateRequest& request) {
+  const std::vector<cell::CellId> covering = block_->Cover(polygon);
+  return SelectCovering(covering, request);
+}
+
+void GeoBlockQC::SelectBase(cell::CellId qcell, Accumulator* acc,
+                            size_t* last_idx) const {
+  block_->CombineCell(qcell, acc, last_idx);
+}
+
+QueryResult GeoBlockQC::SelectCovering(
+    std::span<const cell::CellId> covering, const AggregateRequest& request) {
+  Accumulator acc(&request);
+  size_t last_idx = GeoBlock::kNoLastAgg;
+  for (cell::CellId qcell : covering) {
+    if (qcell.level() > block_->level()) {
+      qcell = qcell.Parent(block_->level());
+    }
+    if (!block_->MayOverlap(qcell)) continue;
+    // Track workload statistics for every query cell that intersects the
+    // GeoBlock (Section 3.6).
+    stats_.Record(qcell);
+
+    // Adapted query algorithm (Figure 8): probe the cache first and resort
+    // to the base algorithm only when necessary.
+    ++counters_.probes;
+    const AggregateTrie::Probe probe = trie_.Lookup(qcell);
+    if (!probe.node_exists) {
+      ++counters_.misses;
+      SelectBase(qcell, &acc, &last_idx);
+      continue;
+    }
+    if (probe.agg != nullptr) {
+      ++counters_.full_hits;
+      trie_.Combine(probe.agg, &acc);
+      continue;
+    }
+    // Node exists but the cell itself is not cached: at least one child at
+    // some level resides in the cache. Use cached *direct* children and the
+    // base algorithm for the rest.
+    const auto children = trie_.DirectChildren(probe.node_offset);
+    bool any_cached = false;
+    for (const auto& info : children) {
+      if (info.agg != nullptr) any_cached = true;
+    }
+    if (!any_cached || qcell.level() >= block_->level()) {
+      ++counters_.misses;
+      SelectBase(qcell, &acc, &last_idx);
+      continue;
+    }
+    ++counters_.partial_hits;
+    size_t child_last_idx = GeoBlock::kNoLastAgg;
+    for (int k = 0; k < 4; ++k) {
+      const cell::CellId child = qcell.Child(k);
+      if (children[k].agg != nullptr) {
+        trie_.Combine(children[k].agg, &acc);
+      } else {
+        SelectBase(child, &acc, &child_last_idx);
+      }
+    }
+  }
+
+  if (options_.rebuild_interval > 0 &&
+      ++queries_since_rebuild_ >= options_.rebuild_interval) {
+    RebuildCache();
+  }
+  return acc.Finish();
+}
+
+void GeoBlockQC::RebuildCache() {
+  queries_since_rebuild_ = 0;
+  AggregateTrie fresh;
+  // Reuse payloads of cells the current trie already caches; only newly
+  // promoted cells are aggregated from the block.
+  fresh.Build(*block_, stats_.RankedCells(), CacheBudgetBytes(), &trie_);
+  trie_ = std::move(fresh);
+}
+
+void GeoBlockQC::ApplyBatchUpdateToCache(
+    std::span<const GeoBlock::UpdateTuple> batch,
+    const GeoBlock::UpdateResult& block_result) {
+  size_t next_rejected = 0;
+  for (size_t b = 0; b < batch.size(); ++b) {
+    // Skip tuples the block rejected (new regions require a rebuild, which
+    // also rebuilds the cache).
+    if (next_rejected < block_result.rejected.size() &&
+        block_result.rejected[next_rejected] == b) {
+      ++next_rejected;
+      continue;
+    }
+    const cell::CellId leaf = cell::CellId::FromPoint(
+        block_->projection().ToUnit(batch[b].location));
+    trie_.ApplyTupleUpdate(leaf, batch[b].values.data());
+  }
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/aggregate_trie.h"
+#include "core/geoblock.h"
+#include "core/query_stats.h"
+
+namespace geoblocks::core {
+
+/// Counters describing how the cache served a sequence of queries
+/// (Figure 18 reports the hit rate).
+struct CacheCounters {
+  uint64_t probes = 0;        ///< covering cells probed against the trie
+  uint64_t full_hits = 0;     ///< cells answered entirely from the cache
+  uint64_t partial_hits = 0;  ///< cells answered from cached direct children
+  uint64_t misses = 0;        ///< cells answered by the base algorithm
+
+  double HitRate() const {
+    return probes == 0 ? 0.0 : static_cast<double>(full_hits) / probes;
+  }
+};
+
+/// GeoBlocks with query caching ("BlockQC" in the evaluation): wraps a
+/// GeoBlock with workload statistics and an AggregateTrie, and runs the
+/// adapted SELECT algorithm of Figure 8. COUNT queries bypass the cache, as
+/// their runtime is mostly independent of the cell level (Section 3.6).
+class GeoBlockQC {
+ public:
+  struct Options {
+    /// Aggregate threshold: cache budget as a fraction of the block's cell
+    /// aggregate storage (Section 4.3, Figure 18).
+    double threshold = 0.05;
+    /// Rebuild the trie from current statistics every this many SELECT
+    /// queries; 0 disables automatic rebuilds (use RebuildCache()).
+    size_t rebuild_interval = 256;
+  };
+
+  GeoBlockQC(const GeoBlock* block, const Options& options)
+      : block_(block), options_(options) {}
+
+  const GeoBlock& block() const { return *block_; }
+  const AggregateTrie& trie() const { return trie_; }
+  const QueryStats& stats() const { return stats_; }
+  const CacheCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = CacheCounters{}; }
+
+  /// Adapted SELECT query: probes the query cache per covering cell and
+  /// falls back to the base algorithm only when necessary.
+  QueryResult Select(const geo::Polygon& polygon,
+                     const AggregateRequest& request);
+  QueryResult SelectCovering(std::span<const cell::CellId> covering,
+                             const AggregateRequest& request);
+
+  /// COUNT uses the unmodified base algorithm (no noticeable speedup is
+  /// expected from caching, Section 3.6).
+  uint64_t Count(const geo::Polygon& polygon) const {
+    return block_->Count(polygon);
+  }
+
+  /// Ranks all recorded query cells and refills the AggregateTrie under the
+  /// configured budget.
+  void RebuildCache();
+
+  /// Update propagation for the adaptive version (Section 5): after tuples
+  /// have been applied to the (externally owned, mutable) GeoBlock with
+  /// GeoBlock::ApplyBatchUpdate, mirror the *applied* tuples into the
+  /// cached trie aggregates so cache answers stay identical to block
+  /// answers. Pass the same batch and the block's UpdateResult.
+  void ApplyBatchUpdateToCache(
+      std::span<const GeoBlock::UpdateTuple> batch,
+      const GeoBlock::UpdateResult& block_result);
+
+  /// Cache budget in bytes implied by the threshold.
+  size_t CacheBudgetBytes() const {
+    return static_cast<size_t>(options_.threshold *
+                               static_cast<double>(block_->CellAggregateBytes()));
+  }
+
+  size_t MemoryBytes() const {
+    return block_->MemoryBytes() + trie_.MemoryBytes();
+  }
+
+ private:
+  /// Base-algorithm path for a single covering cell.
+  void SelectBase(cell::CellId qcell, Accumulator* acc,
+                  size_t* last_idx) const;
+
+  const GeoBlock* block_;
+  Options options_;
+  QueryStats stats_;
+  AggregateTrie trie_;
+  CacheCounters counters_;
+  size_t queries_since_rebuild_ = 0;
+};
+
+}  // namespace geoblocks::core

@@ -1,0 +1,91 @@
+#include "core/catalog.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cell/coverer.h"
+
+namespace geoblocks::core {
+
+int LevelForErrorBound(double max_error_meters, double lat) {
+  for (int level = 0; level <= cell::CellId::kMaxLevel; ++level) {
+    if (cell::ApproxCellDiagonalMeters(level, lat) <= max_error_meters) {
+      return level;
+    }
+  }
+  return cell::CellId::kMaxLevel;
+}
+
+std::string BlockCatalog::KeyOf(const BlockOptions& options) {
+  // Canonical form: predicates sorted by (column, op, value) so that
+  // logically equal conjunctions share a block.
+  std::vector<storage::Predicate> predicates = options.filter.predicates();
+  std::sort(predicates.begin(), predicates.end(),
+            [](const storage::Predicate& a, const storage::Predicate& b) {
+              if (a.column != b.column) return a.column < b.column;
+              if (a.op != b.op) return a.op < b.op;
+              return a.value < b.value;
+            });
+  std::ostringstream key;
+  key.precision(17);
+  key << "L" << options.level;
+  for (const storage::Predicate& p : predicates) {
+    key << "|" << p.column << storage::ToString(p.op) << p.value;
+  }
+  return key.str();
+}
+
+const GeoBlock& BlockCatalog::GetOrBuild(const BlockOptions& options) {
+  const std::string key = KeyOf(options);
+  const auto it = blocks_.find(key);
+  if (it != blocks_.end()) return *it->second;
+  auto block = std::make_unique<GeoBlock>(GeoBlock::Build(*data_, options));
+  return *blocks_.emplace(key, std::move(block)).first->second;
+}
+
+const GeoBlock& BlockCatalog::ForErrorBound(const storage::Filter& filter,
+                                            double max_error_meters) {
+  const double lat = 0.5 * (data_->projection().domain().min.y +
+                            data_->projection().domain().max.y);
+  // Use a latitude representative of the data rather than the domain when
+  // the data occupies a small sub-rectangle (the usual case for the
+  // whole-earth projection).
+  const double data_lat =
+      data_->num_rows() > 0 ? data_->ys()[data_->num_rows() / 2] : lat;
+  const int required = LevelForErrorBound(max_error_meters, data_lat);
+
+  // Reuse any same-filter block at `required` or finer.
+  const GeoBlock* best = nullptr;
+  for (const auto& [key, block] : blocks_) {
+    if (block->level() < required) continue;
+    BlockOptions probe;
+    probe.level = block->level();
+    probe.filter = filter;
+    if (KeyOf(probe) == key) {
+      if (best == nullptr || block->level() < best->level()) {
+        best = block.get();
+      }
+    }
+  }
+  if (best != nullptr) return *best;
+  BlockOptions options;
+  options.level = required;
+  options.filter = filter;
+  return GetOrBuild(options);
+}
+
+bool BlockCatalog::Contains(const BlockOptions& options) const {
+  return blocks_.count(KeyOf(options)) > 0;
+}
+
+bool BlockCatalog::Drop(const BlockOptions& options) {
+  return blocks_.erase(KeyOf(options)) > 0;
+}
+
+size_t BlockCatalog::TotalMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, block] : blocks_) bytes += block->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/geoblock.h"
+
+namespace geoblocks::core {
+
+/// Chooses the coarsest block level whose cell diagonal (the worst-case
+/// spatial error, Section 3.2) does not exceed `max_error_meters` at
+/// latitude `lat`. This is how "the user can specify the error bound by
+/// choosing an appropriate cell level".
+int LevelForErrorBound(double max_error_meters, double lat = 40.7);
+
+/// A catalog of GeoBlocks over one extracted dataset — the materialized-
+/// view manager implied by the paper's pipeline (Figure 5): the extract
+/// phase runs once; blocks for new (filter, level) combinations are built
+/// incrementally from the sorted base data on demand and reused afterwards.
+class BlockCatalog {
+ public:
+  explicit BlockCatalog(const storage::SortedDataset* data) : data_(data) {}
+
+  const storage::SortedDataset& data() const { return *data_; }
+
+  /// Returns the block for the exact (filter, level) combination, building
+  /// it on first use (an *incremental* build in the paper's terms).
+  const GeoBlock& GetOrBuild(const BlockOptions& options);
+
+  /// Returns a block for `filter` satisfying the spatial error bound: an
+  /// existing block with the same filter and a level at least as fine is
+  /// reused (a finer grid only reduces the error); otherwise the block at
+  /// exactly the required level is built.
+  const GeoBlock& ForErrorBound(const storage::Filter& filter,
+                                double max_error_meters);
+
+  /// True when the combination is already materialized.
+  bool Contains(const BlockOptions& options) const;
+
+  /// Drops one materialized block; returns whether it existed.
+  bool Drop(const BlockOptions& options);
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Bytes across all materialized blocks (excluding the base data).
+  size_t TotalMemoryBytes() const;
+
+  /// Canonical key of a (filter, level) combination; exposed for tests.
+  static std::string KeyOf(const BlockOptions& options);
+
+ private:
+  const storage::SortedDataset* data_;
+  // Key -> block. unique_ptr keeps GeoBlock* stable across rehashing so
+  // callers (e.g. GeoBlockQC) can hold on to the returned reference.
+  std::map<std::string, std::unique_ptr<GeoBlock>> blocks_;
+};
+
+}  // namespace geoblocks::core

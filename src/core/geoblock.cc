@@ -1,0 +1,259 @@
+#include "core/geoblock.h"
+
+#include <algorithm>
+
+namespace geoblocks::core {
+
+GeoBlock GeoBlock::Build(const storage::SortedDataset& data,
+                         const BlockOptions& options) {
+  GeoBlock block;
+  block.data_ = &data;
+  block.projection_ = data.projection();
+  block.num_columns_ = data.num_columns();
+  block.header_.level = options.level;
+  block.header_.global = AggregateVector(data.num_columns());
+
+  const uint64_t lsb = cell::CellId::LsbForLevel(options.level);
+  const storage::Filter& filter = options.filter;
+  const auto value_of = [&](size_t row) {
+    return [&, row](int col) { return data.Value(row, col); };
+  };
+
+  uint64_t current_cell = 0;
+  uint32_t matched_so_far = 0;  // offset into the filtered tuple sequence
+  const size_t n = data.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    if (!filter.IsTrue() && !filter.Matches(value_of(row))) continue;
+    const uint64_t key = data.keys()[row];
+    const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
+    if (cell_id != current_cell) {
+      block.cells_.push_back(cell_id);
+      block.offsets_.push_back(matched_so_far);
+      block.counts_.push_back(0);
+      block.min_keys_.push_back(key);
+      block.max_keys_.push_back(key);
+      block.column_aggs_.resize(block.column_aggs_.size() +
+                                block.num_columns_);
+      current_cell = cell_id;
+    }
+    const size_t idx = block.cells_.size() - 1;
+    ++block.counts_[idx];
+    ++matched_so_far;
+    block.max_keys_[idx] = key;
+    ColumnAggregate* cols =
+        block.column_aggs_.data() + idx * block.num_columns_;
+    ++block.header_.global.count;
+    for (size_t c = 0; c < block.num_columns_; ++c) {
+      const double v = data.Value(row, c);
+      cols[c].Add(v);
+      block.header_.global.columns[c].Add(v);
+    }
+  }
+
+  if (!block.cells_.empty()) {
+    block.header_.min_cell = block.cells_.front();
+    block.header_.max_cell = block.cells_.back();
+  }
+  return block;
+}
+
+GeoBlock GeoBlock::CoarsenTo(int level) const {
+  GeoBlock block;
+  block.data_ = data_;
+  block.projection_ = projection_;
+  block.num_columns_ = num_columns_;
+  block.header_.level = level;
+  block.header_.global = header_.global;
+  if (level >= header_.level) {
+    // Refining requires the base data; same level is a copy.
+    if (level == header_.level) return *this;
+    return Build(*data_, BlockOptions{level, storage::Filter()});
+  }
+
+  const uint64_t lsb = cell::CellId::LsbForLevel(level);
+  uint64_t current_cell = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const uint64_t parent = (cells_[i] & (~lsb + 1)) | lsb;
+    if (parent != current_cell) {
+      block.cells_.push_back(parent);
+      block.offsets_.push_back(offsets_[i]);
+      block.counts_.push_back(0);
+      block.min_keys_.push_back(min_keys_[i]);
+      block.max_keys_.push_back(max_keys_[i]);
+      block.column_aggs_.resize(block.column_aggs_.size() + num_columns_);
+      current_cell = parent;
+    }
+    const size_t idx = block.cells_.size() - 1;
+    block.counts_[idx] += counts_[i];
+    block.max_keys_[idx] = max_keys_[i];
+    ColumnAggregate* dst = block.column_aggs_.data() + idx * num_columns_;
+    const ColumnAggregate* src = cell_columns(i);
+    for (size_t c = 0; c < num_columns_; ++c) dst[c].Merge(src[c]);
+  }
+  if (!block.cells_.empty()) {
+    block.header_.min_cell = block.cells_.front();
+    block.header_.max_cell = block.cells_.back();
+  }
+  return block;
+}
+
+std::vector<cell::CellId> GeoBlock::Cover(const geo::Polygon& polygon) const {
+  const geo::Polygon unit = projection_.ToUnit(polygon);
+  const cell::PolygonRegion region(&unit);
+  return cell::GetCoveringCells(region, QueryCovererOptions());
+}
+
+size_t GeoBlock::SeekFirst(uint64_t key, size_t last_idx) const {
+  // Listing 1: after a match, first try the successor of the last combined
+  // aggregate before falling back to binary search.
+  if (last_idx != kNoLastAgg) {
+    const size_t next = last_idx + 1;
+    if (next >= cells_.size()) return cells_.size();
+    if (cells_[next] >= key && (next == 0 || cells_[next - 1] < key)) {
+      // The successor is exactly the first aggregate >= key only when the
+      // previous one is below; since query cells arrive in ascending order
+      // and last_idx was consumed, cells_[last_idx] < key always holds.
+      return next;
+    }
+    return static_cast<size_t>(
+        std::lower_bound(cells_.begin() + next, cells_.end(), key) -
+        cells_.begin());
+  }
+  return static_cast<size_t>(
+      std::lower_bound(cells_.begin(), cells_.end(), key) - cells_.begin());
+}
+
+QueryResult GeoBlock::Select(const geo::Polygon& polygon,
+                             const AggregateRequest& request) const {
+  const std::vector<cell::CellId> covering = Cover(polygon);
+  return SelectCovering(covering, request);
+}
+
+void GeoBlock::CombineCell(cell::CellId qcell, Accumulator* acc,
+                           size_t* last_idx) const {
+  // Covering cells are never finer than the grid; clamp defensively.
+  if (qcell.level() > header_.level) qcell = qcell.Parent(header_.level);
+  // Prune query cells outside [minCell, maxCell] (Listing 1, lines 5-6).
+  if (!MayOverlap(qcell)) return;
+  const uint64_t first_child = qcell.ChildBegin(header_.level).id();
+  const uint64_t last_child = qcell.ChildLast(header_.level).id();
+  size_t idx = SeekFirst(first_child, *last_idx);
+  // Contiguous scan over the sorted cell aggregates (Listing 1, 25-28).
+  while (idx < cells_.size() && cells_[idx] <= last_child) {
+    acc->AddAggregate(counts_[idx], cell_columns(idx));
+    *last_idx = idx;
+    ++idx;
+  }
+}
+
+QueryResult GeoBlock::SelectCovering(std::span<const cell::CellId> covering,
+                                     const AggregateRequest& request) const {
+  Accumulator acc(&request);
+  size_t last_idx = kNoLastAgg;
+  for (const cell::CellId& qcell : covering) {
+    CombineCell(qcell, &acc, &last_idx);
+  }
+  return acc.Finish();
+}
+
+uint64_t GeoBlock::Count(const geo::Polygon& polygon) const {
+  const std::vector<cell::CellId> covering = Cover(polygon);
+  return CountCovering(covering);
+}
+
+uint64_t GeoBlock::CountCovering(
+    std::span<const cell::CellId> covering) const {
+  uint64_t result = 0;
+  size_t hint = 0;
+  for (cell::CellId qcell : covering) {
+    if (qcell.level() > header_.level) qcell = qcell.Parent(header_.level);
+    if (!MayOverlap(qcell)) continue;
+    const uint64_t f_child = qcell.ChildBegin(header_.level).id();
+    const uint64_t l_child = qcell.ChildLast(header_.level).id();
+    // Locate the first and last contained aggregate (Listing 2, lines 8-9);
+    // the second search starts from the first, and both reuse the position
+    // of the previous query cell as a hint (query cells ascend).
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(cells_.begin() + hint, cells_.end(), f_child) -
+        cells_.begin());
+    const size_t last_plus_one = static_cast<size_t>(
+        std::upper_bound(cells_.begin() + first, cells_.end(), l_child) -
+        cells_.begin());
+    hint = first;
+    if (last_plus_one <= first) continue;
+    const size_t last = last_plus_one - 1;
+    // Range-sum over offsets (Listing 2, line 11).
+    result += static_cast<uint64_t>(offsets_[last]) + counts_[last] -
+              offsets_[first];
+  }
+  return result;
+}
+
+AggregateVector GeoBlock::AggregateForCell(cell::CellId cell) const {
+  AggregateVector agg(num_columns_);
+  if (cell.level() > header_.level) cell = cell.Parent(header_.level);
+  if (!MayOverlap(cell)) return agg;
+  const uint64_t first_child = cell.ChildBegin(header_.level).id();
+  const uint64_t last_child = cell.ChildLast(header_.level).id();
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(cells_.begin(), cells_.end(), first_child) -
+      cells_.begin());
+  while (idx < cells_.size() && cells_[idx] <= last_child) {
+    agg.count += counts_[idx];
+    const ColumnAggregate* cols = cell_columns(idx);
+    for (size_t c = 0; c < num_columns_; ++c) agg.columns[c].Merge(cols[c]);
+    ++idx;
+  }
+  return agg;
+}
+
+GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
+    std::span<const UpdateTuple> batch) {
+  UpdateResult result;
+  const uint64_t lsb = cell::CellId::LsbForLevel(header_.level);
+  for (size_t b = 0; b < batch.size(); ++b) {
+    const UpdateTuple& tuple = batch[b];
+    const uint64_t key =
+        cell::CellId::FromPoint(projection_.ToUnit(tuple.location))
+            .id();
+    const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
+    const auto it = std::lower_bound(cells_.begin(), cells_.end(), cell_id);
+    if (it == cells_.end() || *it != cell_id) {
+      // New, previously unaggregated region: the sorted layout has no slot
+      // for it (Section 5 — requires a rebuild, ideally batched).
+      result.rejected.push_back(b);
+      continue;
+    }
+    const size_t idx = static_cast<size_t>(it - cells_.begin());
+    ++counts_[idx];
+    min_keys_[idx] = std::min(min_keys_[idx], key);
+    max_keys_[idx] = std::max(max_keys_[idx], key);
+    ColumnAggregate* cols = column_aggs_.data() + idx * num_columns_;
+    ++header_.global.count;
+    for (size_t c = 0; c < num_columns_; ++c) {
+      cols[c].Add(tuple.values[c]);
+      header_.global.columns[c].Add(tuple.values[c]);
+    }
+    ++result.applied;
+  }
+  // Restore the prefix-sum invariant of the offsets in one pass.
+  uint32_t running = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    offsets_[i] = running;
+    running += counts_[i];
+  }
+  return result;
+}
+
+size_t GeoBlock::CellAggregateBytes() const {
+  return cells_.size() * (sizeof(uint64_t) * 3 + sizeof(uint32_t) * 2) +
+         column_aggs_.size() * sizeof(ColumnAggregate);
+}
+
+size_t GeoBlock::MemoryBytes() const {
+  return sizeof(BlockHeader) +
+         header_.global.columns.size() * sizeof(ColumnAggregate) +
+         CellAggregateBytes();
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "cell/cell_id.h"
+#include "cell/coverer.h"
+#include "core/aggregate.h"
+#include "geo/polygon.h"
+#include "geo/projection.h"
+#include "storage/filter.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::core {
+
+/// Build-time configuration of a GeoBlock.
+struct BlockOptions {
+  /// Grid granularity: the level of the block's cells. Determines the
+  /// spatial error bound (the cell diagonal, Section 3.2).
+  int level = 17;
+  /// Filter predicates applied during the build pass (Section 3.3).
+  storage::Filter filter;
+};
+
+/// Global header of a GeoBlock (Section 3.4): block-wide aggregate and the
+/// metadata required for the constant-time overlap pre-check.
+struct BlockHeader {
+  int level = 0;
+  uint64_t min_cell = 0;  ///< smallest grid-cell id in the block
+  uint64_t max_cell = 0;  ///< largest grid-cell id in the block
+  AggregateVector global; ///< all cell aggregates combined
+};
+
+/// A GeoBlock: a materialized view over geospatial point data that stores
+/// one *cell aggregate* per non-empty grid cell, sorted by spatial key
+/// (Section 3.4), and answers spatial aggregation queries over arbitrary
+/// polygons from those aggregates alone (Section 3.5).
+///
+/// Cell aggregates are stored column-wise: parallel arrays of cell id, base
+/// data offset, tuple count, min/max contained leaf key, and a flat array
+/// of per-column min/max/sum.
+class GeoBlock {
+ public:
+  GeoBlock() = default;
+
+  /// Builds a GeoBlock from sorted base data in a single linear pass
+  /// (the *build* phase of Figure 5).
+  static GeoBlock Build(const storage::SortedDataset& data,
+                        const BlockOptions& options);
+
+  /// Derives a coarser block from this one without re-scanning the base
+  /// data (Section 3.4, "Aggregate Granularity").
+  GeoBlock CoarsenTo(int level) const;
+
+  const BlockHeader& header() const { return header_; }
+  int level() const { return header_.level; }
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_columns() const { return num_columns_; }
+  const storage::SortedDataset* dataset() const { return data_; }
+  /// Projection used to map query polygons onto the unit square (copied
+  /// from the dataset at build time so a deserialized block is
+  /// self-contained).
+  const geo::Projection& projection() const { return projection_; }
+
+  /// Covering options a query against this block must use: covering cells
+  /// are never finer than the block's grid (Section 3.5).
+  cell::CovererOptions QueryCovererOptions() const {
+    cell::CovererOptions o;
+    o.max_level = header_.level;
+    return o;
+  }
+
+  /// Computes the covering of a (lat/lng) query polygon for this block.
+  std::vector<cell::CellId> Cover(const geo::Polygon& polygon) const;
+
+  /// SELECT query over an arbitrary polygon (Listing 1): covers the polygon
+  /// and combines the contained cell aggregates.
+  QueryResult Select(const geo::Polygon& polygon,
+                     const AggregateRequest& request) const;
+
+  /// SELECT over a pre-computed covering.
+  QueryResult SelectCovering(std::span<const cell::CellId> covering,
+                             const AggregateRequest& request) const;
+
+  /// Inner loop of the SELECT algorithm for one covering cell: locates and
+  /// combines this cell's contained aggregates into `acc`. `last_idx`
+  /// carries the lastAgg position across cells (pass kNoLastAgg initially).
+  static constexpr size_t kNoLastAgg = static_cast<size_t>(-1);
+  void CombineCell(cell::CellId qcell, Accumulator* acc,
+                   size_t* last_idx) const;
+
+  /// Specialized COUNT query (Listing 2): per covering cell, a range sum
+  /// over only the first and last contained cell aggregate.
+  uint64_t Count(const geo::Polygon& polygon) const;
+  uint64_t CountCovering(std::span<const cell::CellId> covering) const;
+
+  /// Full aggregate (count + every column) of all grid cells contained in
+  /// `cell`; used to materialize trie cache entries.
+  AggregateVector AggregateForCell(cell::CellId cell) const;
+
+  /// Constant-time pre-check: can `cell` overlap this block at all?
+  bool MayOverlap(cell::CellId cell) const {
+    return !cells_.empty() && cell.RangeMax().id() >= header_.min_cell &&
+           cell.RangeMin().id() <= header_.max_cell;
+  }
+
+  /// One newly arriving tuple (Section 5, Updates).
+  struct UpdateTuple {
+    geo::Point location;          ///< lat/lng of the new point
+    std::vector<double> values;   ///< one value per schema column
+  };
+
+  /// Outcome of a batch update.
+  struct UpdateResult {
+    size_t applied = 0;                 ///< tuples merged into existing cells
+    std::vector<size_t> rejected;       ///< batch indices for new, previously
+                                        ///< unaggregated regions (the caller
+                                        ///< must rebuild to cover them)
+  };
+
+  /// Integrates newly arriving tuples (Section 5): a tuple whose grid cell
+  /// already has a cell aggregate updates that aggregate (and the global
+  /// header); tuples for new regions are rejected, as covering them
+  /// requires rebuilding the sorted aggregate layout. Offsets are fixed in
+  /// a single pass after the batch, so COUNT range sums stay exact.
+  ///
+  /// Note: updates apply to the materialized view only; the block
+  /// intentionally diverges from its (historical) base data, mirroring the
+  /// paper's design where updates patch the aggregate layout.
+  UpdateResult ApplyBatchUpdate(std::span<const UpdateTuple> batch);
+
+  /// Bytes used by the cell aggregates (the reference size for the cache's
+  /// aggregate threshold, Section 4.3).
+  size_t CellAggregateBytes() const;
+
+  /// Total bytes of the block (header + cell aggregates).
+  size_t MemoryBytes() const;
+
+  /// Persists the block in a self-contained binary format (GeoBlocks are
+  /// materialized views; storing them avoids re-extracting on restart).
+  /// The serialized form does not reference the base data, so a loaded
+  /// block answers SELECT/COUNT queries but cannot be refined to a finer
+  /// level or updated against filters that need raw rows.
+  void WriteTo(std::ostream& out) const;
+
+  /// Loads a block written by WriteTo. Throws std::runtime_error on a
+  /// malformed stream.
+  static GeoBlock ReadFrom(std::istream& in);
+
+  // Raw cell-aggregate accessors (used by tests and the trie builder).
+  const std::vector<uint64_t>& cells() const { return cells_; }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+  const std::vector<uint32_t>& counts() const { return counts_; }
+  const ColumnAggregate* cell_columns(size_t idx) const {
+    return column_aggs_.data() + idx * num_columns_;
+  }
+  uint64_t cell_min_key(size_t idx) const { return min_keys_[idx]; }
+  uint64_t cell_max_key(size_t idx) const { return max_keys_[idx]; }
+
+ private:
+  /// Locates the first cell-aggregate index with cell id >= key, using the
+  /// lastAgg successor shortcut from Listing 1 when possible.
+  size_t SeekFirst(uint64_t key, size_t last_idx) const;
+
+  const storage::SortedDataset* data_ = nullptr;
+  geo::Projection projection_;
+  BlockHeader header_;
+  size_t num_columns_ = 0;
+
+  std::vector<uint64_t> cells_;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> counts_;
+  std::vector<uint64_t> min_keys_;
+  std::vector<uint64_t> max_keys_;
+  std::vector<ColumnAggregate> column_aggs_;  // num_cells * num_columns
+};
+
+}  // namespace geoblocks::core

@@ -1,0 +1,30 @@
+#include "core/query_stats.h"
+
+#include <algorithm>
+
+namespace geoblocks::core {
+
+std::vector<cell::CellId> QueryStats::RankedCells() const {
+  struct Entry {
+    cell::CellId cell;
+    uint32_t score;
+    int level;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(hits_.size());
+  for (const auto& [id, _] : hits_) {
+    const cell::CellId c(id);
+    entries.push_back({c, Score(c), c.level()});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.level != b.level) return a.level < b.level;
+    return a.cell < b.cell;
+  });
+  std::vector<cell::CellId> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.cell);
+  return out;
+}
+
+}  // namespace geoblocks::core

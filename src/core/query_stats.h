@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/cell_id.h"
+
+namespace geoblocks::core {
+
+/// Workload statistics used to decide which areas are worth caching
+/// (Section 3.6, "Determining Relevant Aggregates"): for each query cell
+/// that intersects the GeoBlock we track how often it was queried, in a
+/// trie-like keyed structure (cell ids *are* trie paths).
+class QueryStats {
+ public:
+  /// Records one occurrence of a query (covering) cell.
+  void Record(cell::CellId cell) { ++hits_[cell.id()]; }
+
+  uint32_t HitsFor(cell::CellId cell) const {
+    const auto it = hits_.find(cell.id());
+    return it == hits_.end() ? 0 : it->second;
+  }
+
+  /// Score of a cell: its own hits plus its parent's hits — child cells can
+  /// be used to speed up queries for parent cells.
+  uint32_t Score(cell::CellId cell) const {
+    uint32_t s = HitsFor(cell);
+    if (cell.level() > 0) s += HitsFor(cell.Parent());
+    return s;
+  }
+
+  /// All recorded cells ordered by descending score, then ascending level
+  /// (coarser first), then ascending spatial key — the deterministic
+  /// ranking of Section 3.6.
+  std::vector<cell::CellId> RankedCells() const;
+
+  size_t num_distinct_cells() const { return hits_.size(); }
+  void Clear() { hits_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> hits_;
+};
+
+}  // namespace geoblocks::core

@@ -1,0 +1,151 @@
+// Binary (de)serialization of GeoBlocks and AggregateTries. The format is
+// a simple tagged little-endian layout:
+//
+//   GeoBlock:       "GBLK" u32-version | level i32 | ncols u64 |
+//                   projection domain (4 doubles) | min/max cell u64 |
+//                   global aggregate | ncells u64 | parallel arrays
+//   AggregateTrie:  "GTRI" u32-version | root cell u64 | ncols u64 |
+//                   num_cached u64 | arena size u64 | arena bytes
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/aggregate_trie.h"
+#include "core/geoblock.h"
+
+namespace geoblocks::core {
+
+namespace {
+
+constexpr uint32_t kBlockMagic = 0x4B4C4247;  // "GBLK"
+constexpr uint32_t kTrieMagic = 0x49525447;   // "GTRI"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("geoblocks: truncated stream");
+  return value;
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> ReadVector(std::istream& in) {
+  const uint64_t size = ReadPod<uint64_t>(in);
+  // Guard against absurd sizes from corrupted streams (16 GiB cap).
+  if (size * sizeof(T) > (uint64_t{1} << 34)) {
+    throw std::runtime_error("geoblocks: implausible vector size");
+  }
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) throw std::runtime_error("geoblocks: truncated stream");
+  return v;
+}
+
+void WriteAggregateVector(std::ostream& out, const AggregateVector& agg) {
+  WritePod<uint64_t>(out, agg.count);
+  WriteVector(out, agg.columns);
+}
+
+AggregateVector ReadAggregateVector(std::istream& in) {
+  AggregateVector agg;
+  agg.count = ReadPod<uint64_t>(in);
+  agg.columns = ReadVector<ColumnAggregate>(in);
+  return agg;
+}
+
+}  // namespace
+
+void GeoBlock::WriteTo(std::ostream& out) const {
+  WritePod(out, kBlockMagic);
+  WritePod(out, kVersion);
+  WritePod<int32_t>(out, header_.level);
+  WritePod<uint64_t>(out, num_columns_);
+  const geo::Rect domain = projection_.domain();
+  WritePod(out, domain.min.x);
+  WritePod(out, domain.min.y);
+  WritePod(out, domain.max.x);
+  WritePod(out, domain.max.y);
+  WritePod<uint64_t>(out, header_.min_cell);
+  WritePod<uint64_t>(out, header_.max_cell);
+  WriteAggregateVector(out, header_.global);
+  WriteVector(out, cells_);
+  WriteVector(out, offsets_);
+  WriteVector(out, counts_);
+  WriteVector(out, min_keys_);
+  WriteVector(out, max_keys_);
+  WriteVector(out, column_aggs_);
+}
+
+GeoBlock GeoBlock::ReadFrom(std::istream& in) {
+  if (ReadPod<uint32_t>(in) != kBlockMagic) {
+    throw std::runtime_error("geoblocks: not a GeoBlock stream");
+  }
+  if (ReadPod<uint32_t>(in) != kVersion) {
+    throw std::runtime_error("geoblocks: unsupported GeoBlock version");
+  }
+  GeoBlock block;
+  block.header_.level = ReadPod<int32_t>(in);
+  block.num_columns_ = ReadPod<uint64_t>(in);
+  geo::Rect domain;
+  domain.min.x = ReadPod<double>(in);
+  domain.min.y = ReadPod<double>(in);
+  domain.max.x = ReadPod<double>(in);
+  domain.max.y = ReadPod<double>(in);
+  block.projection_ = geo::Projection(domain);
+  block.header_.min_cell = ReadPod<uint64_t>(in);
+  block.header_.max_cell = ReadPod<uint64_t>(in);
+  block.header_.global = ReadAggregateVector(in);
+  block.cells_ = ReadVector<uint64_t>(in);
+  block.offsets_ = ReadVector<uint32_t>(in);
+  block.counts_ = ReadVector<uint32_t>(in);
+  block.min_keys_ = ReadVector<uint64_t>(in);
+  block.max_keys_ = ReadVector<uint64_t>(in);
+  block.column_aggs_ = ReadVector<ColumnAggregate>(in);
+  const size_t n = block.cells_.size();
+  if (block.offsets_.size() != n || block.counts_.size() != n ||
+      block.min_keys_.size() != n || block.max_keys_.size() != n ||
+      block.column_aggs_.size() != n * block.num_columns_) {
+    throw std::runtime_error("geoblocks: inconsistent GeoBlock arrays");
+  }
+  return block;
+}
+
+void AggregateTrie::WriteTo(std::ostream& out) const {
+  WritePod(out, kTrieMagic);
+  WritePod(out, kVersion);
+  WritePod<uint64_t>(out, root_cell_.id());
+  WritePod<uint64_t>(out, num_columns_);
+  WritePod<uint64_t>(out, num_cached_);
+  WriteVector(out, arena_);
+}
+
+AggregateTrie AggregateTrie::ReadFrom(std::istream& in) {
+  if (ReadPod<uint32_t>(in) != kTrieMagic) {
+    throw std::runtime_error("geoblocks: not an AggregateTrie stream");
+  }
+  if (ReadPod<uint32_t>(in) != kVersion) {
+    throw std::runtime_error("geoblocks: unsupported AggregateTrie version");
+  }
+  AggregateTrie trie;
+  trie.root_cell_ = cell::CellId(ReadPod<uint64_t>(in));
+  trie.num_columns_ = ReadPod<uint64_t>(in);
+  trie.num_cached_ = ReadPod<uint64_t>(in);
+  trie.arena_ = ReadVector<uint8_t>(in);
+  return trie;
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <ostream>
+
+#include "geo/point.h"
+
+namespace geoblocks::geo {
+
+/// A closed axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+///
+/// An empty rectangle is represented by min > max in at least one dimension;
+/// `Rect::Empty()` produces the canonical empty rectangle, which behaves as
+/// the identity for `Union` and annihilator for `Intersects`.
+struct Rect {
+  Point min{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  Point max{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+  static constexpr Rect Empty() { return Rect{}; }
+
+  static Rect FromPoints(const Point& a, const Point& b) {
+    return Rect{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  Point Center() const {
+    return {0.5 * (min.x + max.x), 0.5 * (min.y + max.y)};
+  }
+  /// Length of the diagonal; the error bound of a cell covering whose cells
+  /// all have this rectangle's size (cf. paper Section 3.2).
+  double Diagonal() const {
+    return IsEmpty() ? 0.0 : min.DistanceTo(max);
+  }
+
+  /// Corners in counter-clockwise order starting at min.
+  std::array<Point, 4> Corners() const {
+    return {Point{min.x, min.y}, Point{max.x, min.y}, Point{max.x, max.y},
+            Point{min.x, max.y}};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  bool Contains(const Rect& o) const {
+    if (o.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    return o.min.x >= min.x && o.max.x <= max.x && o.min.y >= min.y &&
+           o.max.y <= max.y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return o.min.x <= max.x && o.max.x >= min.x && o.min.y <= max.y &&
+           o.max.y >= min.y;
+  }
+
+  /// Smallest rectangle containing both operands.
+  Rect Union(const Rect& o) const {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return Rect{{std::min(min.x, o.min.x), std::min(min.y, o.min.y)},
+                {std::max(max.x, o.max.x), std::max(max.y, o.max.y)}};
+  }
+
+  /// Largest rectangle contained in both operands (empty when disjoint).
+  Rect Intersection(const Rect& o) const {
+    Rect r{{std::max(min.x, o.min.x), std::max(min.y, o.min.y)},
+           {std::min(max.x, o.max.x), std::min(max.y, o.max.y)}};
+    if (r.IsEmpty()) return Empty();
+    return r;
+  }
+
+  /// Expands (or shrinks, for negative margin) by `margin` on every side.
+  Rect Expanded(double margin) const {
+    if (IsEmpty()) return Empty();
+    return Rect{{min.x - margin, min.y - margin},
+                {max.x + margin, max.y + margin}};
+  }
+
+  /// Grows the rectangle to contain `p`.
+  void AddPoint(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    if (a.IsEmpty() && b.IsEmpty()) return true;
+    return a.min == b.min && a.max == b.max;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.min << " .. " << r.max << "]";
+}
+
+}  // namespace geoblocks::geo

@@ -1,0 +1,47 @@
+#include "geo/segment.h"
+
+#include <algorithm>
+
+namespace geoblocks::geo {
+
+namespace {
+
+int Sign(double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+}  // namespace
+
+bool OnSegment(const Segment& s, const Point& p) {
+  if (Cross(s.a, s.b, p) != 0.0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) && p.x <= std::max(s.a.x, s.b.x) &&
+         p.y >= std::min(s.a.y, s.b.y) && p.y <= std::max(s.a.y, s.b.y);
+}
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
+  const int d1 = Sign(Cross(s2.a, s2.b, s1.a));
+  const int d2 = Sign(Cross(s2.a, s2.b, s1.b));
+  const int d3 = Sign(Cross(s1.a, s1.b, s2.a));
+  const int d4 = Sign(Cross(s1.a, s1.b, s2.b));
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(s2, s1.a)) return true;
+  if (d2 == 0 && OnSegment(s2, s1.b)) return true;
+  if (d3 == 0 && OnSegment(s1, s2.a)) return true;
+  if (d4 == 0 && OnSegment(s1, s2.b)) return true;
+  return false;
+}
+
+bool SegmentIntersectsRect(const Segment& s, const Rect& r) {
+  if (r.IsEmpty()) return false;
+  if (r.Contains(s.a) || r.Contains(s.b)) return true;
+  if (!r.Intersects(s.Bounds())) return false;
+  const auto corners = r.Corners();
+  for (int i = 0; i < 4; ++i) {
+    const Segment edge{corners[i], corners[(i + 1) % 4]};
+    if (SegmentsIntersect(s, edge)) return true;
+  }
+  return false;
+}
+
+}  // namespace geoblocks::geo

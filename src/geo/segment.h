@@ -1,0 +1,28 @@
+#pragma once
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace geoblocks::geo {
+
+/// A line segment between two endpoints.
+struct Segment {
+  Point a;
+  Point b;
+
+  Rect Bounds() const { return Rect::FromPoints(a, b); }
+};
+
+/// True when `p` lies on segment `s` (within exact arithmetic of the cross
+/// product; collinearity is tested exactly for the coordinates given).
+bool OnSegment(const Segment& s, const Point& p);
+
+/// True when the two closed segments share at least one point. Handles all
+/// degenerate cases (collinear overlap, shared endpoints, zero-length
+/// segments).
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// True when the closed segment intersects the closed rectangle.
+bool SegmentIntersectsRect(const Segment& s, const Rect& r);
+
+}  // namespace geoblocks::geo

@@ -1,0 +1,385 @@
+#include "index/artree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cell/coverer.h"
+
+namespace geoblocks::index {
+
+struct ARTree::Node {
+  geo::Rect mbr = geo::Rect::Empty();
+  core::AggregateVector agg;
+  Node* parent = nullptr;
+  bool leaf = true;
+
+  struct PointEntry {
+    geo::Point pt;
+    uint32_t row;
+  };
+  std::vector<Node*> children;     // internal nodes
+  std::vector<PointEntry> points;  // leaf nodes
+
+  explicit Node(size_t num_columns) : agg(num_columns) {}
+  size_t num_entries() const {
+    return leaf ? points.size() : children.size();
+  }
+};
+
+namespace {
+
+double OverlapArea(const geo::Rect& a, const geo::Rect& b) {
+  return a.Intersection(b).Area();
+}
+
+double Margin(const geo::Rect& r) {
+  return r.IsEmpty() ? 0.0 : 2.0 * (r.Width() + r.Height());
+}
+
+}  // namespace
+
+ARTree::ARTree(const storage::SortedDataset* data) : data_(data) {}
+
+ARTree::~ARTree() { DestroyNode(root_); }
+
+ARTree::ARTree(ARTree&& o) noexcept
+    : data_(o.data_), root_(o.root_), size_(o.size_) {
+  o.root_ = nullptr;
+  o.size_ = 0;
+}
+
+ARTree& ARTree::operator=(ARTree&& o) noexcept {
+  if (this != &o) {
+    DestroyNode(root_);
+    data_ = o.data_;
+    root_ = o.root_;
+    size_ = o.size_;
+    o.root_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+void ARTree::DestroyNode(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) DestroyNode(child);
+  delete node;
+}
+
+ARTree ARTree::Build(const storage::SortedDataset* data) {
+  ARTree tree(data);
+  const geo::Projection& proj = data->projection();
+  // The paper builds the aR-tree over the *raw* (unsorted) data. Our base
+  // data is Hilbert-sorted; inserting in that order degenerates the R*
+  // heuristics into heavily overlapping nodes. A deterministic shuffle
+  // restores the unsorted insertion order the baseline assumes.
+  std::vector<uint32_t> order(data->num_rows());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (size_t i = order.size(); i > 1; --i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    std::swap(order[i - 1], order[state % i]);
+  }
+  for (uint32_t row : order) {
+    tree.Insert(proj.ToUnit(data->Location(row)), row);
+  }
+  return tree;
+}
+
+ARTree::Node* ARTree::ChooseSubtree(Node* node, const geo::Rect& rect) const {
+  // R* heuristic: when the children are leaves, minimize the *overlap*
+  // enlargement; otherwise minimize the area enlargement. Ties fall back to
+  // the smaller area.
+  const bool children_are_leaves = node->children.front()->leaf;
+  Node* best = nullptr;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (Node* child : node->children) {
+    const geo::Rect enlarged = child->mbr.Union(rect);
+    const double area = child->mbr.Area();
+    const double area_enlargement = enlarged.Area() - area;
+    double primary;
+    if (children_are_leaves) {
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (const Node* other : node->children) {
+        if (other == child) continue;
+        overlap_before += OverlapArea(child->mbr, other->mbr);
+        overlap_after += OverlapArea(enlarged, other->mbr);
+      }
+      primary = overlap_after - overlap_before;
+    } else {
+      primary = area_enlargement;
+    }
+    const double secondary = children_are_leaves ? area_enlargement : area;
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary &&
+         area < best_area)) {
+      best = child;
+      best_primary = primary;
+      best_secondary = secondary;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+void ARTree::Insert(const geo::Point& unit_point, uint32_t row) {
+  const size_t ncols = data_->num_columns();
+  if (root_ == nullptr) {
+    root_ = new Node(ncols);
+  }
+  Node* node = root_;
+  while (!node->leaf) {
+    node = ChooseSubtree(node, geo::Rect::FromPoints(unit_point, unit_point));
+  }
+  node->points.push_back({unit_point, row});
+  // Update MBRs and aggregates along the path; both are monotone under
+  // insertion.
+  for (Node* up = node; up != nullptr; up = up->parent) {
+    up->mbr.AddPoint(unit_point);
+    ++up->agg.count;
+    for (size_t c = 0; c < ncols; ++c) {
+      up->agg.columns[c].Add(data_->Value(row, c));
+    }
+  }
+  ++size_;
+  if (node->points.size() > kMaxEntries) SplitNode(node);
+}
+
+namespace {
+
+struct SplitEntry {
+  geo::Rect rect;
+  size_t index;
+};
+
+/// Evaluates R* split distributions over one sorted order: returns the
+/// total margin and remembers the best (min overlap, then min area) split
+/// position.
+struct DistributionResult {
+  double margin_sum = 0.0;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  size_t best_split = 0;
+};
+
+DistributionResult EvaluateOrder(const std::vector<SplitEntry>& entries,
+                                 size_t min_entries) {
+  const size_t total = entries.size();
+  std::vector<geo::Rect> prefix(total + 1, geo::Rect::Empty());
+  std::vector<geo::Rect> suffix(total + 1, geo::Rect::Empty());
+  for (size_t i = 0; i < total; ++i) {
+    prefix[i + 1] = prefix[i].Union(entries[i].rect);
+    suffix[total - 1 - i] = suffix[total - i].Union(entries[total - 1 - i].rect);
+  }
+  DistributionResult result;
+  for (size_t k = min_entries; k + min_entries <= total; ++k) {
+    const geo::Rect& left = prefix[k];
+    const geo::Rect& right = suffix[k];
+    result.margin_sum += Margin(left) + Margin(right);
+    const double overlap = OverlapArea(left, right);
+    const double area = left.Area() + right.Area();
+    if (overlap < result.best_overlap ||
+        (overlap == result.best_overlap && area < result.best_area)) {
+      result.best_overlap = overlap;
+      result.best_area = area;
+      result.best_split = k;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+void ARTree::SplitNode(Node* node) {
+  const size_t ncols = data_->num_columns();
+
+  // Gather the entries with their rectangles.
+  std::vector<SplitEntry> entries;
+  const size_t total = node->num_entries();
+  entries.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const geo::Rect r =
+        node->leaf
+            ? geo::Rect::FromPoints(node->points[i].pt, node->points[i].pt)
+            : node->children[i]->mbr;
+    entries.push_back({r, i});
+  }
+
+  // R* axis choice: the axis with the minimal margin sum over all
+  // candidate distributions of both sort orders (by lower and by upper
+  // coordinate).
+  auto sorted_by = [&](int axis, bool by_upper) {
+    std::vector<SplitEntry> v = entries;
+    std::sort(v.begin(), v.end(), [&](const SplitEntry& a, const SplitEntry& b) {
+      const double ka = axis == 0 ? (by_upper ? a.rect.max.x : a.rect.min.x)
+                                  : (by_upper ? a.rect.max.y : a.rect.min.y);
+      const double kb = axis == 0 ? (by_upper ? b.rect.max.x : b.rect.min.x)
+                                  : (by_upper ? b.rect.max.y : b.rect.min.y);
+      if (ka != kb) return ka < kb;
+      return a.index < b.index;
+    });
+    return v;
+  };
+
+  double best_margin = std::numeric_limits<double>::infinity();
+  std::vector<SplitEntry> best_order;
+  size_t best_split = 0;
+  for (int axis = 0; axis < 2; ++axis) {
+    for (int upper = 0; upper < 2; ++upper) {
+      std::vector<SplitEntry> order = sorted_by(axis, upper != 0);
+      const DistributionResult r = EvaluateOrder(order, kMinEntries);
+      if (r.margin_sum < best_margin) {
+        best_margin = r.margin_sum;
+        best_order = std::move(order);
+        best_split = r.best_split;
+      }
+    }
+  }
+
+  // Redistribute entries into `node` (left part) and a new sibling.
+  Node* sibling = new Node(ncols);
+  sibling->leaf = node->leaf;
+  auto recompute = [&](Node* n) {
+    n->mbr = geo::Rect::Empty();
+    n->agg = core::AggregateVector(ncols);
+    if (n->leaf) {
+      for (const Node::PointEntry& e : n->points) {
+        n->mbr.AddPoint(e.pt);
+        ++n->agg.count;
+        for (size_t c = 0; c < ncols; ++c) {
+          n->agg.columns[c].Add(data_->Value(e.row, c));
+        }
+      }
+    } else {
+      for (Node* child : n->children) {
+        child->parent = n;
+        n->mbr = n->mbr.Union(child->mbr);
+        n->agg.Merge(child->agg);
+      }
+    }
+  };
+
+  if (node->leaf) {
+    std::vector<Node::PointEntry> old_points = std::move(node->points);
+    node->points.clear();
+    for (size_t i = 0; i < best_order.size(); ++i) {
+      auto& dst = i < best_split ? node->points : sibling->points;
+      dst.push_back(old_points[best_order[i].index]);
+    }
+  } else {
+    std::vector<Node*> old_children = std::move(node->children);
+    node->children.clear();
+    for (size_t i = 0; i < best_order.size(); ++i) {
+      auto& dst = i < best_split ? node->children : sibling->children;
+      dst.push_back(old_children[best_order[i].index]);
+    }
+  }
+  recompute(node);
+  recompute(sibling);
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    Node* new_root = new Node(ncols);
+    new_root->leaf = false;
+    new_root->children = {node, sibling};
+    node->parent = new_root;
+    sibling->parent = new_root;
+    recompute(new_root);
+    root_ = new_root;
+    return;
+  }
+  sibling->parent = node->parent;
+  node->parent->children.push_back(sibling);
+  if (node->parent->children.size() > kMaxEntries) SplitNode(node->parent);
+}
+
+void ARTree::QueryNode(const Node* node, const geo::Rect& search,
+                       core::Accumulator* acc) const {
+  if (node->leaf) {
+    for (const Node::PointEntry& e : node->points) {
+      if (search.Contains(e.pt)) {
+        acc->AddRow([&](int col) { return data_->Value(e.row, col); });
+      }
+    }
+    return;
+  }
+  // Listing 3: (a) a child containing the search area is descended
+  // exclusively; (b) children contained in the search area contribute their
+  // aggregate; (c) partially overlapping children are processed afterwards
+  // (accepting possible double counting).
+  std::vector<const Node*> partially_overlapping;
+  for (const Node* child : node->children) {
+    if (child->mbr.Contains(search)) {
+      QueryNode(child, search, acc);
+      return;
+    }
+    if (search.Contains(child->mbr)) {
+      acc->AddAggregate(child->agg.count, child->agg.columns.data());
+    } else if (search.Intersects(child->mbr)) {
+      partially_overlapping.push_back(child);
+    }
+  }
+  for (const Node* child : partially_overlapping) {
+    QueryNode(child, search, acc);
+  }
+}
+
+core::QueryResult ARTree::SelectRect(
+    const geo::Rect& world_rect, const core::AggregateRequest& request) const {
+  core::Accumulator acc(&request);
+  if (root_ != nullptr && !world_rect.IsEmpty()) {
+    const geo::Rect search = data_->projection().ToUnit(world_rect);
+    if (search.Contains(root_->mbr)) {
+      // Only the root aggregate needs to be accessed (the sharp drop at
+      // 100% selectivity in Figure 12).
+      acc.AddAggregate(root_->agg.count, root_->agg.columns.data());
+    } else if (search.Intersects(root_->mbr)) {
+      QueryNode(root_, search, &acc);
+    }
+  }
+  return acc.Finish();
+}
+
+core::QueryResult ARTree::Select(const geo::Polygon& polygon,
+                                 const core::AggregateRequest& request) const {
+  return SelectRect(cell::GetInteriorRect(polygon), request);
+}
+
+uint64_t ARTree::Count(const geo::Polygon& polygon) const {
+  return CountRect(cell::GetInteriorRect(polygon));
+}
+
+uint64_t ARTree::CountRect(const geo::Rect& world_rect) const {
+  core::AggregateRequest request;
+  request.Add(core::AggFn::kCount);
+  return SelectRect(world_rect, request).count;
+}
+
+size_t ARTree::NodeBytes(const Node* node) const {
+  if (node == nullptr) return 0;
+  size_t bytes = sizeof(Node) +
+                 node->agg.columns.size() * sizeof(core::ColumnAggregate);
+  bytes += node->children.capacity() * sizeof(Node*);
+  bytes += node->points.capacity() * sizeof(Node::PointEntry);
+  for (const Node* child : node->children) bytes += NodeBytes(child);
+  return bytes;
+}
+
+size_t ARTree::MemoryBytes() const { return NodeBytes(root_); }
+
+int ARTree::height() const {
+  int h = 0;
+  for (const Node* n = root_; n != nullptr;
+       n = n->leaf ? nullptr : n->children.front()) {
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace geoblocks::index

@@ -1,0 +1,87 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+namespace geoblocks::index {
+
+BTree BTree::BulkLoad(const std::vector<uint64_t>& sorted_keys) {
+  BTree tree;
+  tree.num_entries_ = sorted_keys.size();
+  if (sorted_keys.empty()) return tree;
+
+  // Fill leaves left to right.
+  const size_t n = sorted_keys.size();
+  tree.leaves_.resize((n + kNodeSize - 1) / kNodeSize);
+  for (size_t i = 0; i < n; ++i) {
+    LeafNode& leaf = tree.leaves_[i / kNodeSize];
+    leaf.keys[leaf.count] = sorted_keys[i];
+    leaf.rows[leaf.count] = static_cast<uint32_t>(i);
+    ++leaf.count;
+  }
+
+  // Build inner levels bottom-up until a single root node remains. Child
+  // geometry is implicit: inner node i at any level always parents nodes
+  // [i * kNodeSize, (i+1) * kNodeSize) of the level below.
+  size_t level_width = tree.leaves_.size();
+  auto min_key_of = [&tree](size_t level_index, size_t node) -> uint64_t {
+    if (level_index == 0) return tree.leaves_[node].keys[0];
+    return tree.levels_[level_index - 1][node].keys[0];
+  };
+  size_t level_index = 0;
+  while (level_width > 1) {
+    const size_t parent_width = (level_width + kNodeSize - 1) / kNodeSize;
+    std::vector<InnerNode> level(parent_width);
+    for (size_t child = 0; child < level_width; ++child) {
+      InnerNode& inner = level[child / kNodeSize];
+      if (inner.count == 0) {
+        inner.first_child = static_cast<uint32_t>(child);
+      }
+      inner.keys[inner.count] = min_key_of(level_index, child);
+      ++inner.count;
+    }
+    tree.levels_.push_back(std::move(level));
+    level_width = parent_width;
+    ++level_index;
+  }
+  return tree;
+}
+
+size_t BTree::SeekFirst(uint64_t key) const {
+  if (num_entries_ == 0) return 0;
+  // Descend from the root: pick the last child whose min key is strictly
+  // below `key` (duplicates equal to `key` can spill backwards across node
+  // boundaries, so a child whose min key *equals* `key` is entered via its
+  // left sibling), or the first child when key precedes everything.
+  size_t node = 0;
+  for (size_t level = levels_.size(); level-- > 0;) {
+    const InnerNode& inner = levels_[level][node];
+    const uint64_t* begin = inner.keys;
+    const uint64_t* end = inner.keys + inner.count;
+    const uint64_t* it = std::lower_bound(begin, end, key);
+    const size_t pick = it == begin ? 0 : static_cast<size_t>(it - begin) - 1;
+    node = inner.first_child + pick;
+  }
+  const LeafNode& leaf = leaves_[node];
+  const uint64_t* it =
+      std::lower_bound(leaf.keys, leaf.keys + leaf.count, key);
+  if (it == leaf.keys + leaf.count) {
+    // Everything in this leaf is smaller; the answer is the next leaf's
+    // first entry (bulk-loaded leaves are dense, so offsets are implicit).
+    return std::min((node + 1) * static_cast<size_t>(kNodeSize),
+                    num_entries_);
+  }
+  return node * kNodeSize + static_cast<size_t>(it - leaf.keys);
+}
+
+size_t BTree::SeekPastLast(uint64_t key) const {
+  if (key == UINT64_MAX) return num_entries_;
+  return SeekFirst(key + 1);
+}
+
+size_t BTree::MemoryBytes() const {
+  size_t bytes = leaves_.size() * sizeof(LeafNode);
+  for (const auto& level : levels_) bytes += level.size() * sizeof(InnerNode);
+  return bytes;
+}
+
+}  // namespace geoblocks::index

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace geoblocks::index {
+
+/// In-memory B+-tree over 64-bit spatial keys, standing in for the
+/// Google cpp-btree the paper uses as its secondary-index baseline
+/// (Section 4.1). Keys are the leaf cell ids of the rows; values are row
+/// offsets into the sorted base data. Duplicate keys are allowed.
+///
+/// The tree is bulk-loaded from the (already sorted) extract output, which
+/// mirrors how the baseline is prepared in the evaluation: the sort is
+/// shared by all approaches and the tree is built on top of it.
+class BTree {
+ public:
+  static constexpr int kNodeSize = 64;
+
+  BTree() = default;
+
+  /// Bulk-loads from ascending keys; value i is row offset i.
+  static BTree BulkLoad(const std::vector<uint64_t>& sorted_keys);
+
+  size_t size() const { return num_entries_; }
+
+  /// Offset of the first entry with key >= `key` (== size() when none).
+  /// This is the "probe the tree for the first child" step of the baseline.
+  size_t SeekFirst(uint64_t key) const;
+
+  /// Offset one past the last entry with key <= `key`.
+  size_t SeekPastLast(uint64_t key) const;
+
+  size_t height() const { return levels_.size(); }
+
+  /// Bytes of all tree nodes (the index's size overhead).
+  size_t MemoryBytes() const;
+
+ private:
+  struct LeafNode {
+    uint64_t keys[kNodeSize];
+    uint32_t rows[kNodeSize];
+    uint16_t count = 0;
+  };
+  struct InnerNode {
+    // keys[i] = smallest key under child i; children are implicit
+    // (node i at the level below spans children [i * kNodeSize, ...)).
+    uint64_t keys[kNodeSize];
+    uint32_t first_child = 0;
+    uint16_t count = 0;
+  };
+
+  std::vector<LeafNode> leaves_;
+  // levels_[0] is directly above the leaves; the last level is the root.
+  std::vector<std::vector<InnerNode>> levels_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace geoblocks::index

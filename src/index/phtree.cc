@@ -1,0 +1,211 @@
+#include "index/phtree.h"
+
+#include <bit>
+
+#include "cell/coverer.h"
+
+namespace geoblocks::index {
+
+namespace {
+
+uint64_t SpreadBits(uint32_t v) {
+  uint64_t x = v & 0x3FFFFFFFull;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+uint32_t CompressBits(uint64_t x) {
+  x &= 0x5555555555555555ull;
+  x = (x | (x >> 1)) & 0x3333333333333333ull;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t InterleaveBits(uint32_t i, uint32_t j) {
+  return (SpreadBits(i) << 1) | SpreadBits(j);
+}
+
+std::pair<uint32_t, uint32_t> DeinterleaveBits(uint64_t key) {
+  return {CompressBits(key >> 1), CompressBits(key)};
+}
+
+PhTree::~PhTree() { DestroyChild(root_); }
+
+PhTree::PhTree(PhTree&& o) noexcept : root_(o.root_), size_(o.size_) {
+  o.root_ = Child{};
+  o.size_ = 0;
+}
+
+PhTree& PhTree::operator=(PhTree&& o) noexcept {
+  if (this != &o) {
+    DestroyChild(root_);
+    root_ = o.root_;
+    size_ = o.size_;
+    o.root_ = Child{};
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+void PhTree::DestroyChild(Child child) {
+  if (child.IsNull()) return;
+  if (child.is_bucket) {
+    delete child.bucket();
+    return;
+  }
+  Node* node = child.node();
+  for (const Child& c : node->children) DestroyChild(c);
+  delete node;
+}
+
+int PhTree::HighestDifferingPair(uint64_t a, uint64_t b) {
+  const uint64_t diff = a ^ b;
+  return (63 - std::countl_zero(diff)) / 2;
+}
+
+uint64_t PhTree::PrefixAbove(uint64_t key, int pair) {
+  // Clears bit pairs <= pair.
+  const int shift = 2 * (pair + 1);
+  if (shift >= 64) return 0;
+  return (key >> shift) << shift;
+}
+
+PhTree::Child PhTree::InsertIntoChild(Child child, uint64_t key,
+                                      uint32_t row) {
+  if (child.IsNull()) {
+    auto* bucket = new Bucket{key, {row}};
+    return Child{bucket, true};
+  }
+  if (child.is_bucket) {
+    Bucket* bucket = child.bucket();
+    if (bucket->key == key) {
+      bucket->rows.push_back(row);
+      return child;
+    }
+    // Split: a new node at the highest differing bit pair with the old
+    // bucket and a fresh bucket as its two children.
+    const int pair = HighestDifferingPair(bucket->key, key);
+    Node* node = new Node{PrefixAbove(key, pair), pair, {}};
+    node->children[(bucket->key >> (2 * pair)) & 3] = child;
+    node->children[(key >> (2 * pair)) & 3] =
+        Child{new Bucket{key, {row}}, true};
+    return Child{node, false};
+  }
+  Node* node = child.node();
+  if (PrefixAbove(key, node->pair) != node->prefix) {
+    // The key diverges above this node: interpose a new node at the
+    // highest differing pair (prefix sharing / path compression).
+    const int pair = HighestDifferingPair(node->prefix, key);
+    Node* parent = new Node{PrefixAbove(key, pair), pair, {}};
+    parent->children[(node->prefix >> (2 * pair)) & 3] = child;
+    parent->children[(key >> (2 * pair)) & 3] =
+        Child{new Bucket{key, {row}}, true};
+    return Child{parent, false};
+  }
+  const int slot = static_cast<int>((key >> (2 * node->pair)) & 3);
+  node->children[slot] = InsertIntoChild(node->children[slot], key, row);
+  return child;
+}
+
+void PhTree::Insert(uint32_t i, uint32_t j, uint32_t row) {
+  root_ = InsertIntoChild(root_, InterleaveBits(i, j), row);
+  ++size_;
+}
+
+uint64_t PhTree::WindowCount(uint32_t i_min, uint32_t i_max, uint32_t j_min,
+                             uint32_t j_max) const {
+  uint64_t count = 0;
+  WindowQuery(i_min, i_max, j_min, j_max, [&](uint32_t) { ++count; });
+  return count;
+}
+
+size_t PhTree::ChildBytes(const Child& child) const {
+  if (child.IsNull()) return 0;
+  if (child.is_bucket) {
+    return sizeof(Bucket) + child.bucket()->rows.capacity() * sizeof(uint32_t);
+  }
+  size_t bytes = sizeof(Node);
+  for (const Child& c : child.node()->children) bytes += ChildBytes(c);
+  return bytes;
+}
+
+size_t PhTree::MemoryBytes() const { return ChildBytes(root_); }
+
+PhTreeIndex::PhTreeIndex(const storage::SortedDataset* data) : data_(data) {
+  const geo::Projection& proj = data->projection();
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    const geo::Point unit = proj.ToUnit(data->Location(row));
+    const auto to_grid = [](double v) {
+      const double scaled = v * static_cast<double>(PhTree::kGridSide);
+      if (scaled <= 0.0) return 0u;
+      if (scaled >= static_cast<double>(PhTree::kGridSide)) {
+        return PhTree::kGridSide - 1;
+      }
+      return static_cast<uint32_t>(scaled);
+    };
+    tree_.Insert(to_grid(unit.x), to_grid(unit.y),
+                 static_cast<uint32_t>(row));
+  }
+}
+
+PhTreeIndex::Window PhTreeIndex::ToWindow(const geo::Rect& world_rect) const {
+  Window w{0, 0, 0, 0, false};
+  if (world_rect.IsEmpty()) {
+    w.empty = true;
+    return w;
+  }
+  const geo::Rect unit = data_->projection().ToUnit(world_rect);
+  const auto to_grid = [](double v) {
+    const double scaled = v * static_cast<double>(PhTree::kGridSide);
+    if (scaled <= 0.0) return 0u;
+    if (scaled >= static_cast<double>(PhTree::kGridSide)) {
+      return PhTree::kGridSide - 1;
+    }
+    return static_cast<uint32_t>(scaled);
+  };
+  w.i_min = to_grid(unit.min.x);
+  w.i_max = to_grid(unit.max.x);
+  w.j_min = to_grid(unit.min.y);
+  w.j_max = to_grid(unit.max.y);
+  return w;
+}
+
+geo::Rect PhTreeIndex::InteriorRect(const geo::Polygon& polygon) const {
+  return cell::GetInteriorRect(polygon);
+}
+
+core::QueryResult PhTreeIndex::Select(
+    const geo::Polygon& polygon, const core::AggregateRequest& request) const {
+  return SelectWindow(ToWindow(InteriorRect(polygon)), request);
+}
+
+core::QueryResult PhTreeIndex::SelectWindow(
+    const Window& window, const core::AggregateRequest& request) const {
+  core::Accumulator acc(&request);
+  if (!window.empty) {
+    tree_.WindowQuery(window.i_min, window.i_max, window.j_min, window.j_max,
+                      [&](uint32_t row) {
+                        acc.AddRow([&](int col) {
+                          return data_->Value(row, col);
+                        });
+                      });
+  }
+  return acc.Finish();
+}
+
+uint64_t PhTreeIndex::Count(const geo::Polygon& polygon) const {
+  const Window w = ToWindow(InteriorRect(polygon));
+  if (w.empty) return 0;
+  return tree_.WindowCount(w.i_min, w.i_max, w.j_min, w.j_max);
+}
+
+}  // namespace geoblocks::index

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "geo/polygon.h"
+#include "geo/rect.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::index {
+
+/// Interleaves two 30-bit grid coordinates into a 60-bit z-order key
+/// (bit pair q holds bit q of i in the high position and bit q of j in the
+/// low position).
+uint64_t InterleaveBits(uint32_t i, uint32_t j);
+
+/// Inverse of InterleaveBits.
+std::pair<uint32_t, uint32_t> DeinterleaveBits(uint64_t key);
+
+/// A 2-D PH-tree (Zäschke et al., SIGMOD 2014) standing in for the
+/// open-source implementation the paper benchmarks (Section 4.1): a
+/// patricia trie over bit-interleaved point coordinates whose nodes are
+/// 2^d = 4-ary hypercubes with prefix sharing (path compression). It
+/// supports point insertion and rectangular window queries; polygonal
+/// queries are approximated by the polygon's interior rectangle, exactly
+/// as in the paper.
+class PhTree {
+ public:
+  static constexpr int kBitsPerDim = 30;
+  static constexpr uint32_t kGridSide = 1u << kBitsPerDim;
+
+  PhTree() = default;
+  ~PhTree();
+  PhTree(PhTree&&) noexcept;
+  PhTree& operator=(PhTree&&) noexcept;
+  PhTree(const PhTree&) = delete;
+  PhTree& operator=(const PhTree&) = delete;
+
+  /// Inserts a point at grid coordinates (i, j) carrying `row` as payload.
+  void Insert(uint32_t i, uint32_t j, uint32_t row);
+
+  size_t size() const { return size_; }
+
+  /// Invokes `visit(row)` for every point inside the closed window
+  /// [i_min, i_max] x [j_min, j_max].
+  template <typename Visitor>
+  void WindowQuery(uint32_t i_min, uint32_t i_max, uint32_t j_min,
+                   uint32_t j_max, const Visitor& visit) const {
+    VisitChild(root_, i_min, i_max, j_min, j_max, visit);
+  }
+
+  /// Number of points inside the window.
+  uint64_t WindowCount(uint32_t i_min, uint32_t i_max, uint32_t j_min,
+                       uint32_t j_max) const;
+
+  /// Bytes used by trie nodes and buckets (size-overhead reporting).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Bucket {
+    uint64_t key;
+    std::vector<uint32_t> rows;
+  };
+  struct Node;
+  /// Tagged child pointer: null, inner node, or leaf bucket.
+  struct Child {
+    void* ptr = nullptr;
+    bool is_bucket = false;
+
+    bool IsNull() const { return ptr == nullptr; }
+    Node* node() const { return static_cast<Node*>(ptr); }
+    Bucket* bucket() const { return static_cast<Bucket*>(ptr); }
+  };
+  struct Node {
+    /// Interleaved key bits shared by the whole subtree; bits at pairs
+    /// <= `pair` are zero.
+    uint64_t prefix;
+    /// Bit-pair index this node discriminates on (29 = most significant).
+    int pair;
+    std::array<Child, 4> children;
+  };
+
+  static int HighestDifferingPair(uint64_t a, uint64_t b);
+  static uint64_t PrefixAbove(uint64_t key, int pair);
+  Child InsertIntoChild(Child child, uint64_t key, uint32_t row);
+
+  template <typename Visitor>
+  void VisitChild(const Child& child, uint32_t i_min, uint32_t i_max,
+                  uint32_t j_min, uint32_t j_max,
+                  const Visitor& visit) const;
+  template <typename Visitor>
+  void VisitAll(const Child& child, const Visitor& visit) const;
+
+  void DestroyChild(Child child);
+  size_t ChildBytes(const Child& child) const;
+
+  Child root_{};
+  size_t size_ = 0;
+};
+
+/// The PHTree baseline wrapper: indexes dataset rows by their grid
+/// coordinates and answers aggregation queries over the interior rectangle
+/// of a query polygon.
+class PhTreeIndex {
+ public:
+  explicit PhTreeIndex(const storage::SortedDataset* data);
+
+  const PhTree& tree() const { return tree_; }
+
+  /// Grid-aligned window for a lat/lng rectangle.
+  struct Window {
+    uint32_t i_min, i_max, j_min, j_max;
+    bool empty = false;
+  };
+  Window ToWindow(const geo::Rect& world_rect) const;
+
+  /// Interior rectangle of the polygon, used as the query region
+  /// (Section 4.1: "we use S2 to get the interior rectangle of the query
+  /// polygon and use this as a query region").
+  geo::Rect InteriorRect(const geo::Polygon& polygon) const;
+
+  core::QueryResult Select(const geo::Polygon& polygon,
+                           const core::AggregateRequest& request) const;
+  core::QueryResult SelectWindow(const Window& window,
+                                 const core::AggregateRequest& request) const;
+  uint64_t Count(const geo::Polygon& polygon) const;
+
+  size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+
+ private:
+  const storage::SortedDataset* data_;
+  PhTree tree_;
+};
+
+// --- template implementations -------------------------------------------
+
+template <typename Visitor>
+void PhTree::VisitAll(const Child& child, const Visitor& visit) const {
+  if (child.IsNull()) return;
+  if (child.is_bucket) {
+    for (uint32_t row : child.bucket()->rows) visit(row);
+    return;
+  }
+  for (const Child& c : child.node()->children) VisitAll(c, visit);
+}
+
+template <typename Visitor>
+void PhTree::VisitChild(const Child& child, uint32_t i_min, uint32_t i_max,
+                        uint32_t j_min, uint32_t j_max,
+                        const Visitor& visit) const {
+  if (child.IsNull()) return;
+  if (child.is_bucket) {
+    const auto [i, j] = DeinterleaveBits(child.bucket()->key);
+    if (i >= i_min && i <= i_max && j >= j_min && j <= j_max) {
+      for (uint32_t row : child.bucket()->rows) visit(row);
+    }
+    return;
+  }
+  const Node* node = child.node();
+  // The subtree occupies an axis-aligned square of side 2^(pair+1) whose
+  // corner is encoded in the prefix.
+  const auto [pi, pj] = DeinterleaveBits(node->prefix);
+  const uint32_t side = node->pair >= 31 ? 0 : (2u << node->pair);
+  const uint32_t i_lo = pi;
+  const uint32_t j_lo = pj;
+  const uint32_t i_hi = i_lo + side - 1;
+  const uint32_t j_hi = j_lo + side - 1;
+  if (i_hi < i_min || i_lo > i_max || j_hi < j_min || j_lo > j_max) return;
+  if (i_lo >= i_min && i_hi <= i_max && j_lo >= j_min && j_hi <= j_max) {
+    // Fully contained: still visits every point, as the PH-tree maintains
+    // no aggregates (this is exactly why on-the-fly baselines scale with
+    // the result size).
+    for (const Child& c : node->children) VisitAll(c, visit);
+    return;
+  }
+  for (const Child& c : node->children) {
+    VisitChild(c, i_min, i_max, j_min, j_max, visit);
+  }
+}
+
+}  // namespace geoblocks::index

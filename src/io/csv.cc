@@ -1,0 +1,114 @@
+#include "io/csv.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace geoblocks::io {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : line) {
+    if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::optional<double> ParseDouble(const std::string& s) {
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  while (begin < end && *begin == ' ') ++begin;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<CsvReadResult> ReadCsv(std::istream& in,
+                                     const CsvOptions& options) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  const std::vector<std::string> header = SplitLine(line, options.delimiter);
+
+  int lon_index = -1;
+  int lat_index = -1;
+  storage::Schema schema;
+  std::vector<int> value_columns;  // CSV field index per schema column
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == options.longitude_column) {
+      lon_index = static_cast<int>(i);
+    } else if (header[i] == options.latitude_column) {
+      lat_index = static_cast<int>(i);
+    } else {
+      schema.column_names.push_back(header[i]);
+      value_columns.push_back(static_cast<int>(i));
+    }
+  }
+  if (lon_index < 0 || lat_index < 0) return std::nullopt;
+
+  CsvReadResult result;
+  result.table = storage::PointTable(schema);
+  std::vector<double> values(schema.num_columns());
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields =
+        SplitLine(line, options.delimiter);
+    bool ok = fields.size() == header.size();
+    geo::Point location;
+    if (ok) {
+      const auto lon = ParseDouble(fields[static_cast<size_t>(lon_index)]);
+      const auto lat = ParseDouble(fields[static_cast<size_t>(lat_index)]);
+      ok = lon.has_value() && lat.has_value();
+      if (ok) location = {*lon, *lat};
+    }
+    for (size_t c = 0; ok && c < value_columns.size(); ++c) {
+      const auto v = ParseDouble(fields[static_cast<size_t>(value_columns[c])]);
+      if (!v) {
+        ok = false;
+      } else {
+        values[c] = *v;
+      }
+    }
+    if (!ok) {
+      if (!options.skip_bad_rows) return std::nullopt;
+      ++result.rows_skipped;
+      continue;
+    }
+    result.table.AddRow(location, values);
+    ++result.rows_read;
+  }
+  return result;
+}
+
+void WriteCsv(const storage::PointTable& table, std::ostream& out,
+              const CsvOptions& options) {
+  out.precision(17);
+  out << options.longitude_column << options.delimiter
+      << options.latitude_column;
+  for (const std::string& name : table.schema().column_names) {
+    out << options.delimiter << name;
+  }
+  out << "\n";
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const geo::Point loc = table.Location(row);
+    out << loc.x << options.delimiter << loc.y;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      out << options.delimiter << table.Value(row, c);
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace geoblocks::io

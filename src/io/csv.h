@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "storage/point_table.h"
+
+namespace geoblocks::io {
+
+/// Options for reading annotated point data from CSV (the raw-data format
+/// of the paper's datasets, e.g. the NYC TLC trip records).
+struct CsvOptions {
+  char delimiter = ',';
+  /// Header column names holding the location.
+  std::string longitude_column = "pickup_longitude";
+  std::string latitude_column = "pickup_latitude";
+  /// Rows with unparsable numbers are skipped (counted in ReadResult)
+  /// instead of aborting the load — real trip data is dirty.
+  bool skip_bad_rows = true;
+};
+
+struct CsvReadResult {
+  storage::PointTable table;
+  size_t rows_read = 0;
+  size_t rows_skipped = 0;
+};
+
+/// Reads a CSV with a header row. All columns other than the two location
+/// columns become numeric attribute columns (in header order). Returns
+/// std::nullopt when the header is missing or lacks the location columns.
+std::optional<CsvReadResult> ReadCsv(std::istream& in,
+                                     const CsvOptions& options = {});
+
+/// Writes a PointTable back to CSV (header + rows), with the location in
+/// the configured columns. Round-trips with ReadCsv.
+void WriteCsv(const storage::PointTable& table, std::ostream& out,
+              const CsvOptions& options = {});
+
+}  // namespace geoblocks::io

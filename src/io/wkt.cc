@@ -1,0 +1,140 @@
+#include "io/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace geoblocks::io {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the WKT text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (text_.size() - pos_ < keyword.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          keyword[i]) {
+        return false;
+      }
+    }
+    pos_ += keyword.size();
+    return true;
+  }
+
+  std::optional<double> ConsumeNumber() {
+    SkipSpace();
+    double value = 0.0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr == begin) return std::nullopt;
+    pos_ += static_cast<size_t>(ptr - begin);
+    return value;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Parses one ring: `(x y, x y, ...)`. WKT rings repeat the first vertex as
+/// the last; the duplicate is dropped (Polygon closes rings implicitly).
+std::optional<geo::Ring> ParseRing(Scanner& scanner) {
+  if (!scanner.ConsumeChar('(')) return std::nullopt;
+  geo::Ring ring;
+  while (true) {
+    const auto x = scanner.ConsumeNumber();
+    const auto y = scanner.ConsumeNumber();
+    if (!x || !y) return std::nullopt;
+    ring.push_back({*x, *y});
+    if (scanner.ConsumeChar(',')) continue;
+    if (scanner.ConsumeChar(')')) break;
+    return std::nullopt;
+  }
+  if (ring.size() >= 2 && ring.front() == ring.back()) ring.pop_back();
+  if (ring.size() < 3) return std::nullopt;
+  return ring;
+}
+
+/// Parses the ring list of one polygon: `((ring), (ring), ...)`.
+bool ParsePolygonBody(Scanner& scanner, geo::Polygon* out) {
+  if (!scanner.ConsumeChar('(')) return false;
+  while (true) {
+    auto ring = ParseRing(scanner);
+    if (!ring) return false;
+    out->AddRing(std::move(*ring));
+    if (scanner.ConsumeChar(',')) continue;
+    if (scanner.ConsumeChar(')')) return true;
+    return false;
+  }
+}
+
+}  // namespace
+
+std::optional<geo::Polygon> ParseWktPolygon(std::string_view wkt) {
+  Scanner scanner(wkt);
+  geo::Polygon polygon;
+  if (scanner.ConsumeKeyword("MULTIPOLYGON")) {
+    if (!scanner.ConsumeChar('(')) return std::nullopt;
+    while (true) {
+      if (!ParsePolygonBody(scanner, &polygon)) return std::nullopt;
+      if (scanner.ConsumeChar(',')) continue;
+      if (scanner.ConsumeChar(')')) break;
+      return std::nullopt;
+    }
+  } else if (scanner.ConsumeKeyword("POLYGON")) {
+    if (!ParsePolygonBody(scanner, &polygon)) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  if (!scanner.AtEnd()) return std::nullopt;
+  if (polygon.IsEmpty()) return std::nullopt;
+  return polygon;
+}
+
+std::string ToWkt(const geo::Polygon& polygon) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "POLYGON (";
+  bool first_ring = true;
+  for (const geo::Ring& ring : polygon.rings()) {
+    if (!first_ring) out << ", ";
+    first_ring = false;
+    out << "(";
+    for (const geo::Point& p : ring) {
+      out << p.x << " " << p.y << ", ";
+    }
+    // Close the ring by repeating the first vertex (WKT convention).
+    out << ring.front().x << " " << ring.front().y << ")";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace geoblocks::io

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/polygon.h"
+
+namespace geoblocks::io {
+
+/// Parses a WKT `POLYGON ((x y, ...), (hole ...))` or
+/// `MULTIPOLYGON (((...)))` string into a Polygon (multi-polygons are
+/// merged into one even-odd polygon, which preserves containment for
+/// disjoint parts). Returns std::nullopt on malformed input.
+///
+/// Real query polygons (the paper's NYC neighborhoods [25], US states,
+/// countries) ship as WKT/GeoJSON; this is the ingestion path for them.
+std::optional<geo::Polygon> ParseWktPolygon(std::string_view wkt);
+
+/// Serializes a polygon back to WKT (`POLYGON ((...))`, holes included).
+std::string ToWkt(const geo::Polygon& polygon);
+
+}  // namespace geoblocks::io

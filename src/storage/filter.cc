@@ -1,0 +1,34 @@
+#include "storage/filter.h"
+
+namespace geoblocks::storage {
+
+std::string ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+std::string Filter::ToString(
+    const std::vector<std::string>& column_names) const {
+  if (predicates_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const Predicate& p = predicates_[i];
+    const std::string col =
+        p.column >= 0 && static_cast<size_t>(p.column) < column_names.size()
+            ? column_names[p.column]
+            : "col" + std::to_string(p.column);
+    out += col + " " + geoblocks::storage::ToString(p.op) + " " +
+           std::to_string(p.value);
+  }
+  return out;
+}
+
+}  // namespace geoblocks::storage

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geoblocks::storage {
+
+/// Comparison operator of a filter condition.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// A single `column <op> constant` condition, e.g. fare_amount > 20.
+struct Predicate {
+  int column = 0;
+  CompareOp op = CompareOp::kGe;
+  double value = 0.0;
+
+  bool Matches(double v) const {
+    switch (op) {
+      case CompareOp::kLt: return v < value;
+      case CompareOp::kLe: return v <= value;
+      case CompareOp::kGt: return v > value;
+      case CompareOp::kGe: return v >= value;
+      case CompareOp::kEq: return v == value;
+      case CompareOp::kNe: return v != value;
+    }
+    return false;
+  }
+};
+
+std::string ToString(CompareOp op);
+
+/// Conjunction of predicates ("[AND filterCondition]*" in the problem
+/// statement). An empty filter matches everything.
+class Filter {
+ public:
+  Filter() = default;
+  explicit Filter(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  static Filter True() { return Filter(); }
+
+  void Add(const Predicate& p) { predicates_.push_back(p); }
+  bool IsTrue() const { return predicates_.empty(); }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Evaluates the filter against one row of column values, where
+  /// `value_of(column)` returns the row's value in that column.
+  template <typename ValueFn>
+  bool Matches(const ValueFn& value_of) const {
+    for (const Predicate& p : predicates_) {
+      if (!p.Matches(value_of(p.column))) return false;
+    }
+    return true;
+  }
+
+  std::string ToString(const std::vector<std::string>& column_names) const;
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace geoblocks::storage

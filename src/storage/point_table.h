@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace geoblocks::storage {
+
+/// Schema of the annotated point data P(l, v0, ..., vn) from the problem
+/// statement (Section 2): a location plus named numeric/temporal attributes
+/// (all stored as doubles).
+struct Schema {
+  std::vector<std::string> column_names;
+
+  size_t num_columns() const { return column_names.size(); }
+
+  int ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < column_names.size(); ++i) {
+      if (column_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Columnar table of annotated points (raw data, pre-extract). Locations are
+/// lat/lng degrees (x = longitude, y = latitude).
+class PointTable {
+ public:
+  PointTable() = default;
+  explicit PointTable(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_columns()) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return xs_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; `values` must have one entry per schema column.
+  void AddRow(const geo::Point& location, const std::vector<double>& values) {
+    xs_.push_back(location.x);
+    ys_.push_back(location.y);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(values[c]);
+    }
+  }
+
+  void Reserve(size_t n) {
+    xs_.reserve(n);
+    ys_.reserve(n);
+    for (auto& col : columns_) col.reserve(n);
+  }
+
+  geo::Point Location(size_t row) const { return {xs_[row], ys_[row]}; }
+  double Value(size_t row, size_t col) const { return columns_[col][row]; }
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+  const std::vector<double>& column(size_t c) const { return columns_[c]; }
+
+  /// Bytes of payload data (used for relative-overhead reporting).
+  size_t MemoryBytes() const {
+    return (xs_.size() + ys_.size()) * sizeof(double) +
+           columns_.size() * xs_.size() * sizeof(double);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace geoblocks::storage

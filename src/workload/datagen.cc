@@ -1,0 +1,169 @@
+#include "workload/datagen.h"
+
+#include <cmath>
+#include <random>
+
+namespace geoblocks::workload {
+
+namespace {
+
+/// A weighted anisotropic Gaussian cluster, optionally rotated.
+struct Cluster {
+  geo::Point center;
+  double sx;      // std dev along the major axis (degrees)
+  double sy;      // std dev along the minor axis (degrees)
+  double angle;   // rotation of the major axis (radians)
+  double weight;  // relative sampling weight
+};
+
+geo::Point SampleCluster(const Cluster& c, std::mt19937_64& rng) {
+  std::normal_distribution<double> gauss;
+  const double u = gauss(rng) * c.sx;
+  const double v = gauss(rng) * c.sy;
+  const double cos_a = std::cos(c.angle);
+  const double sin_a = std::sin(c.angle);
+  return {c.center.x + u * cos_a - v * sin_a,
+          c.center.y + u * sin_a + v * cos_a};
+}
+
+geo::Point SampleMixture(const std::vector<Cluster>& clusters,
+                         double uniform_weight, const geo::Rect& bounds,
+                         std::mt19937_64& rng) {
+  double total = uniform_weight;
+  for (const Cluster& c : clusters) total += c.weight;
+  std::uniform_real_distribution<double> uni(0.0, total);
+  double pick = uni(rng);
+  for (const Cluster& c : clusters) {
+    if (pick < c.weight) {
+      // Rejection-free: clamp to bounds below.
+      geo::Point p = SampleCluster(c, rng);
+      p.x = std::clamp(p.x, bounds.min.x, bounds.max.x);
+      p.y = std::clamp(p.y, bounds.min.y, bounds.max.y);
+      return p;
+    }
+    pick -= c.weight;
+  }
+  std::uniform_real_distribution<double> ux(bounds.min.x, bounds.max.x);
+  std::uniform_real_distribution<double> uy(bounds.min.y, bounds.max.y);
+  return {ux(rng), uy(rng)};
+}
+
+}  // namespace
+
+geo::Rect NycBounds() { return {{-74.28, 40.48}, {-73.65, 40.95}}; }
+geo::Rect UsBounds() { return {{-124.7, 24.5}, {-66.9, 49.4}}; }
+geo::Rect AmericasBounds() { return {{-170.0, -56.0}, {-30.0, 72.0}}; }
+
+storage::PointTable GenTaxi(size_t n, uint64_t seed) {
+  storage::Schema schema;
+  schema.column_names = {"fare_amount",     "trip_distance", "tip_amount",
+                         "tip_rate",        "passenger_count",
+                         "duration_min",    "total_amount"};
+  storage::PointTable table(schema);
+  table.Reserve(n);
+
+  const geo::Rect bounds = NycBounds();
+  // Manhattan's tilted dense band, the airports, and borough blobs: the
+  // hotspot structure the paper's caching experiments rely on.
+  const std::vector<Cluster> clusters = {
+      {{-73.985, 40.750}, 0.012, 0.035, 1.05, 30.0},  // Manhattan band
+      {{-73.982, 40.768}, 0.008, 0.012, 1.05, 12.0},  // Midtown
+      {{-74.005, 40.715}, 0.008, 0.010, 0.9, 8.0},    // Downtown
+      {{-73.780, 40.645}, 0.010, 0.008, 0.0, 5.0},    // JFK
+      {{-73.872, 40.775}, 0.006, 0.005, 0.0, 4.0},    // LGA
+      {{-73.950, 40.650}, 0.030, 0.025, 0.3, 9.0},    // Brooklyn
+      {{-73.870, 40.740}, 0.030, 0.020, 0.0, 5.0},    // Queens
+      {{-73.900, 40.850}, 0.020, 0.018, 0.0, 2.0},    // Bronx
+  };
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss;
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point loc = SampleMixture(clusters, 4.0, bounds, rng);
+    // trip_distance: lognormal with median ~1.9 miles, giving
+    // P(distance >= 4) ~ 0.16 as in Section 4.4.
+    const double distance =
+        std::min(60.0, std::exp(0.642 + 0.75 * gauss(rng)));
+    const double fare =
+        std::max(2.5, 2.5 + 2.6 * distance + 1.5 * gauss(rng));
+    const double tip_rate =
+        std::clamp(0.15 + 0.08 * gauss(rng), 0.0, 0.5);
+    const double tip = fare * tip_rate;
+    // passenger_count: P(1) = 0.70 => passenger_count == 1 has ~70%
+    // selectivity and > 1 has ~30%.
+    const double u = uni(rng);
+    double passengers = 1.0;
+    if (u >= 0.70) {
+      passengers = 2.0 + std::floor(u >= 0.94 ? 2.0 * uni(rng) + 2.0
+                                              : 2.0 * uni(rng));
+      passengers = std::min(passengers, 6.0);
+    }
+    const double duration =
+        std::max(1.0, distance * 4.2 + 3.0 * gauss(rng));
+    const double total = fare + tip;
+    table.AddRow(loc,
+                 {fare, distance, tip, tip_rate, passengers, duration, total});
+  }
+  return table;
+}
+
+namespace {
+
+storage::PointTable GenClusteredIntPayload(size_t n, uint64_t seed,
+                                           const geo::Rect& bounds,
+                                           size_t num_clusters,
+                                           double cluster_sigma_frac,
+                                           double uniform_weight) {
+  storage::Schema schema;
+  schema.column_names = {"payload_a", "payload_b", "payload_c", "payload_d"};
+  storage::PointTable table(schema);
+  table.Reserve(n);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(bounds.min.x, bounds.max.x);
+  std::uniform_real_distribution<double> uy(bounds.min.y, bounds.max.y);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Cluster centers with Zipf-like weights (a few "big cities").
+  std::vector<Cluster> clusters;
+  clusters.reserve(num_clusters);
+  const double sigma = cluster_sigma_frac *
+                       std::min(bounds.Width(), bounds.Height());
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const double weight = 1.0 / static_cast<double>(c + 1);
+    clusters.push_back({{ux(rng), uy(rng)},
+                        sigma * (0.5 + uni(rng)),
+                        sigma * (0.5 + uni(rng)),
+                        0.0,
+                        weight});
+  }
+
+  std::uniform_int_distribution<int> payload(0, 9999);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point loc =
+        SampleMixture(clusters, uniform_weight, bounds, rng);
+    table.AddRow(loc, {static_cast<double>(payload(rng)),
+                       static_cast<double>(payload(rng)),
+                       static_cast<double>(payload(rng)),
+                       static_cast<double>(payload(rng))});
+  }
+  return table;
+}
+
+}  // namespace
+
+storage::PointTable GenTweets(size_t n, uint64_t seed) {
+  return GenClusteredIntPayload(n, seed, UsBounds(), /*num_clusters=*/60,
+                                /*cluster_sigma_frac=*/0.01,
+                                /*uniform_weight=*/1.5);
+}
+
+storage::PointTable GenOsm(size_t n, uint64_t seed) {
+  return GenClusteredIntPayload(n, seed, AmericasBounds(),
+                                /*num_clusters=*/150,
+                                /*cluster_sigma_frac=*/0.008,
+                                /*uniform_weight=*/8.0);
+}
+
+}  // namespace geoblocks::workload

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/rect.h"
+#include "storage/point_table.h"
+
+namespace geoblocks::workload {
+
+/// Synthetic stand-ins for the paper's datasets (see DESIGN.md §2). All
+/// generators are deterministic for a given (n, seed).
+
+/// Bounding boxes of the three data domains.
+geo::Rect NycBounds();       ///< New York City
+geo::Rect UsBounds();        ///< contiguous United States
+geo::Rect AmericasBounds();  ///< the Americas
+
+/// NYC-taxi-like trips: anisotropic Gaussian clusters (Manhattan core,
+/// airports, boroughs) plus background noise. Columns (7): fare_amount,
+/// trip_distance, tip_amount, tip_rate, passenger_count, duration_min,
+/// total_amount — correlated like real trip records, with the filter
+/// selectivities used in Section 4.4 (distance >= 4 ≈ 16%,
+/// passenger_count == 1 ≈ 70%, passenger_count > 1 ≈ 30%).
+storage::PointTable GenTaxi(size_t n, uint64_t seed = 42);
+
+/// Geotagged-tweet-like points: city clusters over the contiguous US with
+/// random integer payloads (4 columns), as in the paper.
+storage::PointTable GenTweets(size_t n, uint64_t seed = 7);
+
+/// OSM-like points over the Americas: many clusters plus a uniform
+/// component, random integer payloads (4 columns).
+storage::PointTable GenOsm(size_t n, uint64_t seed = 13);
+
+}  // namespace geoblocks::workload

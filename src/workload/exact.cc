@@ -1,0 +1,40 @@
+#include "workload/exact.h"
+
+#include <cmath>
+
+#include "cell/coverer.h"
+
+namespace geoblocks::workload {
+
+uint64_t ExactCount(const storage::SortedDataset& data,
+                    const geo::Polygon& polygon, int fine_level) {
+  const geo::Polygon unit = data.projection().ToUnit(polygon);
+  const cell::PolygonRegion region(&unit);
+  cell::CovererOptions options;
+  options.max_level = fine_level;
+  const std::vector<cell::CoveringCell> covering =
+      cell::GetCovering(region, options);
+
+  uint64_t count = 0;
+  for (const cell::CoveringCell& cc : covering) {
+    const auto [first, last] = data.EqualRangeForCell(cc.cell);
+    if (cc.interior) {
+      count += last - first;
+      continue;
+    }
+    for (size_t row = first; row < last; ++row) {
+      const geo::Point p = data.projection().ToUnit(data.Location(row));
+      if (unit.Contains(p)) ++count;
+    }
+  }
+  return count;
+}
+
+double RelativeError(uint64_t approx, uint64_t exact) {
+  if (exact == 0) return static_cast<double>(approx);
+  const double a = static_cast<double>(approx);
+  const double e = static_cast<double>(exact);
+  return std::abs(a - e) / e;
+}
+
+}  // namespace geoblocks::workload

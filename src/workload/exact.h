@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geo/polygon.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::workload {
+
+/// Exact number of dataset points strictly inside (or on the boundary of)
+/// the polygon — the ground truth for the relative-error measurements of
+/// Figures 14-16. Computed with a fine cell covering: fully interior cells
+/// contribute their key-range counts; boundary cells are scanned and each
+/// point tested against the polygon.
+uint64_t ExactCount(const storage::SortedDataset& data,
+                    const geo::Polygon& polygon, int fine_level = 20);
+
+/// Relative error of an approximate count versus the exact count:
+/// |approx - exact| / exact (paper, Section 4.2 "Datasets"). Returns 0 when
+/// both are zero and `approx` when exact is zero.
+double RelativeError(uint64_t approx, uint64_t exact);
+
+}  // namespace geoblocks::workload

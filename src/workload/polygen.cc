@@ -1,0 +1,167 @@
+#include "workload/polygen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace geoblocks::workload {
+
+std::vector<geo::Polygon> Neighborhoods(const storage::PointTable& data,
+                                        size_t count, uint64_t seed,
+                                        double min_radius_deg,
+                                        double max_radius_deg) {
+  std::vector<geo::Polygon> polygons;
+  if (data.num_rows() == 0 || count == 0) return polygons;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> pick_row(0, data.num_rows() - 1);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_int_distribution<int> pick_vertices(4, 9);
+
+  polygons.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    const geo::Point center = data.Location(pick_row(rng));
+    const double radius =
+        min_radius_deg + (max_radius_deg - min_radius_deg) * uni(rng);
+    const int vertices = pick_vertices(rng);
+    // Star-shaped ring: sorted angles with jittered radii. Guaranteed
+    // simple (non-self-intersecting).
+    std::vector<double> angles(vertices);
+    for (double& a : angles) a = 2.0 * std::numbers::pi * uni(rng);
+    std::sort(angles.begin(), angles.end());
+    // Avoid near-duplicate angles which would create degenerate edges.
+    bool degenerate = false;
+    for (int i = 1; i < vertices; ++i) {
+      if (angles[i] - angles[i - 1] < 0.05) degenerate = true;
+    }
+    if (degenerate) {
+      for (int i = 0; i < vertices; ++i) {
+        angles[i] = 2.0 * std::numbers::pi * (i + 0.5 * uni(rng)) / vertices;
+      }
+    }
+    geo::Ring ring;
+    ring.reserve(vertices);
+    for (int i = 0; i < vertices; ++i) {
+      const double r = radius * (0.55 + 0.45 * uni(rng));
+      // Squash latitude so shapes look isotropic on the ground.
+      ring.push_back({center.x + r * std::cos(angles[i]),
+                      center.y + 0.75 * r * std::sin(angles[i])});
+    }
+    polygons.emplace_back(std::move(ring));
+  }
+  return polygons;
+}
+
+std::vector<geo::Polygon> TilingPolygons(const geo::Rect& bounds, int rows,
+                                         int cols, double jitter_frac,
+                                         uint64_t seed) {
+  // Jittered grid corners shared by adjacent tiles, so the polygons tile
+  // the plane without gaps or overlaps (like states sharing borders).
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  const double cell_w = bounds.Width() / cols;
+  const double cell_h = bounds.Height() / rows;
+
+  std::vector<std::vector<geo::Point>> corners(
+      rows + 1, std::vector<geo::Point>(cols + 1));
+  for (int r = 0; r <= rows; ++r) {
+    for (int c = 0; c <= cols; ++c) {
+      double x = bounds.min.x + c * cell_w;
+      double y = bounds.min.y + r * cell_h;
+      // Border corners stay fixed so the tiling exactly covers the bounds.
+      if (c != 0 && c != cols) x += jitter_frac * cell_w * uni(rng);
+      if (r != 0 && r != rows) y += jitter_frac * cell_h * uni(rng);
+      corners[r][c] = {x, y};
+    }
+  }
+
+  std::vector<geo::Polygon> polygons;
+  polygons.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      polygons.emplace_back(geo::Ring{corners[r][c], corners[r][c + 1],
+                                      corners[r + 1][c + 1],
+                                      corners[r + 1][c]});
+    }
+  }
+  return polygons;
+}
+
+std::vector<geo::Polygon> RandomRectangles(const geo::Rect& bounds,
+                                           size_t count, uint64_t seed,
+                                           double min_side_frac,
+                                           double max_side_frac) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<geo::Polygon> polygons;
+  polygons.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    const double w =
+        (min_side_frac + (max_side_frac - min_side_frac) * uni(rng)) *
+        bounds.Width();
+    const double h =
+        (min_side_frac + (max_side_frac - min_side_frac) * uni(rng)) *
+        bounds.Height();
+    const double x = bounds.min.x + uni(rng) * (bounds.Width() - w);
+    const double y = bounds.min.y + uni(rng) * (bounds.Height() - h);
+    polygons.push_back(
+        geo::Polygon::FromRect(geo::Rect{{x, y}, {x + w, y + h}}));
+  }
+  return polygons;
+}
+
+geo::Polygon SelectivityPolygon(const storage::SortedDataset& data,
+                                double fraction, double* achieved) {
+  const size_t n = data.num_rows();
+  if (n == 0) return geo::Polygon();
+  // Data centroid as the query center.
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cx += data.xs()[i];
+    cy += data.ys()[i];
+  }
+  cx /= static_cast<double>(n);
+  cy /= static_cast<double>(n);
+
+  // Sample points to estimate the containment fraction of a circle.
+  const size_t stride = std::max<size_t>(1, n / 50000);
+  std::vector<geo::Point> sample;
+  for (size_t i = 0; i < n; i += stride) {
+    sample.push_back(data.Location(i));
+  }
+  const auto fraction_within = [&](double radius) {
+    size_t inside = 0;
+    for (const geo::Point& p : sample) {
+      const double dx = (p.x - cx);
+      const double dy = (p.y - cy) / 0.75;  // same squash as the polygon
+      if (dx * dx + dy * dy <= radius * radius) ++inside;
+    }
+    return static_cast<double>(inside) / static_cast<double>(sample.size());
+  };
+
+  // Bisect the radius; an oversized upper bound covers everything.
+  double lo = 0.0;
+  double hi = 10.0 * std::max(data.projection().domain().Width(), 1.0);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fraction_within(mid) < fraction) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double radius = hi;
+  if (achieved != nullptr) *achieved = fraction_within(radius);
+
+  geo::Ring ring;
+  constexpr int kVertices = 32;
+  for (int i = 0; i < kVertices; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / kVertices;
+    ring.push_back(
+        {cx + radius * std::cos(a), cy + 0.75 * radius * std::sin(a)});
+  }
+  return geo::Polygon(std::move(ring));
+}
+
+}  // namespace geoblocks::workload

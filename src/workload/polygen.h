@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/polygon.h"
+#include "geo/rect.h"
+#include "storage/point_table.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::workload {
+
+/// Deterministic query-polygon generators standing in for the paper's NYC
+/// neighborhood shapes [25], US states and country polygons (DESIGN.md §2).
+
+/// Neighborhood-like polygons: star-shaped rings with 4-9 vertices centred
+/// on locations sampled from the data (so queries overlay the data's
+/// hotspots, like real neighborhoods overlay taxi trips).
+std::vector<geo::Polygon> Neighborhoods(const storage::PointTable& data,
+                                        size_t count, uint64_t seed = 3,
+                                        double min_radius_deg = 0.012,
+                                        double max_radius_deg = 0.05);
+
+/// State/country-like polygons: a jittered convex tiling of the bounding
+/// box into `rows` x `cols` quadrilaterals.
+std::vector<geo::Polygon> TilingPolygons(const geo::Rect& bounds, int rows,
+                                         int cols, double jitter_frac,
+                                         uint64_t seed = 5);
+
+/// Random axis-aligned rectangles within `bounds` (the generated rectangles
+/// of Figure 15).
+std::vector<geo::Polygon> RandomRectangles(const geo::Rect& bounds,
+                                           size_t count, uint64_t seed = 11,
+                                           double min_side_frac = 0.02,
+                                           double max_side_frac = 0.25);
+
+/// A polygon (regular 32-gon) containing approximately `fraction` of the
+/// dataset's points, centred on the data centroid — the
+/// selectivity-controlled query regions of Figure 12. The returned measured
+/// fraction is written to `*achieved` when non-null.
+geo::Polygon SelectivityPolygon(const storage::SortedDataset& data,
+                                double fraction, double* achieved = nullptr);
+
+}  // namespace geoblocks::workload

@@ -1,0 +1,46 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <random>
+
+namespace geoblocks::workload {
+
+Workload BaseWorkload(const std::vector<geo::Polygon>& polygons) {
+  Workload w;
+  w.queries.reserve(polygons.size());
+  for (const geo::Polygon& p : polygons) w.queries.push_back(&p);
+  return w;
+}
+
+Workload SkewedWorkload(const std::vector<geo::Polygon>& polygons,
+                        double fraction, uint64_t seed) {
+  Workload w;
+  if (polygons.empty()) return w;
+  const size_t count = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(polygons.size())));
+  std::vector<size_t> indices(polygons.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(indices.begin(), indices.end(), rng);
+  indices.resize(count);
+  std::sort(indices.begin(), indices.end());
+  for (size_t i : indices) w.queries.push_back(&polygons[i]);
+  return w;
+}
+
+Workload CombinedWorkload(const Workload& base, size_t base_runs,
+                          const Workload& skewed, size_t skewed_runs) {
+  Workload w;
+  w.queries.reserve(base.size() * base_runs + skewed.size() * skewed_runs);
+  for (size_t r = 0; r < base_runs; ++r) {
+    w.queries.insert(w.queries.end(), base.queries.begin(),
+                     base.queries.end());
+  }
+  for (size_t r = 0; r < skewed_runs; ++r) {
+    w.queries.insert(w.queries.end(), skewed.queries.begin(),
+                     skewed.queries.end());
+  }
+  return w;
+}
+
+}  // namespace geoblocks::workload

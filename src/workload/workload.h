@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/polygon.h"
+
+namespace geoblocks::workload {
+
+/// A query workload: an ordered list of query polygons (Section 4.1: "As a
+/// base workload, we build a query containing each polygon once. For the
+/// skewed workload, we select 10% of neighborhoods uniformly at random and
+/// query them multiple times.").
+struct Workload {
+  std::vector<const geo::Polygon*> queries;
+
+  size_t size() const { return queries.size(); }
+};
+
+/// Each polygon exactly once.
+Workload BaseWorkload(const std::vector<geo::Polygon>& polygons);
+
+/// A uniformly random `fraction` of the polygons (at least one), in stable
+/// order; one "skewed run" queries each selected polygon once.
+Workload SkewedWorkload(const std::vector<geo::Polygon>& polygons,
+                        double fraction = 0.1, uint64_t seed = 17);
+
+/// Concatenation: `base_runs` passes of the base workload followed by
+/// `skewed_runs` passes of the skewed workload, interleaved
+/// base-first (used for the combined workloads of Figures 10 and 17).
+Workload CombinedWorkload(const Workload& base, size_t base_runs,
+                          const Workload& skewed, size_t skewed_runs);
+
+}  // namespace geoblocks::workload

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aggregate.h"
+
+namespace geoblocks::core {
+namespace {
+
+TEST(ColumnAggregateTest, AddAndMerge) {
+  ColumnAggregate a;
+  a.Add(3.0);
+  a.Add(-1.0);
+  a.Add(7.0);
+  EXPECT_EQ(a.min, -1.0);
+  EXPECT_EQ(a.max, 7.0);
+  EXPECT_EQ(a.sum, 9.0);
+
+  ColumnAggregate b;
+  b.Add(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.min, -1.0);
+  EXPECT_EQ(a.max, 10.0);
+  EXPECT_EQ(a.sum, 19.0);
+}
+
+TEST(ColumnAggregateTest, EmptyIsMergeIdentity) {
+  ColumnAggregate a;
+  a.Add(5.0);
+  ColumnAggregate b = a;
+  b.Merge(ColumnAggregate{});
+  EXPECT_EQ(a, b);
+}
+
+TEST(AggregateVectorTest, Merge) {
+  AggregateVector a(2);
+  a.count = 3;
+  a.columns[0].Add(1.0);
+  a.columns[1].Add(2.0);
+  AggregateVector b(2);
+  b.count = 2;
+  b.columns[0].Add(-5.0);
+  b.columns[1].Add(8.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.columns[0].min, -5.0);
+  EXPECT_EQ(a.columns[1].max, 8.0);
+}
+
+TEST(AggregateRequestTest, FirstN) {
+  const AggregateRequest req = AggregateRequest::FirstN(4, 7);
+  EXPECT_EQ(req.size(), 4u);
+  EXPECT_EQ(req.specs()[0].fn, AggFn::kCount);
+  const AggregateRequest one = AggregateRequest::FirstN(1, 7);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(AggregateRequest::FirstN(0, 7).size(), 0u);
+}
+
+TEST(AccumulatorTest, RowsMatchPrecomputedAggregates) {
+  // Folding rows one by one must equal folding their pre-computed
+  // aggregate — the core invariant that makes GeoBlocks exact on covered
+  // cells.
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> uni(-100.0, 100.0);
+  const size_t rows = 500;
+  const size_t cols = 3;
+  std::vector<std::vector<double>> values(rows, std::vector<double>(cols));
+  std::vector<ColumnAggregate> aggs(cols);
+  for (auto& row : values) {
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = uni(rng);
+      aggs[c].Add(row[c]);
+    }
+  }
+
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  req.Add(AggFn::kSum, 0);
+  req.Add(AggFn::kMin, 1);
+  req.Add(AggFn::kMax, 2);
+  req.Add(AggFn::kAvg, 0);
+
+  Accumulator by_rows(&req);
+  for (const auto& row : values) {
+    by_rows.AddRow([&](int c) { return row[c]; });
+  }
+  Accumulator by_agg(&req);
+  by_agg.AddAggregate(rows, aggs.data());
+
+  const QueryResult a = by_rows.Finish();
+  const QueryResult b = by_agg.Finish();
+  ASSERT_EQ(a.count, b.count);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-9 * std::abs(a.values[i]) + 1e-9)
+        << "spec " << i;
+  }
+}
+
+TEST(AccumulatorTest, CountSpec) {
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  Accumulator acc(&req);
+  ColumnAggregate col;
+  col.Add(1.0);
+  acc.AddAggregate(7, &col);
+  acc.AddRow([](int) { return 0.0; });
+  const QueryResult r = acc.Finish();
+  EXPECT_EQ(r.count, 8u);
+  EXPECT_EQ(r.values[0], 8.0);
+}
+
+TEST(AccumulatorTest, AvgOverZeroRows) {
+  AggregateRequest req;
+  req.Add(AggFn::kAvg, 0);
+  Accumulator acc(&req);
+  const QueryResult r = acc.Finish();
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.values[0], 0.0);
+}
+
+TEST(AccumulatorTest, MinMaxInitialValues) {
+  AggregateRequest req;
+  req.Add(AggFn::kMin, 0);
+  req.Add(AggFn::kMax, 0);
+  Accumulator acc(&req);
+  acc.AddRow([](int) { return 42.0; });
+  const QueryResult r = acc.Finish();
+  EXPECT_EQ(r.values[0], 42.0);
+  EXPECT_EQ(r.values[1], 42.0);
+}
+
+TEST(AccumulatorTest, MergeOrderIndependent) {
+  // (a ⊕ b) == (b ⊕ a) for the whole request.
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  req.Add(AggFn::kSum, 0);
+  req.Add(AggFn::kMin, 0);
+  req.Add(AggFn::kMax, 0);
+
+  ColumnAggregate x;
+  x.Add(1.0);
+  x.Add(4.0);
+  ColumnAggregate y;
+  y.Add(-2.0);
+
+  Accumulator ab(&req);
+  ab.AddAggregate(2, &x);
+  ab.AddAggregate(1, &y);
+  Accumulator ba(&req);
+  ba.AddAggregate(1, &y);
+  ba.AddAggregate(2, &x);
+  EXPECT_EQ(ab.Finish().values, ba.Finish().values);
+}
+
+TEST(ToStringTest, AggFnNames) {
+  EXPECT_EQ(ToString(AggFn::kCount), "count");
+  EXPECT_EQ(ToString(AggFn::kSum), "sum");
+  EXPECT_EQ(ToString(AggFn::kMin), "min");
+  EXPECT_EQ(ToString(AggFn::kMax), "max");
+  EXPECT_EQ(ToString(AggFn::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace geoblocks::core

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aggregate_trie.h"
+#include "core/geoblock.h"
+#include "workload/datagen.h"
+
+namespace geoblocks::core {
+namespace {
+
+class AggregateTrieTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const storage::PointTable raw = workload::GenTaxi(20000, 2);
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new storage::SortedDataset(
+        storage::SortedDataset::Extract(raw, options));
+    block_ = new GeoBlock(GeoBlock::Build(*data_, BlockOptions{15, {}}));
+  }
+  static void TearDownTestSuite() {
+    delete block_;
+    delete data_;
+    block_ = nullptr;
+    data_ = nullptr;
+  }
+
+  /// Some cells that actually overlap the block, at mixed levels.
+  static std::vector<cell::CellId> SampleCells(size_t count, uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<cell::CellId> cells;
+    while (cells.size() < count) {
+      const size_t idx = rng() % block_->num_cells();
+      const int level = 9 + static_cast<int>(rng() % 7);
+      const cell::CellId c = cell::CellId(block_->cells()[idx]).Parent(level);
+      if (std::find(cells.begin(), cells.end(), c) == cells.end()) {
+        cells.push_back(c);
+      }
+    }
+    return cells;
+  }
+
+  static storage::SortedDataset* data_;
+  static GeoBlock* block_;
+};
+
+storage::SortedDataset* AggregateTrieTest::data_ = nullptr;
+GeoBlock* AggregateTrieTest::block_ = nullptr;
+
+TEST_F(AggregateTrieTest, EmptyBuild) {
+  AggregateTrie trie;
+  const auto result = trie.Build(*block_, {}, 1 << 20);
+  EXPECT_EQ(result.cached_cells, 0u);
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.Lookup(cell::CellId(block_->cells()[0])).agg != nullptr);
+}
+
+TEST_F(AggregateTrieTest, CachesRankedCellsUnderBudget) {
+  AggregateTrie trie;
+  const auto cells = SampleCells(20, 3);
+  const auto result = trie.Build(*block_, cells, size_t{1} << 22);
+  EXPECT_EQ(result.cached_cells, cells.size());
+  EXPECT_EQ(trie.num_cached(), cells.size());
+  for (const cell::CellId& c : cells) {
+    EXPECT_TRUE(trie.IsCached(c)) << c;
+  }
+}
+
+TEST_F(AggregateTrieTest, CachedAggregatesMatchBlock) {
+  AggregateTrie trie;
+  const auto cells = SampleCells(25, 4);
+  trie.Build(*block_, cells, size_t{1} << 22);
+
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  for (int c = 0; c < 7; ++c) {
+    req.Add(AggFn::kSum, c);
+    req.Add(AggFn::kMin, c);
+    req.Add(AggFn::kMax, c);
+  }
+  for (const cell::CellId& c : cells) {
+    const auto probe = trie.Lookup(c);
+    ASSERT_TRUE(probe.node_exists);
+    ASSERT_NE(probe.agg, nullptr);
+    Accumulator from_cache(&req);
+    trie.Combine(probe.agg, &from_cache);
+    const std::vector<cell::CellId> covering{c};
+    const QueryResult expected = block_->SelectCovering(covering, req);
+    const QueryResult actual = from_cache.Finish();
+    ASSERT_EQ(actual.count, expected.count);
+    for (size_t i = 0; i < expected.values.size(); ++i) {
+      ASSERT_NEAR(actual.values[i], expected.values[i],
+                  1e-9 * std::abs(expected.values[i]) + 1e-9);
+    }
+  }
+}
+
+TEST_F(AggregateTrieTest, BudgetIsRespected) {
+  AggregateTrie trie;
+  const auto cells = SampleCells(200, 5);
+  const size_t budget = 4096;
+  const auto result = trie.Build(*block_, cells, budget);
+  EXPECT_LE(result.bytes_used, budget);
+  EXPECT_LT(result.cached_cells, cells.size());
+  EXPECT_GT(result.cached_cells, 0u);
+  EXPECT_EQ(trie.MemoryBytes(), result.bytes_used);
+}
+
+TEST_F(AggregateTrieTest, InsertionStopsAtFirstNonFitting) {
+  // Cells are inserted in rank order until the budget is hit; the cached
+  // set must be a prefix of the ranked list.
+  AggregateTrie trie;
+  const auto cells = SampleCells(60, 6);
+  trie.Build(*block_, cells, 2048);
+  bool seen_uncached = false;
+  for (const cell::CellId& c : cells) {
+    const bool cached = trie.IsCached(c);
+    if (seen_uncached) {
+      EXPECT_FALSE(cached) << "non-prefix caching at " << c;
+    }
+    if (!cached) seen_uncached = true;
+  }
+  EXPECT_TRUE(seen_uncached);
+}
+
+TEST_F(AggregateTrieTest, LookupOnPathNodes) {
+  AggregateTrie trie;
+  const auto cells = SampleCells(5, 7);
+  trie.Build(*block_, cells, size_t{1} << 22);
+  // Ancestors of cached cells (below the root) have nodes but no
+  // aggregates (unless they are cached themselves).
+  const cell::CellId cached = cells[0];
+  if (cached.level() > trie.root_cell().level() + 1) {
+    const cell::CellId parent = cached.Parent();
+    const auto probe = trie.Lookup(parent);
+    EXPECT_TRUE(probe.node_exists);
+    if (std::find(cells.begin(), cells.end(), parent) == cells.end()) {
+      EXPECT_EQ(probe.agg, nullptr);
+    }
+    // And the cached cell appears among the parent's direct children.
+    const auto children = trie.DirectChildren(probe.node_offset);
+    const int k = cached.ChildPosition();
+    EXPECT_TRUE(children[k].exists);
+    EXPECT_NE(children[k].agg, nullptr);
+  }
+}
+
+TEST_F(AggregateTrieTest, LookupMissesForUnrelatedCells) {
+  AggregateTrie trie;
+  const auto cells = SampleCells(5, 8);
+  trie.Build(*block_, cells, size_t{1} << 22);
+  // A cell outside the root (mid-Pacific) has no node.
+  const cell::CellId far = cell::CellId::FromPoint({0.1, 0.6}).Parent(10);
+  const auto probe = trie.Lookup(far);
+  EXPECT_FALSE(probe.node_exists);
+  EXPECT_EQ(probe.agg, nullptr);
+}
+
+TEST_F(AggregateTrieTest, RootCellEnclosesBlock) {
+  AggregateTrie trie;
+  trie.Build(*block_, SampleCells(3, 9), size_t{1} << 22);
+  EXPECT_TRUE(trie.root_cell().Contains(cell::CellId(block_->header().min_cell)));
+  EXPECT_TRUE(trie.root_cell().Contains(cell::CellId(block_->header().max_cell)));
+}
+
+TEST_F(AggregateTrieTest, CellsCoarserThanRootAreSkipped) {
+  AggregateTrie trie;
+  std::vector<cell::CellId> cells{cell::CellId::Root()};
+  const auto sample = SampleCells(3, 10);
+  cells.insert(cells.end(), sample.begin(), sample.end());
+  const auto result = trie.Build(*block_, cells, size_t{1} << 22);
+  // Root() of the whole square is coarser than the trie root (NYC data
+  // occupies a tiny part of the earth) and cannot be cached.
+  EXPECT_EQ(result.cached_cells, sample.size());
+  EXPECT_FALSE(trie.IsCached(cell::CellId::Root()));
+}
+
+TEST_F(AggregateTrieTest, CachedCountAccessor) {
+  AggregateTrie trie;
+  const auto cells = SampleCells(4, 11);
+  trie.Build(*block_, cells, size_t{1} << 22);
+  for (const cell::CellId& c : cells) {
+    const auto probe = trie.Lookup(c);
+    ASSERT_NE(probe.agg, nullptr);
+    EXPECT_EQ(AggregateTrie::CachedCount(probe.agg),
+              block_->AggregateForCell(c).count);
+  }
+}
+
+TEST_F(AggregateTrieTest, NodeCostAccounting) {
+  // A single cached cell at depth d below the root needs d child blocks
+  // (32 bytes each) plus the aggregate payload.
+  AggregateTrie trie;
+  const auto cells = SampleCells(1, 12);
+  const auto result = trie.Build(*block_, cells, size_t{1} << 22);
+  ASSERT_EQ(result.cached_cells, 1u);
+  const size_t depth =
+      static_cast<size_t>(cells[0].level() - trie.root_cell().level());
+  const size_t agg_bytes = 8 + 24 * block_->num_columns();
+  EXPECT_EQ(result.bytes_used, 8 + 8 + depth * 32 + agg_bytes);
+}
+
+}  // namespace
+}  // namespace geoblocks::core

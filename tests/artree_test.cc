@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "index/artree.h"
+#include "workload/datagen.h"
+
+namespace geoblocks::index {
+namespace {
+
+storage::SortedDataset MakeData(size_t n, uint64_t seed) {
+  const storage::PointTable raw = workload::GenTaxi(n, seed);
+  storage::ExtractOptions options;
+  options.clean_bounds = workload::NycBounds();
+  return storage::SortedDataset::Extract(raw, options);
+}
+
+TEST(ARTreeTest, EmptyTree) {
+  const storage::PointTable raw(storage::Schema{{"a"}});
+  const auto data =
+      storage::SortedDataset::Extract(raw, storage::ExtractOptions{});
+  const ARTree tree = ARTree::Build(&data);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.CountRect(geo::Rect{{-180, -90}, {180, 90}}), 0u);
+}
+
+TEST(ARTreeTest, BuildAndGlobalCount) {
+  const auto data = MakeData(5000, 1);
+  const ARTree tree = ARTree::Build(&data);
+  EXPECT_EQ(tree.size(), data.num_rows());
+  EXPECT_GE(tree.height(), 2);
+  // A rect covering everything is answered from the root aggregate.
+  EXPECT_EQ(tree.CountRect(geo::Rect{{-180, -90}, {180, 90}}),
+            data.num_rows());
+}
+
+TEST(ARTreeTest, CountIsUpperBoundAndUsuallyClose) {
+  const auto data = MakeData(8000, 2);
+  const ARTree tree = ARTree::Build(&data);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> lon(-74.1, -73.8);
+  std::uniform_real_distribution<double> lat(40.6, 40.85);
+  for (int t = 0; t < 40; ++t) {
+    double x0 = lon(rng), x1 = lon(rng);
+    double y0 = lat(rng), y1 = lat(rng);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    const geo::Rect rect{{x0, y0}, {x1, y1}};
+    uint64_t exact = 0;
+    for (size_t row = 0; row < data.num_rows(); ++row) {
+      if (rect.Contains(data.Location(row))) ++exact;
+    }
+    const uint64_t approx = tree.CountRect(rect);
+    // Listing 3 may double count points under partially overlapping nodes
+    // and may miss points when descending exclusively into a containing
+    // child — the paper itself reports aR-tree errors of 50%+ (Figure 15).
+    // Only bound the error loosely (right ballpark, never wildly off).
+    ASSERT_LE(approx, 3 * exact + 64) << rect;
+    ASSERT_GE(4 * approx + 64, exact) << rect;
+  }
+}
+
+TEST(ARTreeTest, AggregatesConsistentWithCount) {
+  const auto data = MakeData(4000, 4);
+  const ARTree tree = ARTree::Build(&data);
+  core::AggregateRequest req;
+  req.Add(core::AggFn::kCount);
+  req.Add(core::AggFn::kSum, 0);
+  req.Add(core::AggFn::kMin, 0);
+  req.Add(core::AggFn::kMax, 0);
+  const geo::Rect rect{{-74.05, 40.70}, {-73.90, 40.80}};
+  const core::QueryResult r = tree.SelectRect(rect, req);
+  EXPECT_EQ(r.count, tree.CountRect(rect));
+  if (r.count > 0) {
+    EXPECT_LE(r.values[2], r.values[3]);  // min <= max
+    EXPECT_GE(r.values[1], r.values[2] * static_cast<double>(r.count) - 1e6);
+  }
+}
+
+TEST(ARTreeTest, GlobalAggregatesExact) {
+  // Root aggregates are maintained exactly through inserts and splits.
+  const auto data = MakeData(6000, 5);
+  const ARTree tree = ARTree::Build(&data);
+  core::AggregateRequest req;
+  req.Add(core::AggFn::kCount);
+  req.Add(core::AggFn::kSum, 0);
+  req.Add(core::AggFn::kMin, 1);
+  req.Add(core::AggFn::kMax, 1);
+  const core::QueryResult r =
+      tree.SelectRect(geo::Rect{{-180, -90}, {180, 90}}, req);
+  double sum = 0;
+  double mn = 1e300;
+  double mx = -1e300;
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    sum += data.Value(row, 0);
+    mn = std::min(mn, data.Value(row, 1));
+    mx = std::max(mx, data.Value(row, 1));
+  }
+  EXPECT_EQ(r.count, data.num_rows());
+  EXPECT_NEAR(r.values[1], sum, 1e-6 * std::abs(sum));
+  EXPECT_EQ(r.values[2], mn);
+  EXPECT_EQ(r.values[3], mx);
+}
+
+TEST(ARTreeTest, EmptyRectQuery) {
+  const auto data = MakeData(1000, 6);
+  const ARTree tree = ARTree::Build(&data);
+  EXPECT_EQ(tree.CountRect(geo::Rect::Empty()), 0u);
+  // Disjoint rect (Pacific).
+  EXPECT_EQ(tree.CountRect(geo::Rect{{-160, 10}, {-150, 20}}), 0u);
+}
+
+TEST(ARTreeTest, PolygonUsesInteriorRect) {
+  const auto data = MakeData(5000, 7);
+  const ARTree tree = ARTree::Build(&data);
+  const geo::Rect rect{{-74.05, 40.70}, {-73.90, 40.80}};
+  const geo::Polygon poly = geo::Polygon::FromRect(rect);
+  // The interior rect of a rectangle polygon is (nearly) itself.
+  EXPECT_NEAR(static_cast<double>(tree.Count(poly)),
+              static_cast<double>(tree.CountRect(rect)),
+              0.02 * static_cast<double>(tree.CountRect(rect)) + 8.0);
+}
+
+TEST(ARTreeTest, MemoryAndMoveSemantics) {
+  auto data = MakeData(3000, 8);
+  ARTree tree = ARTree::Build(&data);
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+  const size_t bytes = tree.MemoryBytes();
+  const uint64_t count = tree.CountRect(geo::Rect{{-180, -90}, {180, 90}});
+  ARTree moved = std::move(tree);
+  EXPECT_EQ(moved.MemoryBytes(), bytes);
+  EXPECT_EQ(moved.CountRect(geo::Rect{{-180, -90}, {180, 90}}), count);
+}
+
+class ARTreeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ARTreeSizeTest, SizeAndStructureInvariant) {
+  const auto data = MakeData(GetParam(), 100 + GetParam());
+  const ARTree tree = ARTree::Build(&data);
+  ASSERT_EQ(tree.size(), data.num_rows());
+  EXPECT_EQ(tree.CountRect(geo::Rect{{-180, -90}, {180, 90}}),
+            data.num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ARTreeSizeTest,
+                         ::testing::Values(1, 16, 17, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace geoblocks::index

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "index/btree.h"
+
+namespace geoblocks::index {
+namespace {
+
+std::vector<uint64_t> RandomSortedKeys(size_t n, uint64_t seed,
+                                       uint64_t max_key = uint64_t{1} << 61) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> dist(0, max_key - 1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = dist(rng);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(BTreeTest, EmptyTree) {
+  const BTree tree = BTree::BulkLoad({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.SeekFirst(123), 0u);
+  EXPECT_EQ(tree.SeekPastLast(123), 0u);
+}
+
+TEST(BTreeTest, SingleEntry) {
+  const BTree tree = BTree::BulkLoad({42});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.SeekFirst(0), 0u);
+  EXPECT_EQ(tree.SeekFirst(42), 0u);
+  EXPECT_EQ(tree.SeekFirst(43), 1u);
+  EXPECT_EQ(tree.SeekPastLast(42), 1u);
+  EXPECT_EQ(tree.SeekPastLast(41), 0u);
+}
+
+TEST(BTreeTest, SeekMatchesLowerBound) {
+  const auto keys = RandomSortedKeys(20000, 1);
+  const BTree tree = BTree::BulkLoad(keys);
+  EXPECT_GT(tree.height(), 1u);
+  std::mt19937_64 rng(2);
+  std::uniform_int_distribution<uint64_t> dist(0, uint64_t{1} << 61);
+  for (int t = 0; t < 5000; ++t) {
+    const uint64_t probe = dist(rng);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    ASSERT_EQ(tree.SeekFirst(probe), expected) << "probe " << probe;
+  }
+}
+
+TEST(BTreeTest, SeekExistingKeys) {
+  const auto keys = RandomSortedKeys(5000, 3);
+  const BTree tree = BTree::BulkLoad(keys);
+  for (size_t i = 0; i < keys.size(); i += 13) {
+    const size_t pos = tree.SeekFirst(keys[i]);
+    ASSERT_LE(pos, i);
+    ASSERT_EQ(keys[pos], keys[i]);
+    if (pos > 0) {
+      ASSERT_LT(keys[pos - 1], keys[i]);
+    }
+  }
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100; ++i) {
+    for (int d = 0; d < 7; ++d) keys.push_back(100 + 10 * i);
+  }
+  const BTree tree = BTree::BulkLoad(keys);
+  // SeekFirst lands on the first duplicate.
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t k = 100 + 10 * i;
+    EXPECT_EQ(tree.SeekFirst(k), static_cast<size_t>(i) * 7);
+    EXPECT_EQ(tree.SeekPastLast(k), static_cast<size_t>(i + 1) * 7);
+  }
+}
+
+TEST(BTreeTest, RangeCountsMatchScan) {
+  const auto keys = RandomSortedKeys(10000, 4, 100000);
+  const BTree tree = BTree::BulkLoad(keys);
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 500; ++t) {
+    uint64_t lo = rng() % 100000;
+    uint64_t hi = rng() % 100000;
+    if (lo > hi) std::swap(lo, hi);
+    const size_t first = tree.SeekFirst(lo);
+    const size_t last = tree.SeekPastLast(hi);
+    size_t expected = 0;
+    for (uint64_t k : keys) {
+      if (k >= lo && k <= hi) ++expected;
+    }
+    ASSERT_EQ(last - first, expected);
+  }
+}
+
+TEST(BTreeTest, SeekPastLastMaxKey) {
+  const auto keys = RandomSortedKeys(1000, 6);
+  const BTree tree = BTree::BulkLoad(keys);
+  EXPECT_EQ(tree.SeekPastLast(UINT64_MAX), keys.size());
+}
+
+TEST(BTreeTest, MemoryGrowsWithEntries) {
+  const BTree small = BTree::BulkLoad(RandomSortedKeys(1000, 7));
+  const BTree large = BTree::BulkLoad(RandomSortedKeys(100000, 8));
+  EXPECT_GT(small.MemoryBytes(), 0u);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+  // Overhead is roughly 12 bytes per entry (key + offset) plus inner nodes.
+  EXPECT_LT(large.MemoryBytes(), 100000u * 24);
+}
+
+class BTreeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeSizeTest, BoundaryProbes) {
+  const auto keys = RandomSortedKeys(GetParam(), 42 + GetParam());
+  const BTree tree = BTree::BulkLoad(keys);
+  ASSERT_EQ(tree.size(), GetParam());
+  if (keys.empty()) return;
+  EXPECT_EQ(tree.SeekFirst(0), 0u);
+  EXPECT_EQ(tree.SeekFirst(keys.front()), 0u);
+  const size_t at_back = tree.SeekFirst(keys.back());
+  ASSERT_LT(at_back, keys.size());
+  EXPECT_EQ(keys[at_back], keys.back());
+  EXPECT_EQ(tree.SeekFirst(keys.back() + 1), keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeSizeTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 4095, 4096,
+                                           4097, 50000));
+
+}  // namespace
+}  // namespace geoblocks::index

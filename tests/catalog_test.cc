@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "workload/datagen.h"
+
+namespace geoblocks::core {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const storage::PointTable raw = workload::GenTaxi(10000, 71);
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new storage::SortedDataset(
+        storage::SortedDataset::Extract(raw, options));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static storage::Filter LongTrips() {
+    storage::Filter f;
+    f.Add({1, storage::CompareOp::kGe, 4.0});
+    return f;
+  }
+
+  static storage::SortedDataset* data_;
+};
+
+storage::SortedDataset* CatalogTest::data_ = nullptr;
+
+TEST(LevelForErrorBoundTest, PicksCoarsestSatisfyingLevel) {
+  for (const double bound : {10.0, 100.0, 1000.0, 50000.0}) {
+    const int level = LevelForErrorBound(bound);
+    EXPECT_LE(cell::ApproxCellDiagonalMeters(level), bound);
+    if (level > 0) {
+      EXPECT_GT(cell::ApproxCellDiagonalMeters(level - 1), bound);
+    }
+  }
+  // Impossible bounds clamp to the maximum level.
+  EXPECT_EQ(LevelForErrorBound(0.0), cell::CellId::kMaxLevel);
+}
+
+TEST_F(CatalogTest, GetOrBuildCachesBlocks) {
+  BlockCatalog catalog(data_);
+  const GeoBlock& a = catalog.GetOrBuild({15, {}});
+  EXPECT_EQ(catalog.num_blocks(), 1u);
+  const GeoBlock& b = catalog.GetOrBuild({15, {}});
+  EXPECT_EQ(&a, &b) << "same combination must reuse the block";
+  catalog.GetOrBuild({17, {}});
+  EXPECT_EQ(catalog.num_blocks(), 2u);
+}
+
+TEST_F(CatalogTest, FilterIsPartOfTheKey) {
+  BlockCatalog catalog(data_);
+  const GeoBlock& all = catalog.GetOrBuild({15, {}});
+  const GeoBlock& filtered = catalog.GetOrBuild({15, LongTrips()});
+  EXPECT_NE(&all, &filtered);
+  EXPECT_LT(filtered.header().global.count, all.header().global.count);
+  EXPECT_EQ(catalog.num_blocks(), 2u);
+}
+
+TEST_F(CatalogTest, KeyIsCanonicalAcrossPredicateOrder) {
+  storage::Filter ab;
+  ab.Add({0, storage::CompareOp::kGe, 5.0});
+  ab.Add({1, storage::CompareOp::kLt, 2.0});
+  storage::Filter ba;
+  ba.Add({1, storage::CompareOp::kLt, 2.0});
+  ba.Add({0, storage::CompareOp::kGe, 5.0});
+  EXPECT_EQ(BlockCatalog::KeyOf({15, ab}), BlockCatalog::KeyOf({15, ba}));
+  EXPECT_NE(BlockCatalog::KeyOf({15, ab}), BlockCatalog::KeyOf({16, ab}));
+}
+
+TEST_F(CatalogTest, ForErrorBoundBuildsRequiredLevel) {
+  BlockCatalog catalog(data_);
+  const GeoBlock& coarse = catalog.ForErrorBound({}, 5000.0);
+  const GeoBlock& fine = catalog.ForErrorBound({}, 200.0);
+  EXPECT_LT(coarse.level(), fine.level());
+  EXPECT_LE(cell::ApproxCellDiagonalMeters(fine.level()), 200.0);
+}
+
+TEST_F(CatalogTest, ForErrorBoundReusesFinerBlock) {
+  BlockCatalog catalog(data_);
+  const GeoBlock& fine = catalog.GetOrBuild({18, {}});
+  // A 5 km bound would only need a coarse level; the existing finer block
+  // satisfies it without building a new one.
+  const GeoBlock& reused = catalog.ForErrorBound({}, 5000.0);
+  EXPECT_EQ(&fine, &reused);
+  EXPECT_EQ(catalog.num_blocks(), 1u);
+}
+
+TEST_F(CatalogTest, ForErrorBoundDoesNotReuseOtherFilters) {
+  BlockCatalog catalog(data_);
+  catalog.GetOrBuild({18, LongTrips()});
+  const GeoBlock& block = catalog.ForErrorBound({}, 5000.0);
+  EXPECT_EQ(block.header().global.count, data_->num_rows())
+      << "must not answer an unfiltered query from a filtered block";
+  EXPECT_EQ(catalog.num_blocks(), 2u);
+}
+
+TEST_F(CatalogTest, DropAndMemoryAccounting) {
+  BlockCatalog catalog(data_);
+  catalog.GetOrBuild({15, {}});
+  catalog.GetOrBuild({17, {}});
+  const size_t bytes = catalog.TotalMemoryBytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_TRUE(catalog.Drop({15, {}}));
+  EXPECT_FALSE(catalog.Drop({15, {}}));
+  EXPECT_LT(catalog.TotalMemoryBytes(), bytes);
+  EXPECT_EQ(catalog.num_blocks(), 1u);
+}
+
+TEST_F(CatalogTest, BlocksFromCatalogAnswerQueries) {
+  BlockCatalog catalog(data_);
+  const GeoBlock& block = catalog.ForErrorBound(LongTrips(), 300.0);
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  const QueryResult r = block.SelectCovering(all, req);
+  EXPECT_EQ(r.count, block.header().global.count);
+  EXPECT_LT(r.count, data_->num_rows());
+}
+
+}  // namespace
+}  // namespace geoblocks::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cell/hilbert.h"
+
+namespace geoblocks::cell {
+namespace {
+
+TEST(HilbertTest, Corners) {
+  // The curve starts at the origin.
+  EXPECT_EQ(HilbertXYToD(0, 0), 0u);
+  // It is a bijection onto [0, 4^30), so the last position exists.
+  const auto [li, lj] = HilbertDToXY((uint64_t{1} << 60) - 1);
+  EXPECT_EQ(HilbertXYToD(li, lj), (uint64_t{1} << 60) - 1);
+}
+
+TEST(HilbertTest, RoundTripRandom) {
+  std::mt19937_64 rng(123);
+  std::uniform_int_distribution<uint32_t> coord(0, kHilbertSide - 1);
+  for (int t = 0; t < 2000; ++t) {
+    const uint32_t i = coord(rng);
+    const uint32_t j = coord(rng);
+    const uint64_t d = HilbertXYToD(i, j);
+    const auto [ri, rj] = HilbertDToXY(d);
+    ASSERT_EQ(ri, i);
+    ASSERT_EQ(rj, j);
+  }
+}
+
+TEST(HilbertTest, RoundTripFromD) {
+  std::mt19937_64 rng(321);
+  std::uniform_int_distribution<uint64_t> dist(0, (uint64_t{1} << 60) - 1);
+  for (int t = 0; t < 2000; ++t) {
+    const uint64_t d = dist(rng);
+    const auto [i, j] = HilbertDToXY(d);
+    ASSERT_LT(i, kHilbertSide);
+    ASSERT_LT(j, kHilbertSide);
+    ASSERT_EQ(HilbertXYToD(i, j), d);
+  }
+}
+
+TEST(HilbertTest, AdjacencyProperty) {
+  // Consecutive curve positions are grid neighbours (Manhattan distance 1)
+  // — the defining locality property of the Hilbert curve.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<uint64_t> dist(0, (uint64_t{1} << 60) - 2);
+  for (int t = 0; t < 1000; ++t) {
+    const uint64_t d = dist(rng);
+    const auto [i1, j1] = HilbertDToXY(d);
+    const auto [i2, j2] = HilbertDToXY(d + 1);
+    const uint64_t manhattan =
+        (i1 > i2 ? i1 - i2 : i2 - i1) + (j1 > j2 ? j1 - j2 : j2 - j1);
+    ASSERT_EQ(manhattan, 1u) << "at d=" << d;
+  }
+}
+
+TEST(HilbertTest, HierarchyProperty) {
+  // All positions sharing their top 2l bits form an axis-aligned square of
+  // side 2^(30-l): verify for random cells at a few levels by checking the
+  // bounding box of sampled positions.
+  std::mt19937_64 rng(99);
+  for (const int level : {1, 2, 5, 10, 20, 29}) {
+    const int shift = 2 * (kHilbertOrder - level);
+    std::uniform_int_distribution<uint64_t> prefix_dist(
+        0, (uint64_t{1} << (2 * level)) - 1);
+    const uint64_t prefix = prefix_dist(rng) << shift;
+    const uint64_t block = uint64_t{1} << shift;
+    const uint32_t side = uint32_t{1} << (kHilbertOrder - level);
+
+    const auto [i0, j0] = HilbertDToXY(prefix);
+    const uint32_t base_i = i0 & ~(side - 1);
+    const uint32_t base_j = j0 & ~(side - 1);
+    std::uniform_int_distribution<uint64_t> within(0, block - 1);
+    for (int s = 0; s < 200; ++s) {
+      const auto [i, j] = HilbertDToXY(prefix + within(rng));
+      ASSERT_GE(i, base_i);
+      ASSERT_LT(i, base_i + side);
+      ASSERT_GE(j, base_j);
+      ASSERT_LT(j, base_j + side);
+    }
+  }
+}
+
+TEST(HilbertTest, FirstFourQuadrants) {
+  // At the top level the curve visits the four quadrants in some fixed
+  // order; each quarter of the d-range must stay within one quadrant.
+  const uint64_t quarter = uint64_t{1} << 58;
+  const uint32_t half = kHilbertSide / 2;
+  for (int q = 0; q < 4; ++q) {
+    const auto [i_a, j_a] = HilbertDToXY(q * quarter);
+    const auto [i_b, j_b] = HilbertDToXY(q * quarter + quarter - 1);
+    EXPECT_EQ(i_a / half, i_b / half) << "quadrant " << q;
+    EXPECT_EQ(j_a / half, j_b / half) << "quadrant " << q;
+  }
+}
+
+}  // namespace
+}  // namespace geoblocks::cell

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/wkt.h"
+
+namespace geoblocks::io {
+namespace {
+
+TEST(WktTest, ParseSimplePolygon) {
+  const auto poly =
+      ParseWktPolygon("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_EQ(poly->rings().size(), 1u);
+  EXPECT_EQ(poly->num_vertices(), 4u);  // closing vertex dropped
+  EXPECT_DOUBLE_EQ(poly->Area(), 16.0);
+  EXPECT_TRUE(poly->Contains({2, 2}));
+}
+
+TEST(WktTest, ParsePolygonWithHole) {
+  const auto poly = ParseWktPolygon(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_EQ(poly->rings().size(), 2u);
+  EXPECT_TRUE(poly->Contains({1, 1}));
+  EXPECT_FALSE(poly->Contains({5, 5}));
+}
+
+TEST(WktTest, ParseMultiPolygon) {
+  const auto poly = ParseWktPolygon(
+      "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), "
+      "((5 5, 7 5, 7 7, 5 7, 5 5)))");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_EQ(poly->rings().size(), 2u);
+  EXPECT_TRUE(poly->Contains({1, 1}));
+  EXPECT_TRUE(poly->Contains({6, 6}));
+  EXPECT_FALSE(poly->Contains({3.5, 3.5}));
+}
+
+TEST(WktTest, CaseAndWhitespaceInsensitive) {
+  const auto poly =
+      ParseWktPolygon("  polygon((0 0,1 0,1 1,0 1,0 0))  ");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_DOUBLE_EQ(poly->Area(), 1.0);
+}
+
+TEST(WktTest, NegativeAndFractionalCoordinates) {
+  const auto poly = ParseWktPolygon(
+      "POLYGON ((-74.01 40.70, -73.97 40.70, -73.97 40.73, -74.01 40.73, "
+      "-74.01 40.70))");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_TRUE(poly->Contains({-73.99, 40.71}));
+}
+
+TEST(WktTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWktPolygon("").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POINT (1 2)").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 1))").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1").has_value());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((a b, c d, e f))").has_value());
+  EXPECT_FALSE(
+      ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1, 0 1)) trailing").has_value());
+}
+
+TEST(WktTest, RoundTrip) {
+  const auto original = ParseWktPolygon(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  ASSERT_TRUE(original.has_value());
+  const auto reparsed = ParseWktPolygon(ToWkt(*original));
+  ASSERT_TRUE(reparsed.has_value());
+  ASSERT_EQ(reparsed->rings().size(), original->rings().size());
+  for (size_t r = 0; r < original->rings().size(); ++r) {
+    ASSERT_EQ(reparsed->rings()[r], original->rings()[r]);
+  }
+}
+
+TEST(CsvTest, ReadBasic) {
+  std::stringstream csv(
+      "pickup_longitude,pickup_latitude,fare,distance\n"
+      "-73.98,40.75,12.5,2.1\n"
+      "-73.95,40.78,8.0,1.0\n");
+  const auto result = ReadCsv(csv);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows_read, 2u);
+  EXPECT_EQ(result->rows_skipped, 0u);
+  EXPECT_EQ(result->table.num_columns(), 2u);
+  EXPECT_EQ(result->table.schema().ColumnIndex("fare"), 0);
+  EXPECT_EQ(result->table.Location(0), (geo::Point{-73.98, 40.75}));
+  EXPECT_EQ(result->table.Value(1, 1), 1.0);
+}
+
+TEST(CsvTest, SkipsDirtyRows) {
+  std::stringstream csv(
+      "pickup_longitude,pickup_latitude,fare\n"
+      "-73.98,40.75,12.5\n"
+      "oops,40.75,1.0\n"
+      "-73.95,40.78\n"
+      "-73.90,40.70,not_a_number\n"
+      "-73.91,40.71,3.5\n");
+  const auto result = ReadCsv(csv);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows_read, 2u);
+  EXPECT_EQ(result->rows_skipped, 3u);
+}
+
+TEST(CsvTest, StrictModeFailsOnDirtyRows) {
+  std::stringstream csv(
+      "pickup_longitude,pickup_latitude,fare\n"
+      "bad,row,here\n");
+  CsvOptions options;
+  options.skip_bad_rows = false;
+  EXPECT_FALSE(ReadCsv(csv, options).has_value());
+}
+
+TEST(CsvTest, MissingLocationColumns) {
+  std::stringstream csv("a,b,c\n1,2,3\n");
+  EXPECT_FALSE(ReadCsv(csv).has_value());
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadCsv(empty).has_value());
+}
+
+TEST(CsvTest, CustomColumnsAndDelimiter) {
+  std::stringstream csv("lon;lat;v\n1.5;2.5;3.5\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  options.longitude_column = "lon";
+  options.latitude_column = "lat";
+  const auto result = ReadCsv(csv, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows_read, 1u);
+  EXPECT_EQ(result->table.Location(0), (geo::Point{1.5, 2.5}));
+}
+
+TEST(CsvTest, RoundTrip) {
+  storage::Schema schema;
+  schema.column_names = {"fare", "tip"};
+  storage::PointTable table(schema);
+  table.AddRow({-73.98, 40.75}, {12.5, 2.0});
+  table.AddRow({-73.91, 40.71}, {3.25, 0.5});
+
+  std::stringstream stream;
+  WriteCsv(table, stream);
+  const auto result = ReadCsv(stream);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows_read, 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(result->table.Location(r), table.Location(r));
+    EXPECT_EQ(result->table.Value(r, 0), table.Value(r, 0));
+    EXPECT_EQ(result->table.Value(r, 1), table.Value(r, 1));
+  }
+}
+
+}  // namespace
+}  // namespace geoblocks::io

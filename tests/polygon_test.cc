@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geo/polygon.h"
+
+namespace geoblocks::geo {
+namespace {
+
+Polygon UnitSquarePoly() {
+  return Polygon{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+}
+
+TEST(PolygonTest, EmptyPolygon) {
+  const Polygon p;
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_FALSE(p.Contains({0, 0}));
+  EXPECT_EQ(p.Area(), 0.0);
+  EXPECT_TRUE(p.Bounds().IsEmpty());
+}
+
+TEST(PolygonTest, DegenerateRingRejected) {
+  Polygon p;
+  p.AddRing({{0, 0}, {1, 1}});  // fewer than 3 vertices
+  EXPECT_TRUE(p.IsEmpty());
+}
+
+TEST(PolygonTest, SquareContainment) {
+  const Polygon p = UnitSquarePoly();
+  EXPECT_TRUE(p.Contains({0.5, 0.5}));
+  EXPECT_FALSE(p.Contains({1.5, 0.5}));
+  EXPECT_FALSE(p.Contains({-0.1, 0.5}));
+  // Boundary points count as inside.
+  EXPECT_TRUE(p.Contains({0, 0}));
+  EXPECT_TRUE(p.Contains({0.5, 0}));
+  EXPECT_TRUE(p.Contains({1, 1}));
+}
+
+TEST(PolygonTest, TriangleContainment) {
+  const Polygon p{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_TRUE(p.Contains({1, 1}));
+  EXPECT_FALSE(p.Contains({3, 3}));
+  EXPECT_TRUE(p.Contains({2, 2}));  // on the hypotenuse
+}
+
+TEST(PolygonTest, ConcavePolygon) {
+  // A "U" shape.
+  const Polygon p{{0, 0}, {5, 0}, {5, 5}, {4, 5}, {4, 1}, {1, 1}, {1, 5},
+                  {0, 5}};
+  EXPECT_TRUE(p.Contains({0.5, 3}));   // left arm
+  EXPECT_TRUE(p.Contains({4.5, 3}));   // right arm
+  EXPECT_FALSE(p.Contains({2.5, 3}));  // the notch
+  EXPECT_TRUE(p.Contains({2.5, 0.5}));
+}
+
+TEST(PolygonTest, PolygonWithHole) {
+  Polygon p;
+  p.AddRing({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  p.AddRing({{4, 4}, {6, 4}, {6, 6}, {4, 6}});  // hole (even-odd)
+  EXPECT_TRUE(p.Contains({1, 1}));
+  EXPECT_FALSE(p.Contains({5, 5}));  // inside the hole
+  EXPECT_TRUE(p.Contains({4, 5}));   // on the hole's boundary
+  EXPECT_DOUBLE_EQ(p.Area(), 100.0 - 4.0);
+}
+
+TEST(PolygonTest, Area) {
+  EXPECT_DOUBLE_EQ(UnitSquarePoly().Area(), 1.0);
+  const Polygon tri{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(tri.Area(), 8.0);
+  // Orientation must not matter.
+  const Polygon tri_cw{{0, 0}, {0, 4}, {4, 0}};
+  EXPECT_DOUBLE_EQ(tri_cw.Area(), 8.0);
+}
+
+TEST(PolygonTest, Bounds) {
+  const Polygon p{{1, 2}, {5, -1}, {3, 7}};
+  EXPECT_EQ(p.Bounds(), (Rect{{1, -1}, {5, 7}}));
+}
+
+TEST(PolygonTest, ContainsRect) {
+  const Polygon p = UnitSquarePoly();
+  EXPECT_TRUE(p.ContainsRect(Rect{{0.2, 0.2}, {0.8, 0.8}}));
+  // ContainsRect is conservative for rectangles touching the boundary: the
+  // identical rect is reported as not (strictly) contained, which only ever
+  // demotes an interior cell to a boundary cell in the coverer.
+  EXPECT_FALSE(p.ContainsRect(Rect{{0, 0}, {1, 1}}));
+  EXPECT_FALSE(p.ContainsRect(Rect{{0.5, 0.5}, {1.5, 0.8}}));
+  EXPECT_FALSE(p.ContainsRect(Rect{{2, 2}, {3, 3}}));
+}
+
+TEST(PolygonTest, ContainsRectConcaveCounterexample) {
+  // All four corners inside but an edge passes through the rect.
+  const Polygon p{{0, 0}, {5, 0}, {5, 5}, {2.5, 1.5}, {0, 5}};
+  const Rect r{{1, 0.5}, {4, 2.5}};
+  for (const Point& c : r.Corners()) {
+    ASSERT_TRUE(p.Contains(c));
+  }
+  EXPECT_FALSE(p.ContainsRect(r));
+}
+
+TEST(PolygonTest, IntersectsRect) {
+  const Polygon p = UnitSquarePoly();
+  EXPECT_TRUE(p.IntersectsRect(Rect{{0.5, 0.5}, {2, 2}}));  // overlap
+  EXPECT_TRUE(p.IntersectsRect(Rect{{-1, -1}, {2, 2}}));    // rect covers poly
+  EXPECT_TRUE(p.IntersectsRect(Rect{{0.4, 0.4}, {0.6, 0.6}}));  // inside
+  EXPECT_FALSE(p.IntersectsRect(Rect{{2, 2}, {3, 3}}));
+  // Rect crossed by an edge without containing any vertex of the polygon
+  // and without any of its corners inside the polygon.
+  const Polygon diamond{{0, -2}, {2, 0}, {0, 2}, {-2, 0}};
+  EXPECT_TRUE(diamond.IntersectsRect(Rect{{-3, -0.5}, {3, 0.5}}));
+}
+
+TEST(PolygonTest, IntersectsRectTouching) {
+  const Polygon p = UnitSquarePoly();
+  EXPECT_TRUE(p.IntersectsRect(Rect{{1, 0}, {2, 1}}));  // shares an edge
+}
+
+TEST(PolygonTest, FromRect) {
+  const Polygon p = Polygon::FromRect(Rect{{1, 1}, {3, 2}});
+  EXPECT_EQ(p.num_vertices(), 4u);
+  EXPECT_DOUBLE_EQ(p.Area(), 2.0);
+  EXPECT_TRUE(p.Contains({2, 1.5}));
+}
+
+TEST(PolygonTest, RegularNGon) {
+  const Polygon hex = Polygon::RegularNGon({0, 0}, 1.0, 6);
+  EXPECT_EQ(hex.num_vertices(), 6u);
+  EXPECT_TRUE(hex.Contains({0, 0}));
+  EXPECT_FALSE(hex.Contains({1.1, 0}));
+  // Area of a regular hexagon with circumradius 1 is 3*sqrt(3)/2.
+  EXPECT_NEAR(hex.Area(), 3.0 * std::sqrt(3.0) / 2.0, 1e-9);
+}
+
+class PolygonPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolygonPropertyTest, RectPredicatesConsistentWithPointSampling) {
+  // Property: for random star polygons and random rects,
+  //  - ContainsRect(r) implies every sampled point of r is contained;
+  //  - !IntersectsRect(r) implies no sampled point of r is contained.
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const Polygon poly =
+      Polygon::RegularNGon({0.5, 0.5}, 0.25 + 0.2 * uni(rng),
+                           3 + static_cast<int>(uni(rng) * 9), uni(rng));
+  for (int t = 0; t < 50; ++t) {
+    const double x = uni(rng);
+    const double y = uni(rng);
+    const double w = 0.01 + 0.3 * uni(rng);
+    const double h = 0.01 + 0.3 * uni(rng);
+    const Rect r{{x, y}, {x + w, y + h}};
+    const bool contains = poly.ContainsRect(r);
+    const bool intersects = poly.IntersectsRect(r);
+    if (contains) {
+      EXPECT_TRUE(intersects);
+    }
+    for (int s = 0; s < 20; ++s) {
+      const Point p{r.min.x + uni(rng) * w, r.min.y + uni(rng) * h};
+      const bool inside = poly.Contains(p);
+      if (contains) {
+        EXPECT_TRUE(inside) << "rect " << r << " point " << p;
+      }
+      if (!intersects) {
+        EXPECT_FALSE(inside) << "rect " << r << " point " << p;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolygonPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace geoblocks::geo

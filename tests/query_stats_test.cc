@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/query_stats.h"
+
+namespace geoblocks::core {
+namespace {
+
+cell::CellId CellAt(double x, double y, int level) {
+  return cell::CellId::FromPoint({x, y}).Parent(level);
+}
+
+TEST(QueryStatsTest, RecordAndHits) {
+  QueryStats stats;
+  const cell::CellId c = CellAt(0.3, 0.3, 10);
+  EXPECT_EQ(stats.HitsFor(c), 0u);
+  stats.Record(c);
+  stats.Record(c);
+  EXPECT_EQ(stats.HitsFor(c), 2u);
+  EXPECT_EQ(stats.num_distinct_cells(), 1u);
+}
+
+TEST(QueryStatsTest, ScoreAddsParentHits) {
+  QueryStats stats;
+  const cell::CellId child = CellAt(0.3, 0.3, 10);
+  const cell::CellId parent = child.Parent();
+  stats.Record(child);
+  stats.Record(parent);
+  stats.Record(parent);
+  // Child score: own hits (1) + parent hits (2).
+  EXPECT_EQ(stats.Score(child), 3u);
+  // Parent score: own hits (2) + grandparent hits (0).
+  EXPECT_EQ(stats.Score(parent), 2u);
+}
+
+TEST(QueryStatsTest, RankingByScoreThenLevelThenKey) {
+  QueryStats stats;
+  const cell::CellId hot = CellAt(0.2, 0.2, 12);
+  const cell::CellId warm = CellAt(0.7, 0.7, 12);
+  const cell::CellId cold = CellAt(0.5, 0.1, 12);
+  for (int i = 0; i < 5; ++i) stats.Record(hot);
+  for (int i = 0; i < 3; ++i) stats.Record(warm);
+  stats.Record(cold);
+  const auto ranked = stats.RankedCells();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], hot);
+  EXPECT_EQ(ranked[1], warm);
+  EXPECT_EQ(ranked[2], cold);
+}
+
+TEST(QueryStatsTest, TieBrokenByCoarserLevelFirst) {
+  QueryStats stats;
+  const cell::CellId fine = CellAt(0.4, 0.4, 14);
+  const cell::CellId coarse = CellAt(0.8, 0.2, 9);
+  stats.Record(fine);
+  stats.Record(coarse);
+  const auto ranked = stats.RankedCells();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], coarse) << "coarser-grained cells come first";
+  EXPECT_EQ(ranked[1], fine);
+}
+
+TEST(QueryStatsTest, TieBrokenBySpatialKey) {
+  QueryStats stats;
+  const cell::CellId a = CellAt(0.1, 0.1, 11);
+  const cell::CellId b = CellAt(0.9, 0.9, 11);
+  stats.Record(a);
+  stats.Record(b);
+  const auto ranked = stats.RankedCells();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_LT(ranked[0].id(), ranked[1].id());
+}
+
+TEST(QueryStatsTest, DeterministicRanking) {
+  QueryStats a;
+  QueryStats b;
+  for (int i = 0; i < 50; ++i) {
+    const cell::CellId c = CellAt(0.01 * i, 0.02 * i, 8 + i % 8);
+    for (int r = 0; r < i % 5; ++r) {
+      a.Record(c);
+      b.Record(c);
+    }
+  }
+  EXPECT_EQ(a.RankedCells(), b.RankedCells());
+}
+
+TEST(QueryStatsTest, Clear) {
+  QueryStats stats;
+  stats.Record(CellAt(0.5, 0.5, 10));
+  stats.Clear();
+  EXPECT_EQ(stats.num_distinct_cells(), 0u);
+  EXPECT_TRUE(stats.RankedCells().empty());
+}
+
+}  // namespace
+}  // namespace geoblocks::core

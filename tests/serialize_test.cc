@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/aggregate_trie.h"
+#include "core/geoblock.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks::core {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    raw_ = new storage::PointTable(workload::GenTaxi(15000, 61));
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new storage::SortedDataset(
+        storage::SortedDataset::Extract(*raw_, options));
+    block_ = new GeoBlock(GeoBlock::Build(*data_, BlockOptions{15, {}}));
+  }
+  static void TearDownTestSuite() {
+    delete block_;
+    delete data_;
+    delete raw_;
+    block_ = nullptr;
+    data_ = nullptr;
+    raw_ = nullptr;
+  }
+
+  static storage::PointTable* raw_;
+  static storage::SortedDataset* data_;
+  static GeoBlock* block_;
+};
+
+storage::PointTable* SerializeTest::raw_ = nullptr;
+storage::SortedDataset* SerializeTest::data_ = nullptr;
+GeoBlock* SerializeTest::block_ = nullptr;
+
+TEST_F(SerializeTest, BlockRoundTripPreservesStructure) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  const GeoBlock loaded = GeoBlock::ReadFrom(stream);
+  EXPECT_EQ(loaded.level(), block_->level());
+  EXPECT_EQ(loaded.num_cells(), block_->num_cells());
+  EXPECT_EQ(loaded.num_columns(), block_->num_columns());
+  EXPECT_EQ(loaded.cells(), block_->cells());
+  EXPECT_EQ(loaded.offsets(), block_->offsets());
+  EXPECT_EQ(loaded.counts(), block_->counts());
+  EXPECT_EQ(loaded.header().min_cell, block_->header().min_cell);
+  EXPECT_EQ(loaded.header().max_cell, block_->header().max_cell);
+  EXPECT_EQ(loaded.header().global.count, block_->header().global.count);
+}
+
+TEST_F(SerializeTest, LoadedBlockAnswersQueriesIdentically) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  const GeoBlock loaded = GeoBlock::ReadFrom(stream);
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  req.Add(AggFn::kSum, 0);
+  req.Add(AggFn::kMin, 1);
+  req.Add(AggFn::kMax, 2);
+  const auto polygons = workload::Neighborhoods(*raw_, 15, 62);
+  for (const geo::Polygon& poly : polygons) {
+    const QueryResult a = block_->Select(poly, req);
+    const QueryResult b = loaded.Select(poly, req);
+    ASSERT_EQ(a.count, b.count);
+    ASSERT_EQ(a.values, b.values);
+    ASSERT_EQ(block_->Count(poly), loaded.Count(poly));
+  }
+}
+
+TEST_F(SerializeTest, LoadedBlockSupportsUpdatesAndCoarsening) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  GeoBlock loaded = GeoBlock::ReadFrom(stream);
+  // Coarsening works without base data.
+  const GeoBlock coarse = loaded.CoarsenTo(12);
+  EXPECT_EQ(coarse.header().global.count, loaded.header().global.count);
+  // So do batch updates into existing cells.
+  GeoBlock::UpdateTuple t;
+  t.location =
+      loaded.projection().FromUnit(cell::CellId(loaded.cells()[0]).CenterPoint());
+  t.values.assign(loaded.num_columns(), 1.0);
+  const std::vector<GeoBlock::UpdateTuple> batch{t};
+  EXPECT_EQ(loaded.ApplyBatchUpdate(batch).applied, 1u);
+}
+
+TEST_F(SerializeTest, EmptyBlockRoundTrip) {
+  const storage::PointTable empty(raw_->schema());
+  const auto empty_data =
+      storage::SortedDataset::Extract(empty, storage::ExtractOptions{});
+  const GeoBlock block = GeoBlock::Build(empty_data, BlockOptions{17, {}});
+  std::stringstream stream;
+  block.WriteTo(stream);
+  const GeoBlock loaded = GeoBlock::ReadFrom(stream);
+  EXPECT_EQ(loaded.num_cells(), 0u);
+  EXPECT_EQ(loaded.level(), 17);
+}
+
+TEST_F(SerializeTest, TrieRoundTrip) {
+  AggregateTrie trie;
+  std::vector<cell::CellId> ranked;
+  for (size_t i = 0; i < block_->num_cells(); i += 50) {
+    ranked.push_back(cell::CellId(block_->cells()[i]).Parent(12));
+  }
+  trie.Build(*block_, ranked, size_t{1} << 22);
+  ASSERT_GT(trie.num_cached(), 0u);
+
+  std::stringstream stream;
+  trie.WriteTo(stream);
+  const AggregateTrie loaded = AggregateTrie::ReadFrom(stream);
+  EXPECT_EQ(loaded.num_cached(), trie.num_cached());
+  EXPECT_EQ(loaded.root_cell(), trie.root_cell());
+  EXPECT_EQ(loaded.MemoryBytes(), trie.MemoryBytes());
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  req.Add(AggFn::kSum, 0);
+  for (const cell::CellId& c : ranked) {
+    const auto a = trie.Lookup(c);
+    const auto b = loaded.Lookup(c);
+    ASSERT_EQ(a.node_exists, b.node_exists);
+    ASSERT_EQ(a.agg != nullptr, b.agg != nullptr);
+    if (a.agg != nullptr) {
+      Accumulator acc_a(&req);
+      Accumulator acc_b(&req);
+      trie.Combine(a.agg, &acc_a);
+      loaded.Combine(b.agg, &acc_b);
+      ASSERT_EQ(acc_a.Finish().values, acc_b.Finish().values);
+    }
+  }
+}
+
+TEST_F(SerializeTest, RejectsGarbage) {
+  std::stringstream garbage("not a geoblock at all");
+  EXPECT_THROW(GeoBlock::ReadFrom(garbage), std::runtime_error);
+  std::stringstream garbage2("nor an aggregate trie");
+  EXPECT_THROW(AggregateTrie::ReadFrom(garbage2), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedStream) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(GeoBlock::ReadFrom(truncated), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsWrongMagicAcrossTypes) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  EXPECT_THROW(AggregateTrie::ReadFrom(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace geoblocks::core

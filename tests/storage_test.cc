@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "storage/filter.h"
+#include "storage/point_table.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::storage {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.column_names = {"a", "b"};
+  return s;
+}
+
+PointTable SmallTable() {
+  PointTable t(TwoColSchema());
+  t.AddRow({10, 10}, {1.0, 100.0});
+  t.AddRow({20, 20}, {2.0, 200.0});
+  t.AddRow({30, 30}, {3.0, 300.0});
+  return t;
+}
+
+TEST(SchemaTest, ColumnIndex) {
+  const Schema s = TwoColSchema();
+  EXPECT_EQ(s.ColumnIndex("a"), 0);
+  EXPECT_EQ(s.ColumnIndex("b"), 1);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+  EXPECT_EQ(s.num_columns(), 2u);
+}
+
+TEST(PointTableTest, AddAndRead) {
+  const PointTable t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.Location(1), (geo::Point{20, 20}));
+  EXPECT_EQ(t.Value(2, 1), 300.0);
+  EXPECT_GT(t.MemoryBytes(), 0u);
+}
+
+TEST(FilterTest, Predicates) {
+  EXPECT_TRUE((Predicate{0, CompareOp::kGe, 4.0}.Matches(4.0)));
+  EXPECT_FALSE((Predicate{0, CompareOp::kGt, 4.0}.Matches(4.0)));
+  EXPECT_TRUE((Predicate{0, CompareOp::kLt, 4.0}.Matches(3.9)));
+  EXPECT_FALSE((Predicate{0, CompareOp::kLe, 4.0}.Matches(4.1)));
+  EXPECT_TRUE((Predicate{0, CompareOp::kEq, 1.0}.Matches(1.0)));
+  EXPECT_TRUE((Predicate{0, CompareOp::kNe, 1.0}.Matches(2.0)));
+}
+
+TEST(FilterTest, Conjunction) {
+  Filter f;
+  f.Add({0, CompareOp::kGe, 1.5});
+  f.Add({1, CompareOp::kLt, 250.0});
+  const PointTable t = SmallTable();
+  const auto row_values = [&](size_t row) {
+    return [&, row](int col) { return t.Value(row, col); };
+  };
+  EXPECT_FALSE(f.Matches(row_values(0)));  // a too small
+  EXPECT_TRUE(f.Matches(row_values(1)));
+  EXPECT_FALSE(f.Matches(row_values(2)));  // b too big
+}
+
+TEST(FilterTest, EmptyFilterMatchesEverything) {
+  const Filter f = Filter::True();
+  EXPECT_TRUE(f.IsTrue());
+  EXPECT_TRUE(f.Matches([](int) { return -1e30; }));
+}
+
+TEST(FilterTest, ToString) {
+  Filter f;
+  f.Add({1, CompareOp::kGt, 20.0});
+  const std::string s = f.ToString({"fare", "distance"});
+  EXPECT_NE(s.find("distance"), std::string::npos);
+  EXPECT_NE(s.find(">"), std::string::npos);
+  EXPECT_EQ(Filter::True().ToString({}), "true");
+}
+
+TEST(ExtractTest, SortsByKey) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> lon(-74.2, -73.7);
+  std::uniform_real_distribution<double> lat(40.5, 40.9);
+  PointTable t(TwoColSchema());
+  for (int i = 0; i < 5000; ++i) {
+    t.AddRow({lon(rng), lat(rng)}, {static_cast<double>(i), 0.0});
+  }
+  const SortedDataset data = SortedDataset::Extract(t, ExtractOptions{});
+  ASSERT_EQ(data.num_rows(), 5000u);
+  for (size_t i = 1; i < data.num_rows(); ++i) {
+    ASSERT_LE(data.keys()[i - 1], data.keys()[i]);
+  }
+  // Keys match the locations.
+  for (size_t i = 0; i < data.num_rows(); i += 97) {
+    const cell::CellId expected = cell::CellId::FromPoint(
+        data.projection().ToUnit(data.Location(i)));
+    ASSERT_EQ(data.keys()[i], expected.id());
+  }
+}
+
+TEST(ExtractTest, RowsStayAligned) {
+  // After sorting, (x, y, columns) of each row must still belong together.
+  PointTable t(TwoColSchema());
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-80.0, -70.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = u(rng);
+    const double y = u(rng) + 110.0;  // 30..40 lat
+    t.AddRow({x, y}, {x + y, x - y});
+  }
+  const SortedDataset data = SortedDataset::Extract(t, ExtractOptions{});
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const geo::Point loc = data.Location(i);
+    ASSERT_DOUBLE_EQ(data.Value(i, 0), loc.x + loc.y);
+    ASSERT_DOUBLE_EQ(data.Value(i, 1), loc.x - loc.y);
+  }
+}
+
+TEST(ExtractTest, CleansOutliers) {
+  PointTable t(TwoColSchema());
+  t.AddRow({-73.9, 40.7}, {1, 1});
+  t.AddRow({0.0, 0.0}, {2, 2});                    // outside clean bounds
+  t.AddRow({std::nan(""), 40.7}, {3, 3});          // NaN location
+  t.AddRow({-73.95, 40.75}, {4, 4});
+  ExtractOptions options;
+  options.clean_bounds = geo::Rect{{-74.3, 40.4}, {-73.6, 41.0}};
+  const SortedDataset data = SortedDataset::Extract(t, options);
+  EXPECT_EQ(data.num_rows(), 2u);
+}
+
+TEST(ExtractTest, DeterministicForEqualKeys) {
+  PointTable t(TwoColSchema());
+  for (int i = 0; i < 10; ++i) {
+    t.AddRow({-73.9, 40.7}, {static_cast<double>(i), 0});  // same leaf cell
+  }
+  const SortedDataset data = SortedDataset::Extract(t, ExtractOptions{});
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    ASSERT_DOUBLE_EQ(data.Value(i, 0), static_cast<double>(i));
+  }
+}
+
+TEST(ExtractTest, CollectsGridCells) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> lon(-74.2, -73.7);
+  std::uniform_real_distribution<double> lat(40.5, 40.9);
+  PointTable t(TwoColSchema());
+  for (int i = 0; i < 2000; ++i) {
+    t.AddRow({lon(rng), lat(rng)}, {0, 0});
+  }
+  ExtractOptions options;
+  options.collect_cells_level = 12;
+  const SortedDataset data = SortedDataset::Extract(t, options);
+  const auto& cells = data.collected_cells();
+  ASSERT_FALSE(cells.empty());
+  // Collected cells are distinct, sorted, at the right level, and every row
+  // key belongs to one of them.
+  for (size_t i = 1; i < cells.size(); ++i) {
+    ASSERT_LT(cells[i - 1], cells[i]);
+  }
+  for (uint64_t c : cells) {
+    ASSERT_EQ(cell::CellId(c).level(), 12);
+  }
+  size_t idx = 0;
+  for (uint64_t key : data.keys()) {
+    while (idx < cells.size() &&
+           !cell::CellId(cells[idx]).Contains(cell::CellId(key))) {
+      ++idx;
+    }
+    ASSERT_LT(idx, cells.size());
+  }
+}
+
+TEST(SortedDatasetTest, BoundsSearch) {
+  PointTable t(TwoColSchema());
+  for (int i = 0; i < 300; ++i) {
+    t.AddRow({-74.0 + 0.001 * i, 40.6 + 0.0005 * i}, {0, 0});
+  }
+  const SortedDataset data = SortedDataset::Extract(t, ExtractOptions{});
+  // LowerBound/UpperBound agree with linear scans.
+  for (size_t i = 0; i < data.num_rows(); i += 37) {
+    const uint64_t k = data.keys()[i];
+    size_t lo = 0;
+    while (lo < data.num_rows() && data.keys()[lo] < k) ++lo;
+    size_t hi = lo;
+    while (hi < data.num_rows() && data.keys()[hi] == k) ++hi;
+    ASSERT_EQ(data.LowerBound(k), lo);
+    ASSERT_EQ(data.UpperBound(k), hi);
+  }
+}
+
+TEST(SortedDatasetTest, EqualRangeForCell) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> lon(-74.2, -73.7);
+  std::uniform_real_distribution<double> lat(40.5, 40.9);
+  PointTable t(TwoColSchema());
+  for (int i = 0; i < 3000; ++i) {
+    t.AddRow({lon(rng), lat(rng)}, {0, 0});
+  }
+  const SortedDataset data = SortedDataset::Extract(t, ExtractOptions{});
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t row = rng() % data.num_rows();
+    const cell::CellId cell =
+        cell::CellId(data.keys()[row]).Parent(10 + trial % 15);
+    const auto [first, last] = data.EqualRangeForCell(cell);
+    ASSERT_LE(first, row);
+    ASSERT_GT(last, row);
+    // Every row in [first, last) is inside the cell, neighbours are not.
+    for (size_t r = first; r < last; ++r) {
+      ASSERT_TRUE(cell.Contains(cell::CellId(data.keys()[r])));
+    }
+    if (first > 0) {
+      ASSERT_FALSE(cell.Contains(cell::CellId(data.keys()[first - 1])));
+    }
+    if (last < data.num_rows()) {
+      ASSERT_FALSE(cell.Contains(cell::CellId(data.keys()[last])));
+    }
+  }
+}
+
+TEST(SortedDatasetTest, MemoryAccounting) {
+  const PointTable t = SmallTable();
+  ExtractOptions options;
+  options.clean_bounds = geo::Rect{{0, 0}, {40, 40}};
+  const SortedDataset data = SortedDataset::Extract(t, options);
+  EXPECT_EQ(data.PayloadBytes(),
+            data.num_rows() * (2 + 2) * sizeof(double));
+  EXPECT_EQ(data.MemoryBytes(),
+            data.PayloadBytes() + data.num_rows() * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace geoblocks::storage

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/block_qc.h"
+#include "core/geoblock.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks::core {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    raw_ = workload::GenTaxi(15000, 31);
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = storage::SortedDataset::Extract(raw_, options);
+    block_ = GeoBlock::Build(data_, BlockOptions{15, {}});
+  }
+
+  /// A batch of tuples located inside already-populated cells.
+  std::vector<GeoBlock::UpdateTuple> InCellBatch(size_t count,
+                                                 uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<GeoBlock::UpdateTuple> batch;
+    for (size_t i = 0; i < count; ++i) {
+      const size_t idx = rng() % block_.num_cells();
+      // The center of a populated cell is guaranteed to map back into it.
+      const geo::Point unit =
+          cell::CellId(block_.cells()[idx]).CenterPoint();
+      GeoBlock::UpdateTuple t;
+      t.location = data_.projection().FromUnit(unit);
+      t.values.assign(data_.num_columns(), 0.0);
+      for (size_t c = 0; c < t.values.size(); ++c) {
+        t.values[c] = static_cast<double>((rng() % 1000)) / 10.0;
+      }
+      batch.push_back(std::move(t));
+    }
+    return batch;
+  }
+
+  storage::PointTable raw_;
+  storage::SortedDataset data_;
+  GeoBlock block_;
+};
+
+TEST_F(UpdateTest, AppliedTuplesUpdateCountsAndGlobalHeader) {
+  const uint64_t before = block_.header().global.count;
+  const auto batch = InCellBatch(100, 1);
+  const auto result = block_.ApplyBatchUpdate(batch);
+  EXPECT_EQ(result.applied, 100u);
+  EXPECT_TRUE(result.rejected.empty());
+  EXPECT_EQ(block_.header().global.count, before + 100);
+}
+
+TEST_F(UpdateTest, OffsetsStayPrefixSums) {
+  const auto batch = InCellBatch(50, 2);
+  block_.ApplyBatchUpdate(batch);
+  uint32_t running = 0;
+  for (size_t i = 0; i < block_.num_cells(); ++i) {
+    ASSERT_EQ(block_.offsets()[i], running);
+    running += block_.counts()[i];
+  }
+}
+
+TEST_F(UpdateTest, CountQueriesSeeTheUpdates) {
+  const auto polygons = workload::Neighborhoods(raw_, 5, 3);
+  std::vector<uint64_t> before;
+  for (const geo::Polygon& poly : polygons) {
+    before.push_back(block_.Count(poly));
+  }
+  const auto batch = InCellBatch(200, 4);
+  block_.ApplyBatchUpdate(batch);
+  // Counts can only grow, and the total growth matches the batch size.
+  uint64_t total_before = 0;
+  uint64_t total_after = 0;
+  for (size_t i = 0; i < polygons.size(); ++i) {
+    const uint64_t after = block_.Count(polygons[i]);
+    ASSERT_GE(after, before[i]);
+    total_before += before[i];
+    total_after += after;
+  }
+  EXPECT_LE(total_after - total_before, 200u);
+  // A covering of everything sees all 200 new tuples.
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  EXPECT_EQ(block_.CountCovering(all), data_.num_rows() + 200);
+}
+
+TEST_F(UpdateTest, ValuesAffectAggregates) {
+  // Push a tuple with an outrageous fare into a known cell and watch the
+  // max aggregate move.
+  GeoBlock::UpdateTuple t;
+  const geo::Point unit = cell::CellId(block_.cells()[0]).CenterPoint();
+  t.location = data_.projection().FromUnit(unit);
+  t.values.assign(data_.num_columns(), 1.0);
+  t.values[0] = 99999.0;  // fare_amount
+  const std::vector<GeoBlock::UpdateTuple> single{t};
+  const auto result = block_.ApplyBatchUpdate(single);
+  ASSERT_EQ(result.applied, 1u);
+  EXPECT_EQ(block_.header().global.columns[0].max, 99999.0);
+  EXPECT_EQ(block_.cell_columns(0)[0].max, 99999.0);
+}
+
+TEST_F(UpdateTest, NewRegionsAreRejected) {
+  GeoBlock::UpdateTuple t;
+  t.location = {-74.27, 40.49};  // far corner of the domain, surely empty
+  t.values.assign(data_.num_columns(), 1.0);
+  const uint64_t key =
+      cell::CellId::FromPoint(data_.projection().ToUnit(t.location))
+          .Parent(block_.level())
+          .id();
+  const bool cell_exists =
+      std::binary_search(block_.cells().begin(), block_.cells().end(), key);
+  const std::vector<GeoBlock::UpdateTuple> single{t};
+  const auto result = block_.ApplyBatchUpdate(single);
+  if (cell_exists) {
+    EXPECT_EQ(result.applied, 1u);
+  } else {
+    EXPECT_EQ(result.applied, 0u);
+    ASSERT_EQ(result.rejected.size(), 1u);
+    EXPECT_EQ(result.rejected[0], 0u);
+  }
+}
+
+TEST_F(UpdateTest, RejectedTuplesHandledByRebuild) {
+  // The paper's recommended path for new regions: rebuild the aggregate
+  // layout (cheap, single pass). Simulate by extending the raw data.
+  GeoBlock::UpdateTuple t;
+  t.location = {-74.27, 40.49};
+  t.values.assign(data_.num_columns(), 2.0);
+  storage::PointTable extended = raw_;
+  extended.AddRow(t.location, t.values);
+  storage::ExtractOptions options;
+  options.clean_bounds = workload::NycBounds();
+  const auto new_data = storage::SortedDataset::Extract(extended, options);
+  const GeoBlock rebuilt = GeoBlock::Build(new_data, BlockOptions{15, {}});
+  EXPECT_EQ(rebuilt.header().global.count, data_.num_rows() + 1);
+}
+
+TEST_F(UpdateTest, AdaptiveVersionKeepsCacheConsistent) {
+  // After updating block + cache, cached answers must still equal base
+  // answers — the invariant behind the paper's depth-first cache patch.
+  GeoBlockQC qc(&block_, GeoBlockQC::Options{0.25, 0});
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  req.Add(AggFn::kSum, 0);
+  req.Add(AggFn::kMax, 0);
+  const auto polygons = workload::Neighborhoods(raw_, 20, 5);
+  for (int round = 0; round < 2; ++round) {
+    for (const geo::Polygon& poly : polygons) qc.Select(poly, req);
+    qc.RebuildCache();
+  }
+  ASSERT_GT(qc.trie().num_cached(), 0u);
+
+  const auto batch = InCellBatch(300, 6);
+  const auto result = block_.ApplyBatchUpdate(batch);
+  qc.ApplyBatchUpdateToCache(batch, result);
+
+  for (const geo::Polygon& poly : polygons) {
+    const QueryResult base = block_.Select(poly, req);
+    const QueryResult cached = qc.Select(poly, req);
+    ASSERT_EQ(cached.count, base.count);
+    for (size_t i = 0; i < base.values.size(); ++i) {
+      ASSERT_NEAR(cached.values[i], base.values[i],
+                  1e-9 * std::abs(base.values[i]) + 1e-9);
+    }
+  }
+}
+
+TEST_F(UpdateTest, TrieUpdateCountsPatchedAggregates) {
+  GeoBlockQC qc(&block_, GeoBlockQC::Options{1.0, 0});
+  AggregateRequest req;
+  req.Add(AggFn::kCount);
+  const auto polygons = workload::Neighborhoods(raw_, 10, 7);
+  for (const geo::Polygon& poly : polygons) qc.Select(poly, req);
+  qc.RebuildCache();
+  ASSERT_GT(qc.trie().num_cached(), 0u);
+
+  // A tuple inside some cached cell updates at least one aggregate; a
+  // tuple far outside the root updates none.
+  const auto batch = InCellBatch(50, 8);
+  const auto result = block_.ApplyBatchUpdate(batch);
+  ASSERT_EQ(result.applied, 50u);
+  qc.ApplyBatchUpdateToCache(batch, result);
+
+  AggregateTrie& trie = const_cast<AggregateTrie&>(qc.trie());
+  std::vector<double> values(data_.num_columns(), 1.0);
+  EXPECT_EQ(trie.ApplyTupleUpdate(cell::CellId::FromPoint({0.01, 0.99}),
+                                  values.data()),
+            0u);
+}
+
+}  // namespace
+}  // namespace geoblocks::core

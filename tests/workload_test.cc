@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "workload/datagen.h"
+#include "workload/exact.h"
+#include "workload/polygen.h"
+#include "workload/workload.h"
+
+namespace geoblocks::workload {
+namespace {
+
+TEST(DataGenTest, TaxiShape) {
+  const storage::PointTable t = GenTaxi(10000, 1);
+  EXPECT_EQ(t.num_rows(), 10000u);
+  EXPECT_EQ(t.num_columns(), 7u);
+  EXPECT_EQ(t.schema().ColumnIndex("fare_amount"), 0);
+  EXPECT_EQ(t.schema().ColumnIndex("passenger_count"), 4);
+  // All points within (or clamped to) the NYC bounds.
+  const geo::Rect bounds = NycBounds();
+  for (size_t i = 0; i < t.num_rows(); i += 97) {
+    ASSERT_TRUE(bounds.Contains(t.Location(i)));
+  }
+}
+
+TEST(DataGenTest, TaxiFilterSelectivities) {
+  const storage::PointTable t = GenTaxi(50000, 2);
+  size_t long_trips = 0;
+  size_t solo = 0;
+  size_t shared = 0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.Value(i, 1) >= 4.0) ++long_trips;
+    if (t.Value(i, 4) == 1.0) ++solo;
+    if (t.Value(i, 4) > 1.0) ++shared;
+  }
+  const double n = static_cast<double>(t.num_rows());
+  // Paper Section 4.4: ~16%, ~70%, ~30%.
+  EXPECT_NEAR(long_trips / n, 0.16, 0.05);
+  EXPECT_NEAR(solo / n, 0.70, 0.04);
+  EXPECT_NEAR(shared / n, 0.30, 0.04);
+}
+
+TEST(DataGenTest, TaxiAttributesAreConsistent) {
+  const storage::PointTable t = GenTaxi(5000, 3);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    const double fare = t.Value(i, 0);
+    const double tip = t.Value(i, 2);
+    const double tip_rate = t.Value(i, 3);
+    const double total = t.Value(i, 6);
+    ASSERT_GE(fare, 2.5);
+    ASSERT_NEAR(tip, fare * tip_rate, 1e-9);
+    ASSERT_NEAR(total, fare + tip, 1e-9);
+    ASSERT_GE(t.Value(i, 4), 1.0);
+    ASSERT_LE(t.Value(i, 4), 6.0);
+  }
+}
+
+TEST(DataGenTest, Deterministic) {
+  const storage::PointTable a = GenTaxi(1000, 9);
+  const storage::PointTable b = GenTaxi(1000, 9);
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    ASSERT_EQ(a.Location(i), b.Location(i));
+    ASSERT_EQ(a.Value(i, 0), b.Value(i, 0));
+  }
+  const storage::PointTable c = GenTaxi(1000, 10);
+  bool any_different = false;
+  for (size_t i = 0; i < a.num_rows() && !any_different; ++i) {
+    any_different = a.Location(i) != c.Location(i);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(DataGenTest, TaxiIsSpatiallySkewed) {
+  // Manhattan-ish core should hold far more than its share of area.
+  const storage::PointTable t = GenTaxi(20000, 4);
+  const geo::Rect core{{-74.03, 40.70}, {-73.93, 40.82}};
+  size_t inside = 0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (core.Contains(t.Location(i))) ++inside;
+  }
+  const double frac_points =
+      static_cast<double>(inside) / static_cast<double>(t.num_rows());
+  const double frac_area = core.Area() / NycBounds().Area();
+  EXPECT_GT(frac_points, 5.0 * frac_area);
+}
+
+TEST(DataGenTest, TweetsAndOsm) {
+  const storage::PointTable tweets = GenTweets(5000, 5);
+  EXPECT_EQ(tweets.num_columns(), 4u);
+  for (size_t i = 0; i < tweets.num_rows(); i += 61) {
+    ASSERT_TRUE(UsBounds().Contains(tweets.Location(i)));
+  }
+  const storage::PointTable osm = GenOsm(5000, 6);
+  EXPECT_EQ(osm.num_columns(), 4u);
+  for (size_t i = 0; i < osm.num_rows(); i += 61) {
+    ASSERT_TRUE(AmericasBounds().Contains(osm.Location(i)));
+  }
+}
+
+TEST(PolygenTest, NeighborhoodsAreSimpleAndPlaced) {
+  const storage::PointTable t = GenTaxi(5000, 7);
+  const auto polys = Neighborhoods(t, 50, 8);
+  ASSERT_EQ(polys.size(), 50u);
+  const geo::Rect wide = NycBounds().Expanded(0.05);
+  for (const geo::Polygon& p : polys) {
+    ASSERT_GE(p.num_vertices(), 4u);
+    ASSERT_LE(p.num_vertices(), 9u);
+    ASSERT_GT(p.Area(), 0.0);
+    ASSERT_TRUE(wide.Contains(p.Bounds()));
+  }
+}
+
+TEST(PolygenTest, TilingCoversBounds) {
+  const geo::Rect bounds = UsBounds();
+  const auto tiles = TilingPolygons(bounds, 5, 10, 0.3, 9);
+  ASSERT_EQ(tiles.size(), 50u);
+  double total_area = 0.0;
+  for (const geo::Polygon& p : tiles) total_area += p.Area();
+  // The tiles partition the bounds: areas sum to the bounds' area.
+  EXPECT_NEAR(total_area, bounds.Area(), 1e-6 * bounds.Area());
+  // Random sample points are covered by exactly one tile (interior).
+  std::mt19937_64 rng(10);
+  std::uniform_real_distribution<double> ux(bounds.min.x, bounds.max.x);
+  std::uniform_real_distribution<double> uy(bounds.min.y, bounds.max.y);
+  for (int t = 0; t < 200; ++t) {
+    const geo::Point p{ux(rng), uy(rng)};
+    int covering = 0;
+    for (const geo::Polygon& tile : tiles) {
+      if (tile.Contains(p)) ++covering;
+    }
+    ASSERT_GE(covering, 1);
+    ASSERT_LE(covering, 2);  // 2 only exactly on a shared border
+  }
+}
+
+TEST(PolygenTest, RandomRectangles) {
+  const auto rects = RandomRectangles(UsBounds(), 51, 11);
+  ASSERT_EQ(rects.size(), 51u);
+  for (const geo::Polygon& p : rects) {
+    ASSERT_EQ(p.num_vertices(), 4u);
+    ASSERT_TRUE(UsBounds().Contains(p.Bounds()));
+  }
+}
+
+TEST(PolygenTest, SelectivityPolygonHitsTarget) {
+  const storage::PointTable t = GenTaxi(30000, 12);
+  storage::ExtractOptions options;
+  options.clean_bounds = NycBounds();
+  const auto data = storage::SortedDataset::Extract(t, options);
+  for (const double target : {0.01, 0.10, 0.50, 0.90}) {
+    double achieved = 0.0;
+    const geo::Polygon poly = SelectivityPolygon(data, target, &achieved);
+    ASSERT_FALSE(poly.IsEmpty());
+    EXPECT_NEAR(achieved, target, 0.03) << "target " << target;
+    // Cross-check with the exact count.
+    const uint64_t exact = ExactCount(data, poly);
+    EXPECT_NEAR(static_cast<double>(exact) /
+                    static_cast<double>(data.num_rows()),
+                target, 0.05);
+  }
+}
+
+TEST(WorkloadTest, BaseAndSkewed) {
+  const storage::PointTable t = GenTaxi(2000, 13);
+  const auto polys = Neighborhoods(t, 100, 14);
+  const Workload base = BaseWorkload(polys);
+  EXPECT_EQ(base.size(), 100u);
+  const Workload skewed = SkewedWorkload(polys, 0.1, 15);
+  EXPECT_EQ(skewed.size(), 10u);
+  // Skewed queries point into the polygon vector.
+  for (const geo::Polygon* q : skewed.queries) {
+    ASSERT_GE(q, polys.data());
+    ASSERT_LT(q, polys.data() + polys.size());
+  }
+  // Deterministic selection.
+  const Workload skewed2 = SkewedWorkload(polys, 0.1, 15);
+  EXPECT_EQ(skewed.queries, skewed2.queries);
+}
+
+TEST(WorkloadTest, Combined) {
+  const storage::PointTable t = GenTaxi(2000, 16);
+  const auto polys = Neighborhoods(t, 20, 17);
+  const Workload base = BaseWorkload(polys);
+  const Workload skewed = SkewedWorkload(polys, 0.1, 18);
+  const Workload combined = CombinedWorkload(base, 1, skewed, 4);
+  EXPECT_EQ(combined.size(), base.size() + 4 * skewed.size());
+}
+
+TEST(ExactCountTest, MatchesBruteForce) {
+  const storage::PointTable t = GenTaxi(8000, 19);
+  storage::ExtractOptions options;
+  options.clean_bounds = NycBounds();
+  const auto data = storage::SortedDataset::Extract(t, options);
+  const auto polys = Neighborhoods(t, 10, 20);
+  for (const geo::Polygon& poly : polys) {
+    uint64_t brute = 0;
+    for (size_t row = 0; row < data.num_rows(); ++row) {
+      const geo::Point p = data.projection().ToUnit(data.Location(row));
+      if (data.projection().ToUnit(poly).Contains(p)) ++brute;
+    }
+    ASSERT_EQ(ExactCount(data, poly), brute);
+  }
+}
+
+TEST(ExactCountTest, RelativeError) {
+  EXPECT_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_EQ(RelativeError(5, 0), 5.0);
+}
+
+}  // namespace
+}  // namespace geoblocks::workload
