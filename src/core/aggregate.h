@@ -145,6 +145,26 @@ class Accumulator {
     }
   }
 
+  /// Folds in another accumulator over the *same* request (used to merge
+  /// per-shard partial results). Values are still raw at this point (kAvg
+  /// holds the running sum), so merging commutes with Finish().
+  void Merge(const Accumulator& o) {
+    count_ += o.count_;
+    for (size_t s = 0; s < request_->size(); ++s) {
+      switch (request_->specs()[s].fn) {
+        case AggFn::kCount: break;
+        case AggFn::kSum:
+        case AggFn::kAvg: values_[s] += o.values_[s]; break;
+        case AggFn::kMin:
+          if (o.values_[s] < values_[s]) values_[s] = o.values_[s];
+          break;
+        case AggFn::kMax:
+          if (o.values_[s] > values_[s]) values_[s] = o.values_[s];
+          break;
+      }
+    }
+  }
+
   QueryResult Finish() const {
     QueryResult r;
     r.count = count_;

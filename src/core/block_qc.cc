@@ -16,6 +16,13 @@ void GeoBlockQC::SelectBase(cell::CellId qcell, Accumulator* acc,
 QueryResult GeoBlockQC::SelectCovering(
     std::span<const cell::CellId> covering, const AggregateRequest& request) {
   Accumulator acc(&request);
+  CombineCovering(covering, &acc);
+  return acc.Finish();
+}
+
+void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
+                                 Accumulator* acc_out) {
+  Accumulator& acc = *acc_out;
   size_t last_idx = GeoBlock::kNoLastAgg;
   for (cell::CellId qcell : covering) {
     if (qcell.level() > block_->level()) {
@@ -69,7 +76,6 @@ QueryResult GeoBlockQC::SelectCovering(
       ++queries_since_rebuild_ >= options_.rebuild_interval) {
     RebuildCache();
   }
-  return acc.Finish();
 }
 
 void GeoBlockQC::RebuildCache() {

@@ -53,6 +53,12 @@ class GeoBlockQC {
   QueryResult SelectCovering(std::span<const cell::CellId> covering,
                              const AggregateRequest& request);
 
+  /// Core of the adapted SELECT: combines the covering into an external
+  /// accumulator instead of finishing a result. Lets a sharded engine fold
+  /// several cached blocks into one query answer (BlockSet).
+  void CombineCovering(std::span<const cell::CellId> covering,
+                       Accumulator* acc);
+
   /// COUNT uses the unmodified base algorithm (no noticeable speedup is
   /// expected from caching, Section 3.6).
   uint64_t Count(const geo::Polygon& polygon) const {

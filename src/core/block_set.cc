@@ -1,0 +1,253 @@
+#include "core/block_set.h"
+
+#include <algorithm>
+
+namespace geoblocks::core {
+
+BlockSet BlockSet::Build(const storage::ShardedDataset& shards,
+                         const BlockSetOptions& options,
+                         util::ThreadPool* pool) {
+  BlockSet set;
+  set.level_ = options.block.level;
+  const size_t k = shards.num_shards();
+  set.blocks_.resize(k);
+  if (k == 0) return set;
+  set.projection_ = shards.shard(0).projection();
+
+  const auto build_one = [&](size_t i) {
+    set.blocks_[i] = GeoBlock::Build(shards.shard(i), options.block);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(k, build_one);
+  } else {
+    for (size_t i = 0; i < k; ++i) build_one(i);
+  }
+  return set;
+}
+
+size_t BlockSet::num_cells() const {
+  size_t cells = 0;
+  for (const GeoBlock& b : blocks_) cells += b.num_cells();
+  return cells;
+}
+
+BlockHeader BlockSet::MergedHeader() const {
+  BlockHeader header;
+  header.level = level_;
+  size_t columns = 0;
+  for (const GeoBlock& b : blocks_) columns = std::max(columns, b.num_columns());
+  header.global = AggregateVector(columns);
+  bool any = false;
+  for (const GeoBlock& b : blocks_) {
+    if (b.num_cells() == 0) continue;
+    if (!any) {
+      header.min_cell = b.header().min_cell;
+      header.max_cell = b.header().max_cell;
+      any = true;
+    } else {
+      header.min_cell = std::min(header.min_cell, b.header().min_cell);
+      header.max_cell = std::max(header.max_cell, b.header().max_cell);
+    }
+    header.global.Merge(b.header().global);
+  }
+  return header;
+}
+
+size_t BlockSet::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const GeoBlock& b : blocks_) bytes += b.MemoryBytes();
+  return bytes;
+}
+
+std::vector<cell::CellId> BlockSet::Cover(const geo::Polygon& polygon) const {
+  return CoverPolygon(projection_, level_, polygon);
+}
+
+std::vector<size_t> BlockSet::OverlappingShards(
+    std::span<const cell::CellId> covering) const {
+  std::vector<size_t> result;
+  if (covering.empty()) return result;
+  result.reserve(blocks_.size());
+  for (size_t s = 0; s < blocks_.size(); ++s) {
+    const GeoBlock& b = blocks_[s];
+    if (b.num_cells() == 0) continue;
+    // Covering cells are disjoint and sorted, so their leaf ranges ascend:
+    // binary-search the first cell whose range reaches the shard, then a
+    // single comparison decides the overlap (the shard-level BlockHeader
+    // pre-check).
+    const uint64_t min_cell = b.header().min_cell;
+    const uint64_t max_cell = b.header().max_cell;
+    const auto it = std::lower_bound(
+        covering.begin(), covering.end(), min_cell,
+        [](const cell::CellId& c, uint64_t key) {
+          return c.RangeMax().id() < key;
+        });
+    if (it == covering.end()) continue;
+    if (it->RangeMin().id() <= max_cell) result.push_back(s);
+  }
+  return result;
+}
+
+QueryResult BlockSet::Select(const geo::Polygon& polygon,
+                             const AggregateRequest& request) const {
+  const std::vector<cell::CellId> covering = Cover(polygon);
+  return SelectCovering(covering, request);
+}
+
+QueryResult BlockSet::SelectCovering(std::span<const cell::CellId> covering,
+                                     const AggregateRequest& request) const {
+  Accumulator acc(&request);
+  for (const size_t s : OverlappingShards(covering)) {
+    const GeoBlock& b = blocks_[s];
+    size_t last_idx = GeoBlock::kNoLastAgg;
+    for (const cell::CellId& qcell : covering) {
+      b.CombineCell(qcell, &acc, &last_idx);
+    }
+  }
+  return acc.Finish();
+}
+
+uint64_t BlockSet::Count(const geo::Polygon& polygon) const {
+  const std::vector<cell::CellId> covering = Cover(polygon);
+  return CountCovering(covering);
+}
+
+uint64_t BlockSet::CountCovering(
+    std::span<const cell::CellId> covering) const {
+  uint64_t result = 0;
+  for (const size_t s : OverlappingShards(covering)) {
+    result += blocks_[s].CountCovering(covering);
+  }
+  return result;
+}
+
+std::vector<QueryResult> BlockSet::ExecuteBatch(const QueryBatch& batch,
+                                                util::ThreadPool* pool) const {
+  const AggregateRequest& request = *batch.request;
+  const size_t q = batch.size();
+  std::vector<QueryResult> results(q);
+  if (q == 0) return results;
+
+  // Phase 1: cover all polygons (independent, parallel).
+  std::vector<std::vector<cell::CellId>> coverings(q);
+  const auto cover_one = [&](size_t i) {
+    coverings[i] = Cover(*batch.polygons[i]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(q, cover_one);
+  } else {
+    for (size_t i = 0; i < q; ++i) cover_one(i);
+  }
+
+  // Phase 2: one task per (query, overlapping shard). Partial accumulators
+  // are pre-allocated per task and merged in a fixed order afterwards, so
+  // the result never depends on scheduling.
+  struct Part {
+    size_t query;
+    size_t shard;
+  };
+  std::vector<Part> parts;
+  std::vector<size_t> first_part(q + 1, 0);
+  for (size_t i = 0; i < q; ++i) {
+    first_part[i] = parts.size();
+    for (const size_t s : OverlappingShards(coverings[i])) {
+      parts.push_back({i, s});
+    }
+  }
+  first_part[q] = parts.size();
+
+  std::vector<Accumulator> partials(parts.size(), Accumulator(&request));
+  const auto run_part = [&](size_t p) {
+    const Part& part = parts[p];
+    const GeoBlock& b = blocks_[part.shard];
+    size_t last_idx = GeoBlock::kNoLastAgg;
+    for (const cell::CellId& qcell : coverings[part.query]) {
+      b.CombineCell(qcell, &partials[p], &last_idx);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(parts.size(), run_part);
+  } else {
+    for (size_t p = 0; p < parts.size(); ++p) run_part(p);
+  }
+
+  // Phase 3: deterministic merge — per query, shards in ascending order
+  // (parts were emitted that way).
+  for (size_t i = 0; i < q; ++i) {
+    Accumulator acc(&request);
+    for (size_t p = first_part[i]; p < first_part[i + 1]; ++p) {
+      acc.Merge(partials[p]);
+    }
+    results[i] = acc.Finish();
+  }
+  return results;
+}
+
+std::vector<uint64_t> BlockSet::CountBatch(
+    std::span<const geo::Polygon* const> polygons,
+    util::ThreadPool* pool) const {
+  const size_t q = polygons.size();
+  std::vector<uint64_t> results(q, 0);
+  const auto count_one = [&](size_t i) { results[i] = Count(*polygons[i]); };
+  if (pool != nullptr) {
+    pool->ParallelFor(q, count_one);
+  } else {
+    for (size_t i = 0; i < q; ++i) count_one(i);
+  }
+  return results;
+}
+
+void BlockSet::EnableCache(const GeoBlockQC::Options& options) {
+  cached_.clear();
+  cached_.reserve(blocks_.size());
+  for (const GeoBlock& b : blocks_) {
+    cached_.push_back(std::make_unique<CachedShard>(&b, options));
+  }
+}
+
+QueryResult BlockSet::SelectCached(const geo::Polygon& polygon,
+                                   const AggregateRequest& request) {
+  const std::vector<cell::CellId> covering = Cover(polygon);
+  return SelectCoveringCached(covering, request);
+}
+
+QueryResult BlockSet::SelectCoveringCached(
+    std::span<const cell::CellId> covering, const AggregateRequest& request) {
+  if (!cache_enabled()) return SelectCovering(covering, request);
+  Accumulator acc(&request);
+  for (const size_t s : OverlappingShards(covering)) {
+    CachedShard& shard = *cached_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.qc.CombineCovering(covering, &acc);
+  }
+  return acc.Finish();
+}
+
+void BlockSet::RebuildCaches() {
+  for (const std::unique_ptr<CachedShard>& shard : cached_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->qc.RebuildCache();
+  }
+}
+
+CacheCounters BlockSet::MergedCacheCounters() const {
+  CacheCounters total;
+  for (const std::unique_ptr<CachedShard>& shard : cached_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const CacheCounters& c = shard->qc.counters();
+    total.probes += c.probes;
+    total.full_hits += c.full_hits;
+    total.partial_hits += c.partial_hits;
+    total.misses += c.misses;
+  }
+  return total;
+}
+
+void BlockSet::ResetCacheCounters() {
+  for (const std::unique_ptr<CachedShard>& shard : cached_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->qc.ResetCounters();
+  }
+}
+
+}  // namespace geoblocks::core

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/block_qc.h"
+#include "core/geoblock.h"
+#include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
+
+namespace geoblocks::core {
+
+struct BlockSetOptions {
+  /// Per-shard block configuration (level + filter). The shard partitioning
+  /// should be aligned to a level no finer than `block.level` (see
+  /// storage::ShardOptions::align_level) so cell aggregates never straddle
+  /// shards and sharded answers stay bit-identical to a single block.
+  BlockOptions block;
+};
+
+/// A batch of SELECT queries: many polygons evaluated under one aggregate
+/// request. The unit of admission for the batched execution path.
+struct QueryBatch {
+  std::vector<const geo::Polygon*> polygons;
+  const AggregateRequest* request = nullptr;
+
+  static QueryBatch Of(const std::vector<geo::Polygon>& polys,
+                       const AggregateRequest* req) {
+    QueryBatch batch;
+    batch.polygons.reserve(polys.size());
+    for (const geo::Polygon& p : polys) batch.polygons.push_back(&p);
+    batch.request = req;
+    return batch;
+  }
+
+  size_t size() const { return polygons.size(); }
+};
+
+/// The sharded multi-block query engine: one GeoBlock per shard of a
+/// ShardedDataset, built in parallel, queried by routing a polygon covering
+/// to only the shards whose `[min_cell, max_cell]` header ranges overlap it
+/// (the BlockHeader pre-check lifted to the shard level), and merging the
+/// per-shard partial aggregates.
+///
+/// Sequential entry points (Select/Count) are `const` and thread-safe; the
+/// batched entry points fan out over a ThreadPool; the optional cached path
+/// wraps each shard in a GeoBlockQC behind a per-shard mutex.
+class BlockSet {
+ public:
+  BlockSet() = default;
+
+  /// Builds one GeoBlock per shard. When `pool` is non-null the per-shard
+  /// builds run concurrently on it (the build is embarrassingly parallel:
+  /// each shard is an independent linear pass). `shards` must outlive the
+  /// BlockSet, exactly like SortedDataset must outlive GeoBlock.
+  static BlockSet Build(const storage::ShardedDataset& shards,
+                        const BlockSetOptions& options,
+                        util::ThreadPool* pool = nullptr);
+
+  size_t num_shards() const { return blocks_.size(); }
+  const GeoBlock& shard(size_t i) const { return blocks_[i]; }
+  int level() const { return level_; }
+  const geo::Projection& projection() const { return projection_; }
+
+  /// Total number of cell aggregates across shards.
+  size_t num_cells() const;
+
+  /// Header-equivalent of the whole set: global aggregate plus the hull of
+  /// the shard key ranges.
+  BlockHeader MergedHeader() const;
+
+  size_t MemoryBytes() const;
+
+  /// Covering of a query polygon under the set's level constraint
+  /// (identical to GeoBlock::Cover for any shard; shards share projection
+  /// and level).
+  std::vector<cell::CellId> Cover(const geo::Polygon& polygon) const;
+
+  /// SELECT: routes the covering to overlapping shards and folds their
+  /// cell aggregates into one accumulator, in shard order. Because shards
+  /// are contiguous ascending key ranges, the fold visits cell aggregates
+  /// in exactly the order a single block over the same data would, so the
+  /// result (including floating-point sums) is bit-identical.
+  QueryResult Select(const geo::Polygon& polygon,
+                     const AggregateRequest& request) const;
+  QueryResult SelectCovering(std::span<const cell::CellId> covering,
+                             const AggregateRequest& request) const;
+
+  /// COUNT via the per-shard range-sum algorithm (Listing 2), summed over
+  /// overlapping shards.
+  uint64_t Count(const geo::Polygon& polygon) const;
+  uint64_t CountCovering(std::span<const cell::CellId> covering) const;
+
+  /// Batched SELECT: covers all polygons, then runs one task per
+  /// (query, overlapping shard) pair on the pool and merges the partial
+  /// accumulators in shard order. Results are deterministic regardless of
+  /// scheduling: partials are merged in a fixed order. `batch.request`
+  /// must be non-null. With a null pool the batch runs inline.
+  std::vector<QueryResult> ExecuteBatch(const QueryBatch& batch,
+                                        util::ThreadPool* pool) const;
+
+  /// Batched COUNT over the same fan-out scheme.
+  std::vector<uint64_t> CountBatch(
+      std::span<const geo::Polygon* const> polygons,
+      util::ThreadPool* pool) const;
+
+  /// -- Cached path -------------------------------------------------------
+
+  /// Wraps every shard in a GeoBlockQC with `options`. Queries through
+  /// SelectCached probe the per-shard tries; each shard's cache state is
+  /// guarded by its own mutex, so concurrent callers serialize per shard
+  /// but proceed in parallel across shards.
+  void EnableCache(const GeoBlockQC::Options& options);
+  bool cache_enabled() const { return !cached_.empty(); }
+
+  QueryResult SelectCached(const geo::Polygon& polygon,
+                           const AggregateRequest& request);
+  QueryResult SelectCoveringCached(std::span<const cell::CellId> covering,
+                                   const AggregateRequest& request);
+
+  /// Re-ranks and refills every shard trie from its recorded statistics.
+  void RebuildCaches();
+
+  /// Sum of the per-shard cache counters.
+  CacheCounters MergedCacheCounters() const;
+  void ResetCacheCounters();
+
+  /// Indices of shards whose `[min_cell, max_cell]` range intersects the
+  /// (sorted, disjoint) covering; exposed for tests and benchmarks.
+  std::vector<size_t> OverlappingShards(
+      std::span<const cell::CellId> covering) const;
+
+ private:
+  struct CachedShard {
+    CachedShard(const GeoBlock* block, const GeoBlockQC::Options& options)
+        : qc(block, options) {}
+    GeoBlockQC qc;
+    std::mutex mu;
+  };
+
+  int level_ = 0;
+  geo::Projection projection_;
+  std::vector<GeoBlock> blocks_;
+  std::vector<std::unique_ptr<CachedShard>> cached_;
+};
+
+}  // namespace geoblocks::core

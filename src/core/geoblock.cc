@@ -97,10 +97,18 @@ GeoBlock GeoBlock::CoarsenTo(int level) const {
   return block;
 }
 
-std::vector<cell::CellId> GeoBlock::Cover(const geo::Polygon& polygon) const {
-  const geo::Polygon unit = projection_.ToUnit(polygon);
+std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
+                                       int level,
+                                       const geo::Polygon& polygon) {
+  const geo::Polygon unit = projection.ToUnit(polygon);
   const cell::PolygonRegion region(&unit);
-  return cell::GetCoveringCells(region, QueryCovererOptions());
+  cell::CovererOptions options;
+  options.max_level = level;
+  return cell::GetCoveringCells(region, options);
+}
+
+std::vector<cell::CellId> GeoBlock::Cover(const geo::Polygon& polygon) const {
+  return CoverPolygon(projection_, header_.level, polygon);
 }
 
 size_t GeoBlock::SeekFirst(uint64_t key, size_t last_idx) const {

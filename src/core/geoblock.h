@@ -33,6 +33,13 @@ struct BlockHeader {
   AggregateVector global; ///< all cell aggregates combined
 };
 
+/// Covering policy shared by every block-shaped engine (GeoBlock,
+/// BlockSet): project the query polygon onto the unit square and cover it
+/// with cells no finer than `level` (Section 3.5).
+std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
+                                       int level,
+                                       const geo::Polygon& polygon);
+
 /// A GeoBlock: a materialized view over geospatial point data that stores
 /// one *cell aggregate* per non-empty grid cell, sorted by spatial key
 /// (Section 3.4), and answers spatial aggregation queries over arbitrary

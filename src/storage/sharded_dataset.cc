@@ -1,0 +1,54 @@
+#include "storage/sharded_dataset.h"
+
+#include <algorithm>
+
+namespace geoblocks::storage {
+
+ShardedDataset ShardedDataset::Partition(const SortedDataset& data,
+                                         const ShardOptions& options) {
+  ShardedDataset out;
+  const size_t k = std::max<size_t>(1, options.num_shards);
+  const size_t n = data.num_rows();
+
+  // Row index of each shard's first row. Candidate boundaries split rows
+  // evenly; each is snapped down to the first row of the enclosing
+  // align-level cell so no cell aggregate can straddle two shards.
+  std::vector<size_t> starts(k + 1, n);
+  starts[0] = 0;
+  for (size_t i = 1; i < k; ++i) {
+    size_t candidate = i * n / k;
+    if (candidate >= n) {
+      starts[i] = n;
+      continue;
+    }
+    const uint64_t key = data.keys()[candidate];
+    const cell::CellId align_cell = cell::CellId(key).Parent(options.align_level);
+    size_t snapped = data.LowerBound(align_cell.RangeMin().id());
+    // Snapping moves boundaries down; never cross the previous boundary.
+    starts[i] = std::max(snapped, starts[i - 1]);
+  }
+  starts[k] = n;
+
+  out.shards_.reserve(k);
+  out.boundaries_.resize(k + 1);
+  for (size_t i = 0; i < k; ++i) {
+    out.shards_.push_back(data.Slice(starts[i], starts[i + 1]));
+    // Key-space boundary of the shard: the first key it may contain. The
+    // first shard starts at 0; later shards start at their align-cell's
+    // RangeMin (or the end of the key space when the shard is empty).
+    if (i == 0) {
+      out.boundaries_[0] = 0;
+    } else if (starts[i] < n) {
+      out.boundaries_[i] = cell::CellId(data.keys()[starts[i]])
+                               .Parent(options.align_level)
+                               .RangeMin()
+                               .id();
+    } else {
+      out.boundaries_[i] = ~uint64_t{0};
+    }
+  }
+  out.boundaries_[k] = ~uint64_t{0};
+  return out;
+}
+
+}  // namespace geoblocks::storage

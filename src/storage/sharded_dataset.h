@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cell/cell_id.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::storage {
+
+struct ShardOptions {
+  /// Number of shards K to cut the dataset into. Shards are contiguous
+  /// Hilbert-key ranges, so every shard is itself a valid SortedDataset.
+  size_t num_shards = 4;
+  /// Shard boundaries are snapped to grid-cell boundaries at this level:
+  /// no cell at `align_level` (or any finer level) spans two shards. Blocks
+  /// built over the shards at a level >= align_level therefore never split
+  /// a cell aggregate across shards, which keeps sharded query results
+  /// bit-identical to a single-block execution. Use the (coarsest) block
+  /// level you intend to build.
+  int align_level = 17;
+};
+
+/// A SortedDataset partitioned into K contiguous Hilbert-key ranges — the
+/// storage side of the sharded query engine. Because the space-filling
+/// curve preserves locality, each shard covers a compact spatial region,
+/// and the per-shard `[min_cell, max_cell]` block headers stay selective
+/// for query routing.
+class ShardedDataset {
+ public:
+  ShardedDataset() = default;
+
+  /// Cuts `data` into `options.num_shards` contiguous key ranges of
+  /// near-equal row counts, with boundaries snapped down to the enclosing
+  /// cell boundary at `options.align_level`. Skewed data may yield empty
+  /// shards; they are kept so shard indices remain stable.
+  static ShardedDataset Partition(const SortedDataset& data,
+                                  const ShardOptions& options);
+
+  size_t num_shards() const { return shards_.size(); }
+  const SortedDataset& shard(size_t i) const { return shards_[i]; }
+  const std::vector<SortedDataset>& shards() const { return shards_; }
+
+  /// Leaf-key boundaries: shard i holds rows whose key falls in
+  /// [boundaries()[i], boundaries()[i + 1]). Size is num_shards() + 1.
+  const std::vector<uint64_t>& boundaries() const { return boundaries_; }
+
+  size_t total_rows() const {
+    size_t n = 0;
+    for (const SortedDataset& s : shards_) n += s.num_rows();
+    return n;
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = boundaries_.size() * sizeof(uint64_t);
+    for (const SortedDataset& s : shards_) bytes += s.MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  std::vector<SortedDataset> shards_;
+  std::vector<uint64_t> boundaries_;
+};
+
+}  // namespace geoblocks::storage

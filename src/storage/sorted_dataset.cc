@@ -73,6 +73,22 @@ SortedDataset SortedDataset::Extract(const PointTable& raw,
   return out;
 }
 
+SortedDataset SortedDataset::Slice(size_t first, size_t last) const {
+  SortedDataset out;
+  out.schema_ = schema_;
+  out.projection_ = projection_;
+  last = std::min(last, keys_.size());
+  first = std::min(first, last);
+  out.keys_.assign(keys_.begin() + first, keys_.begin() + last);
+  out.xs_.assign(xs_.begin() + first, xs_.begin() + last);
+  out.ys_.assign(ys_.begin() + first, ys_.begin() + last);
+  out.columns_.reserve(columns_.size());
+  for (const std::vector<double>& col : columns_) {
+    out.columns_.emplace_back(col.begin() + first, col.begin() + last);
+  }
+  return out;
+}
+
 size_t SortedDataset::LowerBound(uint64_t k) const {
   return static_cast<size_t>(
       std::lower_bound(keys_.begin(), keys_.end(), k) - keys_.begin());

@@ -53,6 +53,12 @@ class SortedDataset {
     return collected_cells_;
   }
 
+  /// A copy of rows [first, last) as a self-contained SortedDataset with
+  /// the same schema and projection. Used by the sharded engine to cut one
+  /// extract result into contiguous Hilbert-key ranges; collected cells are
+  /// not propagated (re-request them on the slice if needed).
+  SortedDataset Slice(size_t first, size_t last) const;
+
   /// First row with key >= k (k given as raw 64-bit id).
   size_t LowerBound(uint64_t k) const;
   /// First row with key > k.

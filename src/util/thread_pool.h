@@ -1,0 +1,132 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace geoblocks::util {
+
+/// A fixed-size worker pool for parallel block builds and batched query
+/// execution. Tasks are plain std::function<void()>; submission is
+/// thread-safe. The pool is intentionally small and dependency-free: the
+/// sharded engine only needs fork/join-style fan-out, not work stealing.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Runs `fn(i)` for every i in [0, n) across the pool and blocks until
+  /// all iterations finished. The calling thread runs iteration 0 and then
+  /// helps drain the queue while waiting, so a ParallelFor issued from
+  /// inside a pool worker makes progress instead of deadlocking (its
+  /// sub-tasks may be executed by other blocked callers or by itself).
+  template <typename Fn>
+  void ParallelFor(size_t n, const Fn& fn) {
+    if (n == 0) return;
+    if (n == 1 || num_threads() == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    struct Join {
+      std::mutex mu;
+      std::condition_variable done;
+      size_t remaining;
+    };
+    auto join = std::make_shared<Join>();
+    join->remaining = n - 1;
+    for (size_t i = 1; i < n; ++i) {
+      Submit([&fn, i, join] {
+        fn(i);
+        std::lock_guard<std::mutex> lock(join->mu);
+        if (--join->remaining == 0) join->done.notify_all();
+      });
+    }
+    fn(0);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(join->mu);
+        if (join->remaining == 0) return;
+      }
+      // Steal queued work (ours or anyone's — tasks are independent) while
+      // iterations are still in flight; otherwise wait briefly. The timed
+      // wait covers the race where the queue empties but our iterations
+      // are still running on workers.
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!queue_.empty()) {
+          task = std::move(queue_.front());
+          queue_.pop_front();
+        }
+      }
+      if (task) {
+        task();
+      } else {
+        std::unique_lock<std::mutex> lock(join->mu);
+        join->done.wait_for(lock, std::chrono::milliseconds(1),
+                            [&join] { return join->remaining == 0; });
+      }
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace geoblocks::util

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/geoblock.h"
+#include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::BlockSet;
+using core::BlockSetOptions;
+using core::GeoBlock;
+using core::QueryResult;
+
+/// Sharded execution must be indistinguishable from a single block: the
+/// shard cut is aligned to cell boundaries, shards are visited in key
+/// order, and each shard combines its aggregates in ascending order, so
+/// even the floating-point sums are reproduced bit for bit. This is the
+/// same invariant integration_test.cc checks for the sorted baselines.
+class BlockSetTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+
+  static void SetUpTestSuite() {
+    raw_ = new storage::PointTable(workload::GenTaxi(40000, 11));
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new storage::SortedDataset(
+        storage::SortedDataset::Extract(*raw_, options));
+    block_ = new GeoBlock(
+        GeoBlock::Build(*data_, core::BlockOptions{kLevel, {}}));
+    polygons_ = new std::vector<geo::Polygon>(
+        workload::Neighborhoods(*raw_, 30, 12));
+  }
+  static void TearDownTestSuite() {
+    delete polygons_;
+    delete block_;
+    delete data_;
+    delete raw_;
+    polygons_ = nullptr;
+    block_ = nullptr;
+    data_ = nullptr;
+    raw_ = nullptr;
+  }
+
+  static AggregateRequest Request() {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kMin, 1);
+    req.Add(AggFn::kMax, 2);
+    req.Add(AggFn::kAvg, 3);
+    req.Add(AggFn::kSum, 5);
+    return req;
+  }
+
+  static void ExpectBitIdentical(const QueryResult& got,
+                                 const QueryResult& want, const char* what) {
+    ASSERT_EQ(got.count, want.count) << what;
+    ASSERT_EQ(got.values.size(), want.values.size()) << what;
+    for (size_t i = 0; i < got.values.size(); ++i) {
+      ASSERT_EQ(got.values[i], want.values[i]) << what << " value " << i;
+    }
+  }
+
+  static storage::ShardedDataset Shard(size_t k, int align_level = kLevel) {
+    storage::ShardOptions options;
+    options.num_shards = k;
+    options.align_level = align_level;
+    return storage::ShardedDataset::Partition(*data_, options);
+  }
+
+  static storage::PointTable* raw_;
+  static storage::SortedDataset* data_;
+  static GeoBlock* block_;
+  static std::vector<geo::Polygon>* polygons_;
+};
+
+storage::PointTable* BlockSetTest::raw_ = nullptr;
+storage::SortedDataset* BlockSetTest::data_ = nullptr;
+GeoBlock* BlockSetTest::block_ = nullptr;
+std::vector<geo::Polygon>* BlockSetTest::polygons_ = nullptr;
+
+TEST_F(BlockSetTest, PartitionPreservesRowsAndOrder) {
+  const storage::ShardedDataset sharded = Shard(4);
+  ASSERT_EQ(sharded.num_shards(), 4u);
+  ASSERT_EQ(sharded.total_rows(), data_->num_rows());
+  // Concatenating the shard keys reproduces the sorted key sequence.
+  size_t row = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    for (const uint64_t key : sharded.shard(s).keys()) {
+      ASSERT_EQ(key, data_->keys()[row]) << "row " << row;
+      ++row;
+    }
+  }
+  ASSERT_EQ(row, data_->num_rows());
+}
+
+TEST_F(BlockSetTest, PartitionAlignsToCellBoundaries) {
+  const storage::ShardedDataset sharded = Shard(5);
+  // No align-level cell may span two shards: the last key of a shard and
+  // the first key of the next shard must fall into different cells.
+  uint64_t prev_last = 0;
+  bool have_prev = false;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const storage::SortedDataset& shard = sharded.shard(s);
+    if (shard.num_rows() == 0) continue;
+    const cell::CellId first =
+        cell::CellId(shard.keys().front()).Parent(kLevel);
+    if (have_prev) {
+      EXPECT_NE(first, cell::CellId(prev_last).Parent(kLevel))
+          << "shard " << s << " splits a level-" << kLevel << " cell";
+    }
+    prev_last = shard.keys().back();
+    have_prev = true;
+  }
+}
+
+TEST_F(BlockSetTest, ShardedResultsBitIdenticalToSingleBlock) {
+  util::ThreadPool pool(4);
+  const AggregateRequest req = Request();
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{7}}) {
+    const storage::ShardedDataset sharded = Shard(k);
+    const BlockSet set =
+        BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}}, &pool);
+    ASSERT_EQ(set.num_shards(), k);
+    ASSERT_EQ(set.num_cells(), block_->num_cells()) << "K=" << k;
+    for (const geo::Polygon& poly : *polygons_) {
+      const auto covering = block_->Cover(poly);
+      ExpectBitIdentical(set.SelectCovering(covering, req),
+                         block_->SelectCovering(covering, req), "select");
+      EXPECT_EQ(set.CountCovering(covering),
+                block_->CountCovering(covering));
+    }
+  }
+}
+
+TEST_F(BlockSetTest, CoarseAlignmentCreatesEmptyShardsButStaysCorrect) {
+  // Aligning at a very coarse level collapses most boundary candidates
+  // onto the same cell start, leaving later shards empty. Results must be
+  // unaffected. (The block level must stay >= align_level for the
+  // bit-identical guarantee, so build at kLevel with align 6.)
+  const storage::ShardedDataset sharded = Shard(16, 6);
+  ASSERT_EQ(sharded.num_shards(), 16u);
+  size_t empty = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    if (sharded.shard(s).num_rows() == 0) ++empty;
+  }
+  EXPECT_GT(empty, 0u) << "expected coarse alignment to produce empty shards";
+  ASSERT_EQ(sharded.total_rows(), data_->num_rows());
+
+  const BlockSet set = BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}});
+  const AggregateRequest req = Request();
+  for (const geo::Polygon& poly : *polygons_) {
+    const auto covering = block_->Cover(poly);
+    ExpectBitIdentical(set.SelectCovering(covering, req),
+                       block_->SelectCovering(covering, req), "empty-shards");
+  }
+}
+
+TEST_F(BlockSetTest, EmptyDatasetYieldsEmptyShards) {
+  const storage::SortedDataset empty = data_->Slice(0, 0);
+  storage::ShardOptions options;
+  options.num_shards = 3;
+  const auto sharded = storage::ShardedDataset::Partition(empty, options);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+  EXPECT_EQ(sharded.total_rows(), 0u);
+
+  const BlockSet set = BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}});
+  const AggregateRequest req = Request();
+  const QueryResult r = set.Select((*polygons_)[0], req);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(set.Count((*polygons_)[0]), 0u);
+}
+
+TEST_F(BlockSetTest, MergedHeaderMatchesSingleBlockHeader) {
+  const storage::ShardedDataset sharded = Shard(7);
+  const BlockSet set = BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}});
+  const core::BlockHeader merged = set.MergedHeader();
+  EXPECT_EQ(merged.level, block_->header().level);
+  EXPECT_EQ(merged.min_cell, block_->header().min_cell);
+  EXPECT_EQ(merged.max_cell, block_->header().max_cell);
+  EXPECT_EQ(merged.global.count, block_->header().global.count);
+  ASSERT_EQ(merged.global.columns.size(),
+            block_->header().global.columns.size());
+  for (size_t c = 0; c < merged.global.columns.size(); ++c) {
+    EXPECT_EQ(merged.global.columns[c].min,
+              block_->header().global.columns[c].min);
+    EXPECT_EQ(merged.global.columns[c].max,
+              block_->header().global.columns[c].max);
+  }
+}
+
+TEST_F(BlockSetTest, RoutingPrunesShards) {
+  const storage::ShardedDataset sharded = Shard(7);
+  const BlockSet set = BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}});
+  // Hilbert locality: small neighborhood polygons should hit only a
+  // fraction of the 7 shards on average.
+  size_t total_visits = 0;
+  for (const geo::Polygon& poly : *polygons_) {
+    const auto covering = set.Cover(poly);
+    const auto shards = set.OverlappingShards(covering);
+    ASSERT_LE(shards.size(), set.num_shards());
+    total_visits += shards.size();
+  }
+  EXPECT_LT(total_visits, polygons_->size() * set.num_shards() / 2)
+      << "shard routing is not pruning";
+}
+
+TEST_F(BlockSetTest, FilteredBuildMatchesFilteredSingleBlock) {
+  storage::Filter filter;
+  filter.Add({1, storage::CompareOp::kGe, 4.0});
+  const GeoBlock filtered_block =
+      GeoBlock::Build(*data_, core::BlockOptions{kLevel, filter});
+  const storage::ShardedDataset sharded = Shard(4);
+  const BlockSet set =
+      BlockSet::Build(sharded, BlockSetOptions{{kLevel, filter}});
+  const AggregateRequest req = Request();
+  for (const geo::Polygon& poly : *polygons_) {
+    const auto covering = filtered_block.Cover(poly);
+    ExpectBitIdentical(set.SelectCovering(covering, req),
+                       filtered_block.SelectCovering(covering, req),
+                       "filtered");
+  }
+}
+
+}  // namespace
+}  // namespace geoblocks

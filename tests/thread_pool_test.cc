@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace geoblocks {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(16, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkersCompletes) {
+  // The blocked outer iterations help drain the queue, so nesting must
+  // make progress even when every worker is itself inside a ParallelFor.
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace geoblocks
