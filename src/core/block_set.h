@@ -55,8 +55,12 @@ class BlockSet {
 
   /// Builds one GeoBlock per shard. When `pool` is non-null the per-shard
   /// builds run concurrently on it (the build is embarrassingly parallel:
-  /// each shard is an independent linear pass). `shards` must outlive the
-  /// BlockSet, exactly like SortedDataset must outlive GeoBlock.
+  /// each shard is an independent linear pass over its DatasetView). Each
+  /// block copies its shard's view, so the `shards` object itself need not
+  /// outlive the BlockSet; when the partition owns its parent (shared_ptr
+  /// Partition overloads) the base rows are kept alive by the blocks
+  /// themselves, while a borrowed partition leaves the parent dataset's
+  /// lifetime with its owner.
   static BlockSet Build(const storage::ShardedDataset& shards,
                         const BlockSetOptions& options,
                         util::ThreadPool* pool = nullptr);
@@ -73,6 +77,11 @@ class BlockSet {
   /// the shard key ranges.
   BlockHeader MergedHeader() const;
 
+  /// Bytes of the materialized aggregates across shards (headers + cell
+  /// aggregates). The shared base dataset is intentionally not counted —
+  /// shards are views over one parent, so counting it per shard would
+  /// double-count; account for the parent once via
+  /// ShardedDataset::MemoryBytes.
   size_t MemoryBytes() const;
 
   /// Covering of a query polygon under the set's level constraint

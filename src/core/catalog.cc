@@ -39,19 +39,19 @@ const GeoBlock& BlockCatalog::GetOrBuild(const BlockOptions& options) {
   const std::string key = KeyOf(options);
   const auto it = blocks_.find(key);
   if (it != blocks_.end()) return *it->second;
-  auto block = std::make_unique<GeoBlock>(GeoBlock::Build(*data_, options));
+  auto block = std::make_unique<GeoBlock>(GeoBlock::Build(data_, options));
   return *blocks_.emplace(key, std::move(block)).first->second;
 }
 
 const GeoBlock& BlockCatalog::ForErrorBound(const storage::Filter& filter,
                                             double max_error_meters) {
-  const double lat = 0.5 * (data_->projection().domain().min.y +
-                            data_->projection().domain().max.y);
+  const double lat = 0.5 * (data_.projection().domain().min.y +
+                            data_.projection().domain().max.y);
   // Use a latitude representative of the data rather than the domain when
   // the data occupies a small sub-rectangle (the usual case for the
   // whole-earth projection).
   const double data_lat =
-      data_->num_rows() > 0 ? data_->ys()[data_->num_rows() / 2] : lat;
+      data_.num_rows() > 0 ? data_.ys()[data_.num_rows() / 2] : lat;
   const int required = LevelForErrorBound(max_error_meters, data_lat);
 
   // Reuse any same-filter block at `required` or finer.

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/geoblock.h"
 
@@ -20,9 +21,15 @@ int LevelForErrorBound(double max_error_meters, double lat = 40.7);
 /// incrementally from the sorted base data on demand and reused afterwards.
 class BlockCatalog {
  public:
-  explicit BlockCatalog(const storage::SortedDataset* data) : data_(data) {}
+  /// Catalog over a dataset window. An owning view keeps the base data
+  /// alive for as long as the catalog (and its blocks) exist.
+  explicit BlockCatalog(storage::DatasetView data) : data_(std::move(data)) {}
 
-  const storage::SortedDataset& data() const { return *data_; }
+  /// Borrowing convenience: `data` must outlive the catalog.
+  explicit BlockCatalog(const storage::SortedDataset* data)
+      : BlockCatalog(storage::DatasetView::Unowned(*data)) {}
+
+  const storage::DatasetView& data() const { return data_; }
 
   /// Returns the block for the exact (filter, level) combination, building
   /// it on first use (an *incremental* build in the paper's terms).
@@ -50,7 +57,7 @@ class BlockCatalog {
   static std::string KeyOf(const BlockOptions& options);
 
  private:
-  const storage::SortedDataset* data_;
+  storage::DatasetView data_;
   // Key -> block. unique_ptr keeps GeoBlock* stable across rehashing so
   // callers (e.g. GeoBlockQC) can hold on to the returned reference.
   std::map<std::string, std::unique_ptr<GeoBlock>> blocks_;

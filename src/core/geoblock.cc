@@ -1,30 +1,38 @@
 #include "core/geoblock.h"
 
 #include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <utility>
 
 namespace geoblocks::core {
 
-GeoBlock GeoBlock::Build(const storage::SortedDataset& data,
+GeoBlock GeoBlock::Build(storage::DatasetView data,
                          const BlockOptions& options) {
   GeoBlock block;
-  block.data_ = &data;
-  block.projection_ = data.projection();
-  block.num_columns_ = data.num_columns();
+  block.data_ = std::move(data);
+  block.filter_ = options.filter;
+  const storage::DatasetView& view = block.data_;
   block.header_.level = options.level;
-  block.header_.global = AggregateVector(data.num_columns());
+  if (view.has_data()) {
+    block.projection_ = view.projection();
+    block.num_columns_ = view.num_columns();
+  }
+  block.header_.global = AggregateVector(block.num_columns_);
 
   const uint64_t lsb = cell::CellId::LsbForLevel(options.level);
   const storage::Filter& filter = options.filter;
   const auto value_of = [&](size_t row) {
-    return [&, row](int col) { return data.Value(row, col); };
+    return [&, row](int col) { return view.Value(row, col); };
   };
 
+  const std::span<const uint64_t> keys = view.keys();
   uint64_t current_cell = 0;
   uint32_t matched_so_far = 0;  // offset into the filtered tuple sequence
-  const size_t n = data.num_rows();
+  const size_t n = view.num_rows();
   for (size_t row = 0; row < n; ++row) {
     if (!filter.IsTrue() && !filter.Matches(value_of(row))) continue;
-    const uint64_t key = data.keys()[row];
+    const uint64_t key = keys[row];
     const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
     if (cell_id != current_cell) {
       block.cells_.push_back(cell_id);
@@ -44,7 +52,7 @@ GeoBlock GeoBlock::Build(const storage::SortedDataset& data,
         block.column_aggs_.data() + idx * block.num_columns_;
     ++block.header_.global.count;
     for (size_t c = 0; c < block.num_columns_; ++c) {
-      const double v = data.Value(row, c);
+      const double v = view.Value(row, c);
       cols[c].Add(v);
       block.header_.global.columns[c].Add(v);
     }
@@ -60,6 +68,7 @@ GeoBlock GeoBlock::Build(const storage::SortedDataset& data,
 GeoBlock GeoBlock::CoarsenTo(int level) const {
   GeoBlock block;
   block.data_ = data_;
+  block.filter_ = filter_;
   block.projection_ = projection_;
   block.num_columns_ = num_columns_;
   block.header_.level = level;
@@ -67,7 +76,15 @@ GeoBlock GeoBlock::CoarsenTo(int level) const {
   if (level >= header_.level) {
     // Refining requires the base data; same level is a copy.
     if (level == header_.level) return *this;
-    return Build(*data_, BlockOptions{level, storage::Filter()});
+    if (!data_.has_data()) {
+      // Deserialized blocks are self-contained cell aggregates without base
+      // rows; they can coarsen but not refine.
+      throw std::logic_error(
+          "GeoBlock::CoarsenTo: refining requires the base data");
+    }
+    // Re-scan the base rows under the block's own filter so a refined
+    // filtered block aggregates exactly the rows the original did.
+    return Build(data_, BlockOptions{level, filter_});
   }
 
   const uint64_t lsb = cell::CellId::LsbForLevel(level);

@@ -10,6 +10,7 @@
 #include "core/aggregate.h"
 #include "geo/polygon.h"
 #include "geo/projection.h"
+#include "storage/dataset_view.h"
 #include "storage/filter.h"
 #include "storage/sorted_dataset.h"
 
@@ -52,10 +53,19 @@ class GeoBlock {
  public:
   GeoBlock() = default;
 
-  /// Builds a GeoBlock from sorted base data in a single linear pass
-  /// (the *build* phase of Figure 5).
+  /// Builds a GeoBlock from a window of sorted base data in a single
+  /// linear pass (the *build* phase of Figure 5). The block keeps the view
+  /// — and, when the view owns its parent, the base data itself — alive
+  /// for refinement (CoarsenTo to a finer level rebuilds from the rows).
+  static GeoBlock Build(storage::DatasetView data, const BlockOptions& options);
+
+  /// Convenience overload over a whole, caller-owned dataset: the block
+  /// borrows `data`, which must stay alive (and in place) as long as the
+  /// block may need its rows. Prefer building from an owning DatasetView.
   static GeoBlock Build(const storage::SortedDataset& data,
-                        const BlockOptions& options);
+                        const BlockOptions& options) {
+    return Build(storage::DatasetView::Unowned(data), options);
+  }
 
   /// Derives a coarser block from this one without re-scanning the base
   /// data (Section 3.4, "Aggregate Granularity").
@@ -65,11 +75,20 @@ class GeoBlock {
   int level() const { return header_.level; }
   size_t num_cells() const { return cells_.size(); }
   size_t num_columns() const { return num_columns_; }
-  const storage::SortedDataset* dataset() const { return data_; }
+  /// The base-data window the block was built over. An empty view (no
+  /// parent) for deserialized blocks, which are self-contained. Owning
+  /// views keep the parent dataset alive, so the accessor can never dangle
+  /// even if the dataset's original handle (e.g. a moved ShardedDataset)
+  /// is gone.
+  const storage::DatasetView& dataset() const { return data_; }
   /// Projection used to map query polygons onto the unit square (copied
   /// from the dataset at build time so a deserialized block is
   /// self-contained).
   const geo::Projection& projection() const { return projection_; }
+
+  /// Filter predicates the block was built with (empty = all rows). Kept so
+  /// refinement re-applies the same predicate set to the base rows.
+  const storage::Filter& filter() const { return filter_; }
 
   /// Covering options a query against this block must use: covering cells
   /// are never finer than the block's grid (Section 3.5).
@@ -171,7 +190,8 @@ class GeoBlock {
   /// lastAgg successor shortcut from Listing 1 when possible.
   size_t SeekFirst(uint64_t key, size_t last_idx) const;
 
-  const storage::SortedDataset* data_ = nullptr;
+  storage::DatasetView data_;
+  storage::Filter filter_;
   geo::Projection projection_;
   BlockHeader header_;
   size_t num_columns_ = 0;

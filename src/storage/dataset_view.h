@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "cell/cell_id.h"
+#include "geo/point.h"
+#include "storage/point_table.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::storage {
+
+/// A zero-copy (offset, length) window over an immutable SortedDataset.
+///
+/// The extract phase (Figure 5) produces exactly one sorted base dataset;
+/// everything downstream — shard partitioning, the GeoBlock build pass,
+/// filter evaluation — only ever *reads* contiguous row ranges of it. A
+/// DatasetView captures such a range as two integers plus a
+/// `shared_ptr<const SortedDataset>`, so cutting a dataset into K shards
+/// costs O(K) metadata instead of a second copy of every row, and a block
+/// built from a view keeps the base data alive for as long as it needs it.
+///
+/// Lifetime rule: a view created from a `shared_ptr` (All/Window, or
+/// ShardedDataset::Partition over a shared_ptr) co-owns the dataset — the
+/// rows outlive every view and every GeoBlock built from one. A view
+/// created with Unowned()/UnownedWindow() merely borrows: the caller must
+/// keep the SortedDataset alive, exactly like the historical
+/// `GeoBlock::Build(const SortedDataset&)` contract.
+///
+/// The read API mirrors SortedDataset (keys/xs/ys/column/Location/Value/
+/// LowerBound/UpperBound/EqualRangeForCell) with all row indices relative
+/// to the window, so build and query code is agnostic to whether it sees
+/// the whole dataset or one shard of it.
+class DatasetView {
+ public:
+  /// An empty view over nothing (no parent). num_rows() == 0.
+  DatasetView() = default;
+
+  /// View over the whole dataset.
+  static DatasetView All(std::shared_ptr<const SortedDataset> data);
+
+  /// View over rows [first, last), clamped to the parent's row count.
+  static DatasetView Window(std::shared_ptr<const SortedDataset> data,
+                            size_t first, size_t last);
+
+  /// Non-owning views for callers that manage the dataset lifetime
+  /// themselves (stack- or member-owned datasets in tests and benches).
+  static DatasetView Unowned(const SortedDataset& data);
+  static DatasetView UnownedWindow(const SortedDataset& data, size_t first,
+                                   size_t last);
+
+  /// True when the view points at a dataset (possibly an empty window).
+  bool has_data() const { return data_ != nullptr; }
+
+  /// The viewed dataset. Null for a default-constructed view; non-null but
+  /// non-owning for Unowned views.
+  const std::shared_ptr<const SortedDataset>& parent() const { return data_; }
+
+  /// First parent row of the window.
+  size_t offset() const { return offset_; }
+
+  /// Schema/projection of the parent; a default-constructed Schema /
+  /// Projection for an empty view, so every accessor is safe on the empty
+  /// view a deserialized GeoBlock carries.
+  const Schema& schema() const {
+    static const Schema kEmpty;
+    return data_ ? data_->schema() : kEmpty;
+  }
+  const geo::Projection& projection() const {
+    static const geo::Projection kDefault;
+    return data_ ? data_->projection() : kDefault;
+  }
+  size_t num_rows() const { return length_; }
+  size_t num_columns() const { return data_ ? data_->num_columns() : 0; }
+
+  /// Leaf cell id of each row in the window, ascending.
+  std::span<const uint64_t> keys() const {
+    return data_ ? std::span<const uint64_t>(data_->keys()).subspan(offset_,
+                                                                    length_)
+                 : std::span<const uint64_t>();
+  }
+  std::span<const double> xs() const {
+    return data_ ? std::span<const double>(data_->xs()).subspan(offset_,
+                                                                length_)
+                 : std::span<const double>();
+  }
+  std::span<const double> ys() const {
+    return data_ ? std::span<const double>(data_->ys()).subspan(offset_,
+                                                                length_)
+                 : std::span<const double>();
+  }
+  std::span<const double> column(size_t c) const {
+    return data_ ? std::span<const double>(data_->column(c))
+                       .subspan(offset_, length_)
+                 : std::span<const double>();
+  }
+
+  geo::Point Location(size_t row) const {
+    return data_->Location(offset_ + row);
+  }
+  double Value(size_t row, size_t col) const {
+    return data_->Value(offset_ + row, col);
+  }
+
+  /// First in-window row with key >= k / > k (indices relative to the
+  /// window; num_rows() when no such row exists).
+  size_t LowerBound(uint64_t k) const;
+  size_t UpperBound(uint64_t k) const;
+  /// Window-relative row range [first, last) of all leaves in `cell`.
+  std::pair<size_t, size_t> EqualRangeForCell(cell::CellId cell) const;
+
+  /// Bytes owned by the view itself. The rows belong to the parent dataset
+  /// and are shared by every view over it, so they are intentionally not
+  /// counted here — that is the whole point of the view.
+  size_t MemoryBytes() const { return sizeof(DatasetView); }
+
+  /// Bytes of raw payload (x, y, attribute columns) the window spans inside
+  /// the parent. Reported for overhead accounting; the bytes are shared,
+  /// not owned.
+  size_t PayloadBytes() const {
+    return length_ * (2 + num_columns()) * sizeof(double);
+  }
+
+  /// An owning deep copy of the viewed rows (SortedDataset::Slice) for the
+  /// rare caller that genuinely needs an independent dataset.
+  SortedDataset Materialize() const;
+
+ private:
+  DatasetView(std::shared_ptr<const SortedDataset> data, size_t first,
+              size_t last);
+
+  std::shared_ptr<const SortedDataset> data_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+}  // namespace geoblocks::storage

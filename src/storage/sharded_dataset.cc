@@ -1,14 +1,40 @@
 #include "storage/sharded_dataset.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace geoblocks::storage {
 
-ShardedDataset ShardedDataset::Partition(const SortedDataset& data,
-                                         const ShardOptions& options) {
+namespace {
+
+void ValidateOptions(const ShardOptions& options) {
+  if (options.num_shards == 0) {
+    throw std::invalid_argument(
+        "ShardOptions::num_shards must be >= 1, got 0");
+  }
+  if (options.align_level < 0 ||
+      options.align_level > cell::CellId::kMaxLevel) {
+    throw std::invalid_argument(
+        "ShardOptions::align_level must be in [0, " +
+        std::to_string(cell::CellId::kMaxLevel) + "], got " +
+        std::to_string(options.align_level));
+  }
+}
+
+}  // namespace
+
+ShardedDataset ShardedDataset::Partition(
+    std::shared_ptr<const SortedDataset> data, const ShardOptions& options) {
+  ValidateOptions(options);
+  if (data == nullptr) {
+    throw std::invalid_argument("ShardedDataset::Partition: null dataset");
+  }
   ShardedDataset out;
-  const size_t k = std::max<size_t>(1, options.num_shards);
-  const size_t n = data.num_rows();
+  out.parent_ = std::move(data);
+  const SortedDataset& parent = *out.parent_;
+  const size_t k = options.num_shards;
+  const size_t n = parent.num_rows();
 
   // Row index of each shard's first row. Candidate boundaries split rows
   // evenly; each is snapped down to the first row of the enclosing
@@ -21,25 +47,28 @@ ShardedDataset ShardedDataset::Partition(const SortedDataset& data,
       starts[i] = n;
       continue;
     }
-    const uint64_t key = data.keys()[candidate];
-    const cell::CellId align_cell = cell::CellId(key).Parent(options.align_level);
-    size_t snapped = data.LowerBound(align_cell.RangeMin().id());
+    const uint64_t key = parent.keys()[candidate];
+    const cell::CellId align_cell =
+        cell::CellId(key).Parent(options.align_level);
+    size_t snapped = parent.LowerBound(align_cell.RangeMin().id());
     // Snapping moves boundaries down; never cross the previous boundary.
     starts[i] = std::max(snapped, starts[i - 1]);
   }
   starts[k] = n;
 
-  out.shards_.reserve(k);
+  // Zero-copy cut: each shard is an (offset, length) view into the parent.
+  out.views_.reserve(k);
   out.boundaries_.resize(k + 1);
   for (size_t i = 0; i < k; ++i) {
-    out.shards_.push_back(data.Slice(starts[i], starts[i + 1]));
+    out.views_.push_back(
+        DatasetView::Window(out.parent_, starts[i], starts[i + 1]));
     // Key-space boundary of the shard: the first key it may contain. The
     // first shard starts at 0; later shards start at their align-cell's
     // RangeMin (or the end of the key space when the shard is empty).
     if (i == 0) {
       out.boundaries_[0] = 0;
     } else if (starts[i] < n) {
-      out.boundaries_[i] = cell::CellId(data.keys()[starts[i]])
+      out.boundaries_[i] = cell::CellId(parent.keys()[starts[i]])
                                .Parent(options.align_level)
                                .RangeMin()
                                .id();
@@ -49,6 +78,20 @@ ShardedDataset ShardedDataset::Partition(const SortedDataset& data,
   }
   out.boundaries_[k] = ~uint64_t{0};
   return out;
+}
+
+ShardedDataset ShardedDataset::Partition(SortedDataset&& data,
+                                         const ShardOptions& options) {
+  ValidateOptions(options);  // before the move: a throw must not eat `data`
+  return Partition(std::make_shared<const SortedDataset>(std::move(data)),
+                   options);
+}
+
+ShardedDataset ShardedDataset::Partition(const SortedDataset& data,
+                                         const ShardOptions& options) {
+  // Borrowed parent: DatasetView::Unowned already encapsulates the
+  // non-owning aliasing-shared_ptr idiom; ownership stays with the caller.
+  return Partition(DatasetView::Unowned(data).parent(), options);
 }
 
 }  // namespace geoblocks::storage

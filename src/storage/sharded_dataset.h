@@ -2,23 +2,28 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "cell/cell_id.h"
+#include "storage/dataset_view.h"
 #include "storage/sorted_dataset.h"
 
 namespace geoblocks::storage {
 
 struct ShardOptions {
   /// Number of shards K to cut the dataset into. Shards are contiguous
-  /// Hilbert-key ranges, so every shard is itself a valid SortedDataset.
+  /// Hilbert-key ranges, so every shard is itself a valid sorted dataset
+  /// window. Must be >= 1 (Partition throws std::invalid_argument).
   size_t num_shards = 4;
   /// Shard boundaries are snapped to grid-cell boundaries at this level:
   /// no cell at `align_level` (or any finer level) spans two shards. Blocks
   /// built over the shards at a level >= align_level therefore never split
   /// a cell aggregate across shards, which keeps sharded query results
   /// bit-identical to a single-block execution. Use the (coarsest) block
-  /// level you intend to build.
+  /// level you intend to build. Must be in [0, cell::CellId::kMaxLevel]
+  /// (Partition throws std::invalid_argument).
   int align_level = 17;
 };
 
@@ -27,6 +32,11 @@ struct ShardOptions {
 /// curve preserves locality, each shard covers a compact spatial region,
 /// and the per-shard `[min_cell, max_cell]` block headers stay selective
 /// for query routing.
+///
+/// Partitioning is zero-copy: each shard is a DatasetView (offset + length
+/// + shared_ptr) over the single parent dataset, so Partition costs O(K)
+/// metadata and no row is ever duplicated. Use DatasetView::Materialize /
+/// SortedDataset::Slice when an owning copy of a shard is genuinely needed.
 class ShardedDataset {
  public:
   ShardedDataset() = default;
@@ -34,13 +44,37 @@ class ShardedDataset {
   /// Cuts `data` into `options.num_shards` contiguous key ranges of
   /// near-equal row counts, with boundaries snapped down to the enclosing
   /// cell boundary at `options.align_level`. Skewed data may yield empty
-  /// shards; they are kept so shard indices remain stable.
+  /// shards; they are kept so shard indices remain stable. The shards
+  /// co-own `data`, so the rows stay alive for as long as any shard view
+  /// (or any GeoBlock built from one) exists.
+  ///
+  /// Throws std::invalid_argument for num_shards == 0 or an align_level
+  /// outside [0, cell::CellId::kMaxLevel].
+  static ShardedDataset Partition(std::shared_ptr<const SortedDataset> data,
+                                  const ShardOptions& options);
+
+  /// Takes ownership of `data` by move, then partitions as above. Options
+  /// are validated before the move, so a throwing call leaves `data`
+  /// untouched in the caller's hands.
+  static ShardedDataset Partition(SortedDataset&& data,
+                                  const ShardOptions& options);
+
+  /// Non-owning partition: the shard views borrow `data`, which the caller
+  /// must keep alive (and in place) for the lifetime of the shards and of
+  /// anything built from them. Prefer the shared_ptr overload; this exists
+  /// for callers whose dataset is owned elsewhere (tests, benches).
   static ShardedDataset Partition(const SortedDataset& data,
                                   const ShardOptions& options);
 
-  size_t num_shards() const { return shards_.size(); }
-  const SortedDataset& shard(size_t i) const { return shards_[i]; }
-  const std::vector<SortedDataset>& shards() const { return shards_; }
+  size_t num_shards() const { return views_.size(); }
+  const DatasetView& shard(size_t i) const { return views_[i]; }
+  const std::vector<DatasetView>& shards() const { return views_; }
+
+  /// The single dataset all shards window into (null for a default-
+  /// constructed ShardedDataset; non-owning for the borrow overload).
+  const std::shared_ptr<const SortedDataset>& parent() const {
+    return parent_;
+  }
 
   /// Leaf-key boundaries: shard i holds rows whose key falls in
   /// [boundaries()[i], boundaries()[i + 1]). Size is num_shards() + 1.
@@ -48,18 +82,26 @@ class ShardedDataset {
 
   size_t total_rows() const {
     size_t n = 0;
-    for (const SortedDataset& s : shards_) n += s.num_rows();
+    for (const DatasetView& v : views_) n += v.num_rows();
     return n;
   }
 
+  /// Bytes the partitioning added on top of the parent dataset: boundary
+  /// keys plus K view records. This is what `Partition` actually allocates.
+  size_t PartitionOverheadBytes() const {
+    return boundaries_.size() * sizeof(uint64_t) +
+           views_.size() * sizeof(DatasetView);
+  }
+
+  /// True resident bytes: one shared parent payload plus the partitioning
+  /// metadata. The parent is counted once — shards are views, not copies.
   size_t MemoryBytes() const {
-    size_t bytes = boundaries_.size() * sizeof(uint64_t);
-    for (const SortedDataset& s : shards_) bytes += s.MemoryBytes();
-    return bytes;
+    return (parent_ ? parent_->MemoryBytes() : 0) + PartitionOverheadBytes();
   }
 
  private:
-  std::vector<SortedDataset> shards_;
+  std::shared_ptr<const SortedDataset> parent_;
+  std::vector<DatasetView> views_;
   std::vector<uint64_t> boundaries_;
 };
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/block_set.h"
@@ -103,6 +106,64 @@ TEST_F(BlockSetTest, PartitionPreservesRowsAndOrder) {
   ASSERT_EQ(row, data_->num_rows());
 }
 
+TEST_F(BlockSetTest, PartitionIsZeroCopy) {
+  const storage::ShardedDataset sharded = Shard(6);
+  ASSERT_EQ(sharded.parent().get(), data_);
+  size_t offset = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const storage::DatasetView& view = sharded.shard(s);
+    // The shard's spans alias the parent's arrays — no row was copied.
+    EXPECT_EQ(view.keys().data(), data_->keys().data() + view.offset());
+    EXPECT_EQ(view.xs().data(), data_->xs().data() + view.offset());
+    EXPECT_EQ(view.offset(), offset);
+    offset += view.num_rows();
+  }
+  EXPECT_EQ(offset, data_->num_rows());
+}
+
+TEST_F(BlockSetTest, PartitionMemoryIsMetadataPlusOneParent) {
+  const storage::ShardedDataset sharded = Shard(8);
+  // The partition adds O(K) metadata on top of the single shared payload;
+  // the old deep-copy design effectively doubled MemoryBytes here.
+  EXPECT_EQ(sharded.MemoryBytes(),
+            data_->MemoryBytes() + sharded.PartitionOverheadBytes());
+  EXPECT_LT(sharded.PartitionOverheadBytes(), data_->MemoryBytes() / 100);
+  EXPECT_EQ(sharded.total_rows(), data_->num_rows());
+}
+
+TEST_F(BlockSetTest, PartitionValidatesOptions) {
+  storage::ShardOptions zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_THROW(storage::ShardedDataset::Partition(*data_, zero_shards),
+               std::invalid_argument);
+  storage::ShardOptions negative_level;
+  negative_level.align_level = -1;
+  EXPECT_THROW(storage::ShardedDataset::Partition(*data_, negative_level),
+               std::invalid_argument);
+  storage::ShardOptions too_fine;
+  too_fine.align_level = cell::CellId::kMaxLevel + 1;
+  EXPECT_THROW(storage::ShardedDataset::Partition(*data_, too_fine),
+               std::invalid_argument);
+  EXPECT_THROW(
+      storage::ShardedDataset::Partition(
+          std::shared_ptr<const storage::SortedDataset>(), {}),
+      std::invalid_argument);
+}
+
+TEST_F(BlockSetTest, MoveOverloadValidatesBeforeConsumingData) {
+  storage::SortedDataset copy = data_->Slice(0, 1000);
+  storage::ShardOptions bad;
+  bad.num_shards = 0;
+  EXPECT_THROW(storage::ShardedDataset::Partition(std::move(copy), bad),
+               std::invalid_argument);
+  // Validation happens before the move, so a failed call leaves the rows
+  // with the caller for a retry.
+  ASSERT_EQ(copy.num_rows(), 1000u);
+  const storage::ShardedDataset sharded =
+      storage::ShardedDataset::Partition(std::move(copy), {});
+  EXPECT_EQ(sharded.total_rows(), 1000u);
+}
+
 TEST_F(BlockSetTest, PartitionAlignsToCellBoundaries) {
   const storage::ShardedDataset sharded = Shard(5);
   // No align-level cell may span two shards: the last key of a shard and
@@ -110,7 +171,7 @@ TEST_F(BlockSetTest, PartitionAlignsToCellBoundaries) {
   uint64_t prev_last = 0;
   bool have_prev = false;
   for (size_t s = 0; s < sharded.num_shards(); ++s) {
-    const storage::SortedDataset& shard = sharded.shard(s);
+    const storage::DatasetView& shard = sharded.shard(s);
     if (shard.num_rows() == 0) continue;
     const cell::CellId first =
         cell::CellId(shard.keys().front()).Parent(kLevel);

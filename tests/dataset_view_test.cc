@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <utility>
+
+#include "storage/dataset_view.h"
+#include "storage/point_table.h"
+#include "storage/sorted_dataset.h"
+
+namespace geoblocks::storage {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.column_names = {"a", "b"};
+  return s;
+}
+
+SortedDataset MakeData(size_t rows, uint64_t seed = 7) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> lon(-74.2, -73.7);
+  std::uniform_real_distribution<double> lat(40.5, 40.9);
+  PointTable t(TwoColSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({lon(rng), lat(rng)},
+             {static_cast<double>(i), static_cast<double>(rows - i)});
+  }
+  return SortedDataset::Extract(t, ExtractOptions{});
+}
+
+TEST(DatasetViewTest, DefaultViewIsEmpty) {
+  const DatasetView view;
+  EXPECT_FALSE(view.has_data());
+  EXPECT_EQ(view.num_rows(), 0u);
+  EXPECT_EQ(view.num_columns(), 0u);
+  EXPECT_TRUE(view.keys().empty());
+  EXPECT_TRUE(view.xs().empty());
+  EXPECT_TRUE(view.ys().empty());
+  EXPECT_EQ(view.LowerBound(0), 0u);
+  EXPECT_EQ(view.UpperBound(~uint64_t{0}), 0u);
+  EXPECT_EQ(view.Materialize().num_rows(), 0u);
+}
+
+TEST(DatasetViewTest, AllMirrorsParent) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(500));
+  const DatasetView view = DatasetView::All(data);
+  ASSERT_TRUE(view.has_data());
+  EXPECT_EQ(view.offset(), 0u);
+  ASSERT_EQ(view.num_rows(), data->num_rows());
+  EXPECT_EQ(view.num_columns(), data->num_columns());
+  EXPECT_EQ(&view.schema(), &data->schema());
+  EXPECT_EQ(&view.projection(), &data->projection());
+  // Zero-copy: the spans point into the parent's arrays.
+  EXPECT_EQ(view.keys().data(), data->keys().data());
+  EXPECT_EQ(view.xs().data(), data->xs().data());
+  EXPECT_EQ(view.ys().data(), data->ys().data());
+  EXPECT_EQ(view.column(1).data(), data->column(1).data());
+  for (size_t i = 0; i < view.num_rows(); i += 31) {
+    EXPECT_EQ(view.keys()[i], data->keys()[i]);
+    EXPECT_EQ(view.Location(i), data->Location(i));
+    EXPECT_EQ(view.Value(i, 0), data->Value(i, 0));
+  }
+}
+
+TEST(DatasetViewTest, WindowIsOffsetCorrect) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(1000));
+  const size_t first = 100, last = 420;
+  const DatasetView view = DatasetView::Window(data, first, last);
+  ASSERT_EQ(view.num_rows(), last - first);
+  EXPECT_EQ(view.offset(), first);
+  EXPECT_EQ(view.keys().data(), data->keys().data() + first);
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    ASSERT_EQ(view.keys()[i], data->keys()[first + i]);
+    ASSERT_EQ(view.Value(i, 1), data->Value(first + i, 1));
+    ASSERT_EQ(view.Location(i), data->Location(first + i));
+  }
+}
+
+TEST(DatasetViewTest, WindowClampsOutOfRangeBounds) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(100));
+  EXPECT_EQ(DatasetView::Window(data, 0, 1'000'000).num_rows(), 100u);
+  EXPECT_EQ(DatasetView::Window(data, 90, 50).num_rows(), 0u);
+  EXPECT_EQ(DatasetView::Window(data, 500, 600).num_rows(), 0u);
+  EXPECT_EQ(DatasetView::Window(data, 500, 600).offset(), 100u);
+}
+
+TEST(DatasetViewTest, BoundsSearchIsWindowRelative) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(2000));
+  const SortedDataset copy = data->Slice(300, 1300);
+  const DatasetView view = DatasetView::Window(data, 300, 1300);
+  for (size_t i = 0; i < copy.num_rows(); i += 53) {
+    const uint64_t k = copy.keys()[i];
+    ASSERT_EQ(view.LowerBound(k), copy.LowerBound(k));
+    ASSERT_EQ(view.UpperBound(k), copy.UpperBound(k));
+  }
+  // Keys below/above the window clamp to the window edges.
+  EXPECT_EQ(view.LowerBound(0), 0u);
+  EXPECT_EQ(view.UpperBound(~uint64_t{0}), view.num_rows());
+  // Cell ranges agree with the materialized slice as well.
+  for (int level : {8, 12, 16}) {
+    const cell::CellId probe =
+        cell::CellId(copy.keys()[copy.num_rows() / 2]).Parent(level);
+    EXPECT_EQ(view.EqualRangeForCell(probe), copy.EqualRangeForCell(probe));
+  }
+}
+
+TEST(DatasetViewTest, MaterializeEqualsSlice) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(800));
+  const DatasetView view = DatasetView::Window(data, 17, 555);
+  const SortedDataset got = view.Materialize();
+  const SortedDataset want = data->Slice(17, 555);
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  for (size_t i = 0; i < got.num_rows(); ++i) {
+    ASSERT_EQ(got.keys()[i], want.keys()[i]);
+    ASSERT_EQ(got.Value(i, 0), want.Value(i, 0));
+    ASSERT_EQ(got.Value(i, 1), want.Value(i, 1));
+  }
+}
+
+TEST(DatasetViewTest, ViewKeepsParentAlive) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(300));
+  std::weak_ptr<const SortedDataset> watch = data;
+  DatasetView view = DatasetView::Window(data, 10, 200);
+  data.reset();
+  // The view co-owns the dataset: rows are still readable.
+  ASSERT_FALSE(watch.expired());
+  EXPECT_EQ(view.num_rows(), 190u);
+  EXPECT_GT(view.keys().back(), view.keys().front());
+  view = DatasetView();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(DatasetViewTest, UnownedViewBorrows) {
+  const SortedDataset data = MakeData(300);
+  const DatasetView view = DatasetView::UnownedWindow(data, 5, 105);
+  EXPECT_EQ(view.num_rows(), 100u);
+  EXPECT_EQ(view.keys().data(), data.keys().data() + 5);
+  // Borrowed views have a parent pointer but no ownership.
+  EXPECT_EQ(view.parent().get(), &data);
+  EXPECT_EQ(view.parent().use_count(), 0);
+  const DatasetView whole = DatasetView::Unowned(data);
+  EXPECT_EQ(whole.num_rows(), data.num_rows());
+  EXPECT_EQ(whole.offset(), 0u);
+}
+
+TEST(DatasetViewTest, MemoryBytesCountsMetadataOnly) {
+  auto data = std::make_shared<const SortedDataset>(MakeData(10'000));
+  const DatasetView view = DatasetView::All(data);
+  EXPECT_EQ(view.MemoryBytes(), sizeof(DatasetView));
+  EXPECT_LT(view.MemoryBytes(), data->MemoryBytes() / 100);
+  EXPECT_EQ(view.PayloadBytes(),
+            view.num_rows() * (2 + view.num_columns()) * sizeof(double));
+}
+
+}  // namespace
+}  // namespace geoblocks::storage

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/geoblock.h"
+#include "storage/dataset_view.h"
+#include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::BlockSet;
+using core::BlockSetOptions;
+using core::GeoBlock;
+using core::QueryResult;
+
+/// Regression suite for the historical GeoBlock::dataset() lifetime hazard:
+/// blocks used to hold a raw `const SortedDataset*` into a shard vector, so
+/// moving (or dropping) the ShardedDataset left every block dangling. With
+/// DatasetView the block co-owns the parent dataset through a shared_ptr,
+/// so moves and handle drops are safe — these tests exercise exactly those
+/// sequences and rely on the ASan/UBSan CI job to catch any stale read.
+class LifetimeTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+
+  void SetUp() override {
+    raw_ = workload::GenTaxi(20000, 5);
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = std::make_shared<const storage::SortedDataset>(
+        storage::SortedDataset::Extract(raw_, options));
+    polygons_ = workload::Neighborhoods(raw_, 10, 3);
+    // Reference answers, computed up front from a throwaway block so no
+    // long-lived object co-owns the dataset and skews the ownership checks.
+    const GeoBlock reference = GeoBlock::Build(
+        storage::DatasetView::All(data_), core::BlockOptions{kLevel, {}});
+    reference_cells_ = reference.num_cells();
+    for (const geo::Polygon& poly : polygons_) {
+      expected_.push_back(reference.Select(poly, Request()));
+      expected_counts_.push_back(reference.Count(poly));
+    }
+  }
+
+  static AggregateRequest Request() {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kAvg, 2);
+    return req;
+  }
+
+  void ExpectMatchesReference(const QueryResult& got, size_t query) const {
+    const QueryResult& want = expected_[query];
+    ASSERT_EQ(got.count, want.count) << "query " << query;
+    ASSERT_EQ(got.values.size(), want.values.size()) << "query " << query;
+    for (size_t i = 0; i < got.values.size(); ++i) {
+      ASSERT_EQ(got.values[i], want.values[i])
+          << "query " << query << " value " << i;
+    }
+  }
+
+  storage::PointTable raw_;
+  std::shared_ptr<const storage::SortedDataset> data_;
+  std::vector<geo::Polygon> polygons_;
+  std::vector<QueryResult> expected_;
+  std::vector<uint64_t> expected_counts_;
+  size_t reference_cells_ = 0;
+};
+
+TEST_F(LifetimeTest, BlockOutlivesDatasetHandle) {
+  GeoBlock block;
+  {
+    auto local = data_;
+    block = GeoBlock::Build(
+        storage::DatasetView::Window(local, 0, local->num_rows()),
+        core::BlockOptions{kLevel, {}});
+  }
+  std::weak_ptr<const storage::SortedDataset> watch = data_;
+  data_.reset();  // the block's view is now the only owner
+  ASSERT_FALSE(watch.expired());
+  for (size_t q = 0; q < polygons_.size(); ++q) {
+    ExpectMatchesReference(block.Select(polygons_[q], Request()), q);
+  }
+  // Refinement re-reads the base rows through the view.
+  const GeoBlock finer = block.CoarsenTo(kLevel + 1);
+  EXPECT_GE(finer.num_cells(), block.num_cells());
+  block = GeoBlock();
+  EXPECT_FALSE(watch.expired()) << "finer still owns the parent";
+}
+
+TEST_F(LifetimeTest, MovedShardedDatasetStaysQueryable) {
+  storage::ShardOptions options;
+  options.num_shards = 4;
+  options.align_level = kLevel;
+  storage::ShardedDataset sharded =
+      storage::ShardedDataset::Partition(data_, options);
+
+  // Move the ShardedDataset; views must still read valid rows (the old
+  // deep-copy design dangled here once the source shard vector moved).
+  storage::ShardedDataset moved = std::move(sharded);
+  const BlockSet set = BlockSet::Build(moved, BlockSetOptions{{kLevel, {}}});
+  for (size_t q = 0; q < polygons_.size(); ++q) {
+    ExpectMatchesReference(set.Select(polygons_[q], Request()), q);
+  }
+}
+
+TEST_F(LifetimeTest, MovedBlockSetOutlivesPartitionAndHandle) {
+  BlockSet set;
+  {
+    storage::ShardOptions options;
+    options.num_shards = 7;
+    options.align_level = kLevel;
+    util::ThreadPool pool(2);
+    const storage::ShardedDataset sharded =
+        storage::ShardedDataset::Partition(data_, options);
+    BlockSet built =
+        BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}}, &pool);
+    set = std::move(built);
+    // `sharded` and `built` die here; the blocks' views keep the rows.
+  }
+  data_.reset();
+  for (size_t q = 0; q < polygons_.size(); ++q) {
+    ExpectMatchesReference(set.Select(polygons_[q], Request()), q);
+    EXPECT_EQ(set.Count(polygons_[q]), expected_counts_[q]);
+  }
+  // Every shard block still reports a live dataset window.
+  for (size_t s = 0; s < set.num_shards(); ++s) {
+    EXPECT_TRUE(set.shard(s).dataset().has_data());
+  }
+}
+
+TEST_F(LifetimeTest, CopiedBlockSharesParentOwnership) {
+  GeoBlock block = GeoBlock::Build(storage::DatasetView::All(data_),
+                                   core::BlockOptions{kLevel, {}});
+  GeoBlock copy = block;
+  std::weak_ptr<const storage::SortedDataset> watch = data_;
+  data_.reset();
+  block = GeoBlock();  // drop one owner
+  ASSERT_FALSE(watch.expired());
+  for (size_t q = 0; q < polygons_.size(); ++q) {
+    ExpectMatchesReference(copy.Select(polygons_[q], Request()), q);
+  }
+  copy = GeoBlock();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST_F(LifetimeTest, SingleBlockMatchesReferenceCellCount) {
+  const GeoBlock block = GeoBlock::Build(storage::DatasetView::All(data_),
+                                         core::BlockOptions{kLevel, {}});
+  EXPECT_EQ(block.num_cells(), reference_cells_);
+}
+
+}  // namespace
+}  // namespace geoblocks

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/geoblock.h"
+#include "storage/dataset_view.h"
+#include "storage/sharded_dataset.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::GeoBlock;
+using core::QueryResult;
+
+/// The zero-copy contract: a GeoBlock built over a DatasetView shard must
+/// be indistinguishable — bit for bit — from one built over an owning
+/// SortedDataset::Slice copy of the same row range. This pins the
+/// equivalence for every layout detail a query can observe: header, cell
+/// ids, offsets, counts, key ranges, column aggregates, and SELECT/COUNT
+/// answers.
+class ViewEquivalenceTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+
+  static void SetUpTestSuite() {
+    raw_ = new storage::PointTable(workload::GenTaxi(30000, 23));
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new std::shared_ptr<const storage::SortedDataset>(
+        std::make_shared<const storage::SortedDataset>(
+            storage::SortedDataset::Extract(*raw_, options)));
+    polygons_ = new std::vector<geo::Polygon>(
+        workload::Neighborhoods(*raw_, 20, 5));
+  }
+  static void TearDownTestSuite() {
+    delete polygons_;
+    delete data_;
+    delete raw_;
+    polygons_ = nullptr;
+    data_ = nullptr;
+    raw_ = nullptr;
+  }
+
+  static AggregateRequest Request() {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kMin, 1);
+    req.Add(AggFn::kMax, 2);
+    req.Add(AggFn::kAvg, 3);
+    return req;
+  }
+
+  static void ExpectBlocksBitIdentical(const GeoBlock& view_block,
+                                       const GeoBlock& copy_block,
+                                       const std::string& what) {
+    ASSERT_EQ(view_block.num_cells(), copy_block.num_cells()) << what;
+    ASSERT_EQ(view_block.num_columns(), copy_block.num_columns()) << what;
+    // Header.
+    EXPECT_EQ(view_block.header().level, copy_block.header().level) << what;
+    EXPECT_EQ(view_block.header().min_cell, copy_block.header().min_cell)
+        << what;
+    EXPECT_EQ(view_block.header().max_cell, copy_block.header().max_cell)
+        << what;
+    EXPECT_TRUE(view_block.header().global == copy_block.header().global)
+        << what;
+    // Cell-aggregate arrays.
+    EXPECT_EQ(view_block.cells(), copy_block.cells()) << what;
+    EXPECT_EQ(view_block.offsets(), copy_block.offsets()) << what;
+    EXPECT_EQ(view_block.counts(), copy_block.counts()) << what;
+    for (size_t i = 0; i < view_block.num_cells(); ++i) {
+      ASSERT_EQ(view_block.cell_min_key(i), copy_block.cell_min_key(i))
+          << what << " cell " << i;
+      ASSERT_EQ(view_block.cell_max_key(i), copy_block.cell_max_key(i))
+          << what << " cell " << i;
+      const core::ColumnAggregate* va = view_block.cell_columns(i);
+      const core::ColumnAggregate* ca = copy_block.cell_columns(i);
+      for (size_t c = 0; c < view_block.num_columns(); ++c) {
+        ASSERT_EQ(va[c].min, ca[c].min) << what << " cell " << i;
+        ASSERT_EQ(va[c].max, ca[c].max) << what << " cell " << i;
+        ASSERT_EQ(va[c].sum, ca[c].sum) << what << " cell " << i;
+      }
+    }
+  }
+
+  static void ExpectQueriesBitIdentical(const GeoBlock& view_block,
+                                        const GeoBlock& copy_block,
+                                        const std::string& what) {
+    const AggregateRequest req = Request();
+    for (const geo::Polygon& poly : *polygons_) {
+      const QueryResult got = view_block.Select(poly, req);
+      const QueryResult want = copy_block.Select(poly, req);
+      ASSERT_EQ(got.count, want.count) << what;
+      ASSERT_EQ(got.values.size(), want.values.size()) << what;
+      for (size_t i = 0; i < got.values.size(); ++i) {
+        ASSERT_EQ(got.values[i], want.values[i]) << what << " value " << i;
+      }
+      ASSERT_EQ(view_block.Count(poly), copy_block.Count(poly)) << what;
+    }
+  }
+
+  static storage::PointTable* raw_;
+  static std::shared_ptr<const storage::SortedDataset>* data_;
+  static std::vector<geo::Polygon>* polygons_;
+};
+
+storage::PointTable* ViewEquivalenceTest::raw_ = nullptr;
+std::shared_ptr<const storage::SortedDataset>* ViewEquivalenceTest::data_ =
+    nullptr;
+std::vector<geo::Polygon>* ViewEquivalenceTest::polygons_ = nullptr;
+
+TEST_F(ViewEquivalenceTest, EveryShardBuildsBitIdenticalToSliceCopy) {
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{7}, size_t{16}}) {
+    storage::ShardOptions options;
+    options.num_shards = k;
+    options.align_level = kLevel;
+    const storage::ShardedDataset sharded =
+        storage::ShardedDataset::Partition(*data_, options);
+    ASSERT_EQ(sharded.num_shards(), k);
+    for (size_t s = 0; s < k; ++s) {
+      const storage::DatasetView& view = sharded.shard(s);
+      const storage::SortedDataset copy = view.Materialize();
+      ASSERT_EQ(copy.num_rows(), view.num_rows());
+      const GeoBlock view_block =
+          GeoBlock::Build(view, core::BlockOptions{kLevel, {}});
+      const GeoBlock copy_block =
+          GeoBlock::Build(copy, core::BlockOptions{kLevel, {}});
+      const std::string what =
+          "K=" + std::to_string(k) + " shard=" + std::to_string(s);
+      ExpectBlocksBitIdentical(view_block, copy_block, what);
+      ExpectQueriesBitIdentical(view_block, copy_block, what);
+    }
+  }
+}
+
+TEST_F(ViewEquivalenceTest, FilteredBuildsMatch) {
+  storage::Filter filter;
+  filter.Add({1, storage::CompareOp::kGe, 4.0});
+  storage::ShardOptions options;
+  options.num_shards = 5;
+  options.align_level = kLevel;
+  const storage::ShardedDataset sharded =
+      storage::ShardedDataset::Partition(*data_, options);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const storage::DatasetView& view = sharded.shard(s);
+    const GeoBlock view_block =
+        GeoBlock::Build(view, core::BlockOptions{kLevel, filter});
+    const GeoBlock copy_block = GeoBlock::Build(
+        view.Materialize(), core::BlockOptions{kLevel, filter});
+    ExpectBlocksBitIdentical(view_block, copy_block,
+                             "filtered shard " + std::to_string(s));
+  }
+}
+
+TEST_F(ViewEquivalenceTest, RefiningKeepsTheBuildFilter) {
+  storage::Filter filter;
+  filter.Add({1, storage::CompareOp::kGe, 4.0});
+  const GeoBlock coarse = GeoBlock::Build(storage::DatasetView::All(*data_),
+                                          core::BlockOptions{12, filter});
+  // Refinement re-scans the base rows; it must re-apply the same filter.
+  const GeoBlock refined = coarse.CoarsenTo(kLevel);
+  const GeoBlock direct = GeoBlock::Build(storage::DatasetView::All(*data_),
+                                          core::BlockOptions{kLevel, filter});
+  ExpectBlocksBitIdentical(refined, direct, "refined filtered block");
+  ExpectQueriesBitIdentical(refined, direct, "refined filtered block");
+}
+
+TEST_F(ViewEquivalenceTest, EmptyShardMatches) {
+  const storage::DatasetView empty_view =
+      storage::DatasetView::Window(*data_, 10, 10);
+  ASSERT_EQ(empty_view.num_rows(), 0u);
+  const GeoBlock view_block =
+      GeoBlock::Build(empty_view, core::BlockOptions{kLevel, {}});
+  const GeoBlock copy_block =
+      GeoBlock::Build(empty_view.Materialize(), core::BlockOptions{kLevel, {}});
+  ExpectBlocksBitIdentical(view_block, copy_block, "empty shard");
+  EXPECT_EQ(view_block.num_cells(), 0u);
+  EXPECT_EQ(view_block.header().global.count, 0u);
+}
+
+TEST_F(ViewEquivalenceTest, SingleRowShardMatches) {
+  const size_t mid = (*data_)->num_rows() / 2;
+  const storage::DatasetView one =
+      storage::DatasetView::Window(*data_, mid, mid + 1);
+  ASSERT_EQ(one.num_rows(), 1u);
+  const GeoBlock view_block =
+      GeoBlock::Build(one, core::BlockOptions{kLevel, {}});
+  const GeoBlock copy_block =
+      GeoBlock::Build(one.Materialize(), core::BlockOptions{kLevel, {}});
+  ExpectBlocksBitIdentical(view_block, copy_block, "single row");
+  ASSERT_EQ(view_block.num_cells(), 1u);
+  EXPECT_EQ(view_block.header().global.count, 1u);
+}
+
+TEST_F(ViewEquivalenceTest, WholeDatasetViewMatchesLegacyOverload) {
+  const GeoBlock view_block = GeoBlock::Build(
+      storage::DatasetView::All(*data_), core::BlockOptions{kLevel, {}});
+  const GeoBlock ref_block =
+      GeoBlock::Build(**data_, core::BlockOptions{kLevel, {}});
+  ExpectBlocksBitIdentical(view_block, ref_block, "whole dataset");
+  ExpectQueriesBitIdentical(view_block, ref_block, "whole dataset");
+}
+
+}  // namespace
+}  // namespace geoblocks
