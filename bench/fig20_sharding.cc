@@ -2,6 +2,8 @@
 // figures): (a) parallel per-shard build speedup over the single-block
 // build, (b) batched query throughput across pool sizes, (c) shard routing
 // selectivity of the BlockHeader pre-check.
+#include <sstream>
+
 #include "bench/common.h"
 #include "core/block_set.h"
 #include "storage/sharded_dataset.h"
@@ -148,6 +150,45 @@ void Run() {
   std::printf("\n(b) batched SELECT, %zu queries (%zu aggregates)\n",
               repeated.size(), req.size());
   query.Print();
+
+  // (e) Persistence: cold build from base rows vs load from the persisted
+  // manifest + payloads (docs/FORMAT.md). Loading skips the extract scan
+  // entirely — it only deserializes cell aggregates — so restart cost is
+  // proportional to the aggregate size, not the row count.
+  std::stringstream file(std::ios::in | std::ios::out | std::ios::binary);
+  timer.Restart();
+  set.WriteTo(file);
+  const double write_ms = timer.ElapsedMs();
+  const size_t file_bytes = file.str().size();
+  file.seekg(0);
+  timer.Restart();
+  const core::BlockSet loaded = core::BlockSet::ReadFrom(file);
+  const double load_ms = timer.ElapsedMs();
+  uint64_t load_mismatches = 0;
+  for (const auto& covering : coverings) {
+    if (loaded.CountCovering(covering) != block.CountCovering(covering)) {
+      ++load_mismatches;
+    }
+  }
+  bench_util::TablePrinter persist({"path", "ms", "MiB", "vs cold build"});
+  persist.AddRow({"cold build (1 thread)",
+                  bench_util::TablePrinter::Fmt(single_build_ms, 1),
+                  bench_util::TablePrinter::Fmt(mib(base_bytes), 1), "1.00"});
+  persist.AddRow({"write set",
+                  bench_util::TablePrinter::Fmt(write_ms, 1),
+                  bench_util::TablePrinter::Fmt(mib(file_bytes), 2),
+                  bench_util::TablePrinter::Fmt(single_build_ms / write_ms,
+                                                2)});
+  persist.AddRow({"load set",
+                  bench_util::TablePrinter::Fmt(load_ms, 1),
+                  bench_util::TablePrinter::Fmt(mib(file_bytes), 2),
+                  bench_util::TablePrinter::Fmt(single_build_ms / load_ms,
+                                                2)});
+  std::printf("\n(e) persistence: cold build vs load-from-disk, %zu shards\n",
+              kShards);
+  persist.Print();
+  std::printf("loaded vs single-block count mismatches: %llu\n",
+              static_cast<unsigned long long>(load_mismatches));
 
   // (c) Routing selectivity: how many shards does a query touch?
   size_t visits = 0;

@@ -1,0 +1,95 @@
+// Persistence walkthrough: build the sharded engine, save it to disk,
+// reload it WITHOUT the base rows, verify every query answers
+// bit-identically, then re-attach the dataset to unlock refinement.
+// The on-disk layout is specified in docs/FORMAT.md; the README's
+// "Persistence" snippet mirrors this file.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "core/block_set.h"
+#include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+int main(int argc, char** argv) {
+  using namespace geoblocks;
+  using Clock = std::chrono::steady_clock;
+  const char* path = argc > 1 ? argv[1] : "geoblocks_set.bin";
+
+  // 1. Extract once, partition into zero-copy shards, build in parallel.
+  const storage::PointTable raw = workload::GenTaxi(150'000);
+  storage::ExtractOptions extract;
+  extract.clean_bounds = workload::NycBounds();
+  const auto data = std::make_shared<const storage::SortedDataset>(
+      storage::SortedDataset::Extract(raw, extract));
+  const storage::ShardedDataset sharded = storage::ShardedDataset::Partition(
+      data, {.num_shards = 8, .align_level = 17});
+  util::ThreadPool pool;
+  auto t0 = Clock::now();
+  const core::BlockSet set =
+      core::BlockSet::Build(sharded, {.block = {17, {}}}, &pool);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // 2. Save: a checksummed manifest (shard boundaries + row windows +
+  //    payload table) followed by one self-contained GeoBlock per shard.
+  {
+    std::ofstream out(path, std::ios::binary);
+    set.WriteTo(out);
+  }
+
+  // 3. Load. No base rows anywhere in sight: the loaded set is "detached"
+  //    and answers queries from the persisted cell aggregates alone.
+  t0 = Clock::now();
+  std::ifstream in(path, std::ios::binary);
+  core::BlockSet loaded = core::BlockSet::ReadFrom(in);
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  std::printf(
+      "built %zu shards in %.1f ms; reloaded from %s in %.1f ms without "
+      "touching the base rows\n",
+      loaded.num_shards(), build_ms, path, load_ms);
+
+  // 4. Verify: SELECT and COUNT on the loaded, detached set must be
+  //    bit-identical to the in-memory set.
+  const auto polygons = workload::Neighborhoods(raw, 25);
+  core::AggregateRequest request;
+  request.Add(core::AggFn::kCount);
+  request.Add(core::AggFn::kSum, 0);
+  request.Add(core::AggFn::kAvg, 3);
+  size_t mismatches = 0;
+  for (const geo::Polygon& poly : polygons) {
+    const core::QueryResult a = set.Select(poly, request);
+    const core::QueryResult b = loaded.Select(poly, request);
+    if (a.count != b.count || a.values != b.values ||
+        set.Count(poly) != loaded.Count(poly)) {
+      ++mismatches;
+    }
+  }
+  std::printf("persisted vs in-memory query mismatches: %zu of %zu queries\n",
+              mismatches, polygons.size());
+
+  // 5. Refinement needs base rows: a detached set refuses, by contract.
+  try {
+    loaded.shard(0).CoarsenTo(19);
+    std::printf("ERROR: refinement on a detached set should have thrown\n");
+    return 1;
+  } catch (const std::logic_error&) {
+    std::printf("refinement before attach: rejected (std::logic_error), "
+                "as documented\n");
+  }
+
+  // 6. Re-attach the dataset (validated against the manifest boundaries)
+  //    and refine shard 0 to a finer grid.
+  loaded.AttachDataset(data);
+  const core::GeoBlock refined = loaded.shard(0).CoarsenTo(19);
+  std::printf("after attach: shard 0 refined from level %d to %d "
+              "(%zu -> %zu cells)\n",
+              loaded.level(), refined.level(), loaded.shard(0).num_cells(),
+              refined.num_cells());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 #include "core/block_set.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace geoblocks::core {
 
@@ -13,6 +15,19 @@ BlockSet BlockSet::Build(const storage::ShardedDataset& shards,
   set.blocks_.resize(k);
   if (k == 0) return set;
   set.projection_ = shards.shard(0).projection();
+
+  // Record the partition manifest: boundaries, row windows, alignment.
+  // These are exactly the fields WriteTo persists and AttachDataset
+  // validates a dataset against after a load.
+  set.align_level_ = shards.align_level();
+  set.boundaries_ = shards.boundaries();
+  set.windows_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const storage::DatasetView& view = shards.shard(i);
+    set.windows_.push_back({view.offset(), view.num_rows()});
+  }
+  set.total_rows_ = shards.total_rows();
+  set.dataset_attached_ = true;
 
   const auto build_one = [&](size_t i) {
     set.blocks_[i] = GeoBlock::Build(shards.shard(i), options.block);
@@ -195,6 +210,67 @@ std::vector<uint64_t> BlockSet::CountBatch(
     for (size_t i = 0; i < q; ++i) count_one(i);
   }
   return results;
+}
+
+void BlockSet::AttachDataset(
+    std::shared_ptr<const storage::SortedDataset> data) {
+  if (data == nullptr) {
+    throw std::invalid_argument("BlockSet::AttachDataset: null dataset");
+  }
+  if (blocks_.empty() || boundaries_.size() != blocks_.size() + 1) {
+    throw std::logic_error(
+        "BlockSet::AttachDataset: set has no manifest metadata");
+  }
+  if (dataset_attached_) {
+    throw std::logic_error(
+        "BlockSet::AttachDataset: dataset already attached; DetachDataset "
+        "first");
+  }
+  if (data->num_rows() != total_rows_) {
+    throw std::runtime_error(
+        "BlockSet::AttachDataset: dataset row count does not match the "
+        "manifest");
+  }
+  const geo::Rect domain = data->projection().domain();
+  const geo::Rect expected = projection_.domain();
+  if (domain.min.x != expected.min.x || domain.min.y != expected.min.y ||
+      domain.max.x != expected.max.x || domain.max.y != expected.max.y) {
+    throw std::runtime_error(
+        "BlockSet::AttachDataset: dataset projection domain does not match "
+        "the blocks");
+  }
+  constexpr uint64_t kEndKey = ~uint64_t{0};
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].num_columns() != data->num_columns()) {
+      throw std::runtime_error(
+          "BlockSet::AttachDataset: dataset column count does not match the "
+          "blocks");
+    }
+    const ShardWindow& w = windows_[i];
+    if (w.num_rows == 0) continue;
+    // Every key in the window must fall inside the shard's manifest
+    // boundary range [boundaries_[i], boundaries_[i+1]); the keys are
+    // sorted, so checking the two endpoints suffices.
+    const uint64_t first = data->keys()[w.offset];
+    const uint64_t last = data->keys()[w.offset + w.num_rows - 1];
+    if (first < boundaries_[i] ||
+        (boundaries_[i + 1] != kEndKey && last >= boundaries_[i + 1])) {
+      throw std::runtime_error(
+          "BlockSet::AttachDataset: dataset keys fall outside the shard "
+          "boundaries in the manifest");
+    }
+  }
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const ShardWindow& w = windows_[i];
+    blocks_[i].AttachData(
+        storage::DatasetView::Window(data, w.offset, w.offset + w.num_rows));
+  }
+  dataset_attached_ = true;
+}
+
+void BlockSet::DetachDataset() {
+  for (GeoBlock& b : blocks_) b.DetachData();
+  dataset_attached_ = false;
 }
 
 void BlockSet::EnableCache(const GeoBlockQC::Options& options) {

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -28,6 +29,13 @@ struct QueryBatch {
   std::vector<const geo::Polygon*> polygons;
   const AggregateRequest* request = nullptr;
 
+  /// Borrows every polygon in `polys` (which must outlive the batch) under
+  /// one shared request.
+  ///
+  /// @param polys Query polygons; the batch stores pointers, not copies.
+  /// @param req   Aggregate request applied to every query; must be non-null
+  ///              for ExecuteBatch.
+  /// @return A batch referencing `polys` and `req`.
   static QueryBatch Of(const std::vector<geo::Polygon>& polys,
                        const AggregateRequest* req) {
     QueryBatch batch;
@@ -37,6 +45,7 @@ struct QueryBatch {
     return batch;
   }
 
+  /// @return Number of queries in the batch.
   size_t size() const { return polygons.size(); }
 };
 
@@ -49,6 +58,25 @@ struct QueryBatch {
 /// Sequential entry points (Select/Count) are `const` and thread-safe; the
 /// batched entry points fan out over a ThreadPool; the optional cached path
 /// wraps each shard in a GeoBlockQC behind a per-shard mutex.
+///
+/// ## Persistence and the attach/detach state machine
+///
+/// A BlockSet is a materialized view: its cell aggregates answer
+/// SELECT/COUNT without the base rows. WriteTo persists the whole set —
+/// a versioned, checksummed manifest (shard boundaries, row windows,
+/// payload offsets; see docs/FORMAT.md) followed by one GeoBlock payload
+/// per shard — and ReadFrom restores it *detached*: every query entry
+/// point works and answers bit-identically to the pre-save set, but
+/// refinement (GeoBlock::CoarsenTo to a finer level) needs base rows and
+/// throws std::logic_error until AttachDataset re-binds the original
+/// SortedDataset. The states:
+///
+///   Build()        -> attached  (blocks hold live DatasetViews)
+///   ReadFrom()     -> detached  (blocks hold empty views)
+///   AttachDataset  : detached -> attached (validates the dataset against
+///                    the manifest, then re-creates each shard's view)
+///   DetachDataset  : attached -> detached (drops the views and with them
+///                    the set's co-ownership of the base rows)
 class BlockSet {
  public:
   BlockSet() = default;
@@ -60,21 +88,35 @@ class BlockSet {
   /// outlive the BlockSet; when the partition owns its parent (shared_ptr
   /// Partition overloads) the base rows are kept alive by the blocks
   /// themselves, while a borrowed partition leaves the parent dataset's
-  /// lifetime with its owner.
+  /// lifetime with its owner. The partition's boundaries, row windows and
+  /// alignment level are recorded so the set can be persisted (WriteTo)
+  /// and later re-bound to its dataset (AttachDataset).
+  ///
+  /// @param shards  Partitioned dataset; one block is built per shard.
+  /// @param options Block configuration shared by every shard.
+  /// @param pool    Optional pool for the parallel build; null builds inline.
+  /// @return The built set, in the *attached* state.
   static BlockSet Build(const storage::ShardedDataset& shards,
                         const BlockSetOptions& options,
                         util::ThreadPool* pool = nullptr);
 
+  /// @return Number of shards (blocks) in the set.
   size_t num_shards() const { return blocks_.size(); }
+  /// @param i Shard index in [0, num_shards()).
+  /// @return The i-th shard's block.
   const GeoBlock& shard(size_t i) const { return blocks_[i]; }
+  /// @return The grid level every shard block was built at.
   int level() const { return level_; }
+  /// @return The projection shared by every shard block.
   const geo::Projection& projection() const { return projection_; }
 
-  /// Total number of cell aggregates across shards.
+  /// @return Total number of cell aggregates across shards.
   size_t num_cells() const;
 
   /// Header-equivalent of the whole set: global aggregate plus the hull of
   /// the shard key ranges.
+  ///
+  /// @return The merged header (level, min/max cell, global aggregate).
   BlockHeader MergedHeader() const;
 
   /// Bytes of the materialized aggregates across shards (headers + cell
@@ -82,11 +124,16 @@ class BlockSet {
   /// shards are views over one parent, so counting it per shard would
   /// double-count; account for the parent once via
   /// ShardedDataset::MemoryBytes.
+  ///
+  /// @return Aggregate bytes owned by the set.
   size_t MemoryBytes() const;
 
   /// Covering of a query polygon under the set's level constraint
   /// (identical to GeoBlock::Cover for any shard; shards share projection
   /// and level).
+  ///
+  /// @param polygon Query polygon in lat/lng coordinates.
+  /// @return Sorted, disjoint covering cells no finer than level().
   std::vector<cell::CellId> Cover(const geo::Polygon& polygon) const;
 
   /// SELECT: routes the covering to overlapping shards and folds their
@@ -94,14 +141,30 @@ class BlockSet {
   /// are contiguous ascending key ranges, the fold visits cell aggregates
   /// in exactly the order a single block over the same data would, so the
   /// result (including floating-point sums) is bit-identical.
+  ///
+  /// @param polygon Query polygon.
+  /// @param request Aggregates to extract.
+  /// @return One value per requested aggregate plus the tuple count.
   QueryResult Select(const geo::Polygon& polygon,
                      const AggregateRequest& request) const;
+  /// SELECT over a pre-computed covering (sorted, disjoint cells).
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param request  Aggregates to extract.
+  /// @return One value per requested aggregate plus the tuple count.
   QueryResult SelectCovering(std::span<const cell::CellId> covering,
                              const AggregateRequest& request) const;
 
   /// COUNT via the per-shard range-sum algorithm (Listing 2), summed over
   /// overlapping shards.
+  ///
+  /// @param polygon Query polygon.
+  /// @return Number of tuples in covered cells.
   uint64_t Count(const geo::Polygon& polygon) const;
+  /// COUNT over a pre-computed covering.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @return Number of tuples in covered cells.
   uint64_t CountCovering(std::span<const cell::CellId> covering) const;
 
   /// Batched SELECT: covers all polygons, then runs one task per
@@ -109,37 +172,142 @@ class BlockSet {
   /// accumulators in shard order. Results are deterministic regardless of
   /// scheduling: partials are merged in a fixed order. `batch.request`
   /// must be non-null. With a null pool the batch runs inline.
+  ///
+  /// @param batch Queries plus their shared request.
+  /// @param pool  Optional pool for the fan-out; null runs inline.
+  /// @return One QueryResult per batch query, in batch order.
   std::vector<QueryResult> ExecuteBatch(const QueryBatch& batch,
                                         util::ThreadPool* pool) const;
 
   /// Batched COUNT over the same fan-out scheme.
+  ///
+  /// @param polygons Query polygons (borrowed).
+  /// @param pool     Optional pool; null runs inline.
+  /// @return One count per polygon, in input order.
   std::vector<uint64_t> CountBatch(
       std::span<const geo::Polygon* const> polygons,
       util::ThreadPool* pool) const;
 
-  /// -- Cached path -------------------------------------------------------
+  /// -- Persistence ---------------------------------------------------------
+
+  /// Persists the whole set: a versioned, CRC-checksummed manifest (magic,
+  /// format version, shard count, alignment level, per-shard Hilbert-key
+  /// boundaries and (offset, num_rows) row windows, per-shard payload byte
+  /// offsets and checksums) followed by each shard's GeoBlock payload.
+  /// The byte-level layout is specified in docs/FORMAT.md. Writing is
+  /// deterministic: the same set always produces identical bytes. The
+  /// optional query cache (EnableCache) is not persisted.
+  ///
+  /// @param out Destination stream (open in binary mode).
+  /// @throws std::logic_error when the set has no manifest metadata (a
+  ///     default-constructed set; only sets from Build or ReadFrom can be
+  ///     written).
+  /// @throws std::runtime_error on a big-endian host (the format is
+  ///     little-endian).
+  void WriteTo(std::ostream& out) const;
+
+  /// Loads a set written by WriteTo. The loaded set is *detached*: all
+  /// SELECT/COUNT entry points (including the batched and cached paths)
+  /// answer bit-identically to the set that was saved, without the base
+  /// rows; refinement throws until AttachDataset re-binds the dataset.
+  /// Every manifest field and every shard payload is checksum-verified
+  /// before use, so corrupt or truncated input fails cleanly.
+  ///
+  /// @param in Source stream (open in binary mode).
+  /// @return The loaded set, in the *detached* state.
+  /// @throws std::runtime_error on bad magic, an unsupported format
+  ///     version, a checksum mismatch, truncation, an implausible shard
+  ///     count, or manifest/payload inconsistencies (non-contiguous
+  ///     windows or payload offsets, mismatched row counts, mixed shard
+  ///     levels).
+  static BlockSet ReadFrom(std::istream& in);
+
+  /// Re-binds the base dataset to a detached (loaded) set after validating
+  /// it against the manifest: the row count must equal the manifest total,
+  /// the schema width and projection domain must match the blocks, and
+  /// each shard's row window must contain only keys inside that shard's
+  /// manifest boundary range. On success every block gets a fresh
+  /// DatasetView window, restoring co-ownership of the rows and making
+  /// refinement (GeoBlock::CoarsenTo to a finer level) work again.
+  ///
+  /// @param data The dataset the set was originally built over (or a
+  ///     bit-identical re-extract of it).
+  /// @throws std::invalid_argument when `data` is null.
+  /// @throws std::logic_error when the set is empty or already attached
+  ///     (DetachDataset first).
+  /// @throws std::runtime_error when `data` does not match the manifest
+  ///     (row count, schema width, projection domain, or a key outside its
+  ///     shard's boundary range).
+  void AttachDataset(std::shared_ptr<const storage::SortedDataset> data);
+
+  /// Drops every block's DatasetView, releasing the set's co-ownership of
+  /// the base rows. Queries keep working (they only need the aggregates);
+  /// refinement throws again until the next AttachDataset. No-op on an
+  /// already-detached set.
+  void DetachDataset();
+
+  /// @return True when the blocks currently hold live DatasetViews (built,
+  ///     or loaded and re-attached); false for a loaded-but-detached set.
+  bool dataset_attached() const { return dataset_attached_; }
+
+  /// Leaf-key boundaries of the partition the set was built over: shard i
+  /// covers keys in [boundaries()[i], boundaries()[i+1]). Size is
+  /// num_shards() + 1; empty for a default-constructed set.
+  ///
+  /// @return The manifest boundary keys.
+  const std::vector<uint64_t>& boundaries() const { return boundaries_; }
+
+  /// @return The cell level shard boundaries were aligned to at partition
+  ///     time (storage::ShardOptions::align_level); -1 when unknown
+  ///     (default-constructed set).
+  int align_level() const { return align_level_; }
+
+  /// @return Total base rows across all shard windows (the row count
+  ///     AttachDataset validates against).
+  uint64_t total_rows() const { return total_rows_; }
+
+  /// -- Cached path ---------------------------------------------------------
 
   /// Wraps every shard in a GeoBlockQC with `options`. Queries through
   /// SelectCached probe the per-shard tries; each shard's cache state is
   /// guarded by its own mutex, so concurrent callers serialize per shard
-  /// but proceed in parallel across shards.
+  /// but proceed in parallel across shards. Works on attached and detached
+  /// sets alike (the cache reads only cell aggregates).
+  ///
+  /// @param options Cache budget/ranking configuration.
   void EnableCache(const GeoBlockQC::Options& options);
+  /// @return True once EnableCache has been called.
   bool cache_enabled() const { return !cached_.empty(); }
 
+  /// SELECT through the per-shard caches (falls back to SelectCovering
+  /// when the cache is disabled).
+  ///
+  /// @param polygon Query polygon.
+  /// @param request Aggregates to extract.
+  /// @return Same result Select would produce.
   QueryResult SelectCached(const geo::Polygon& polygon,
                            const AggregateRequest& request);
+  /// Cached SELECT over a pre-computed covering.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param request  Aggregates to extract.
+  /// @return Same result SelectCovering would produce.
   QueryResult SelectCoveringCached(std::span<const cell::CellId> covering,
                                    const AggregateRequest& request);
 
   /// Re-ranks and refills every shard trie from its recorded statistics.
   void RebuildCaches();
 
-  /// Sum of the per-shard cache counters.
+  /// @return Sum of the per-shard cache counters.
   CacheCounters MergedCacheCounters() const;
+  /// Zeroes every shard's cache counters.
   void ResetCacheCounters();
 
   /// Indices of shards whose `[min_cell, max_cell]` range intersects the
   /// (sorted, disjoint) covering; exposed for tests and benchmarks.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @return Ascending shard indices that may contain covered cells.
   std::vector<size_t> OverlappingShards(
       std::span<const cell::CellId> covering) const;
 
@@ -151,10 +319,24 @@ class BlockSet {
     std::mutex mu;
   };
 
+  /// One shard's (first row, row count) window into the parent dataset —
+  /// the manifest fields AttachDataset uses to re-create the views.
+  struct ShardWindow {
+    uint64_t offset = 0;
+    uint64_t num_rows = 0;
+  };
+
   int level_ = 0;
   geo::Projection projection_;
   std::vector<GeoBlock> blocks_;
   std::vector<std::unique_ptr<CachedShard>> cached_;
+
+  // Manifest metadata (persisted by WriteTo, validated by AttachDataset).
+  int align_level_ = -1;
+  uint64_t total_rows_ = 0;
+  std::vector<uint64_t> boundaries_;
+  std::vector<ShardWindow> windows_;
+  bool dataset_attached_ = false;
 };
 
 }  // namespace geoblocks::core

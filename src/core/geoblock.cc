@@ -114,6 +114,19 @@ GeoBlock GeoBlock::CoarsenTo(int level) const {
   return block;
 }
 
+void GeoBlock::AttachData(storage::DatasetView view) {
+  if (data_.has_data()) {
+    throw std::logic_error(
+        "GeoBlock::AttachData: block already has base data; DetachData "
+        "first");
+  }
+  if (view.has_data() && view.num_columns() != num_columns_) {
+    throw std::runtime_error(
+        "GeoBlock::AttachData: view column count does not match the block");
+  }
+  data_ = std::move(view);
+}
+
 std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
                                        int level,
                                        const geo::Polygon& polygon) {

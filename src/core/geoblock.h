@@ -37,6 +37,11 @@ struct BlockHeader {
 /// Covering policy shared by every block-shaped engine (GeoBlock,
 /// BlockSet): project the query polygon onto the unit square and cover it
 /// with cells no finer than `level` (Section 3.5).
+///
+/// @param projection Mapping from lat/lng onto the unit square.
+/// @param level      Finest cell level the covering may use.
+/// @param polygon    Query polygon in lat/lng coordinates.
+/// @return Sorted, disjoint covering cells.
 std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
                                        int level,
                                        const geo::Polygon& polygon);
@@ -49,6 +54,16 @@ std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
 /// Cell aggregates are stored column-wise: parallel arrays of cell id, base
 /// data offset, tuple count, min/max contained leaf key, and a flat array
 /// of per-column min/max/sum.
+///
+/// ## Base-data attachment
+///
+/// A block needs its base rows only to *refine* (CoarsenTo to a finer
+/// level); every query runs off the aggregates alone. Freshly built blocks
+/// hold a live DatasetView; deserialized blocks hold an empty one and
+/// throw std::logic_error on refinement until AttachData re-binds a view
+/// (normally via BlockSet::AttachDataset, which validates the dataset
+/// against the persisted manifest first). DetachData returns the block to
+/// the self-contained state.
 class GeoBlock {
  public:
   GeoBlock() = default;
@@ -57,41 +72,87 @@ class GeoBlock {
   /// linear pass (the *build* phase of Figure 5). The block keeps the view
   /// — and, when the view owns its parent, the base data itself — alive
   /// for refinement (CoarsenTo to a finer level rebuilds from the rows).
+  ///
+  /// @param data    Window of sorted rows to aggregate.
+  /// @param options Grid level and filter predicates for the build pass.
+  /// @return The built block.
   static GeoBlock Build(storage::DatasetView data, const BlockOptions& options);
 
   /// Convenience overload over a whole, caller-owned dataset: the block
   /// borrows `data`, which must stay alive (and in place) as long as the
   /// block may need its rows. Prefer building from an owning DatasetView.
+  ///
+  /// @param data    Dataset to aggregate (borrowed, not copied).
+  /// @param options Grid level and filter predicates for the build pass.
+  /// @return The built block.
   static GeoBlock Build(const storage::SortedDataset& data,
                         const BlockOptions& options) {
     return Build(storage::DatasetView::Unowned(data), options);
   }
 
-  /// Derives a coarser block from this one without re-scanning the base
-  /// data (Section 3.4, "Aggregate Granularity").
+  /// Derives a block at another level. Coarsening (level < level()) merges
+  /// the existing cell aggregates without touching base data (Section 3.4,
+  /// "Aggregate Granularity"); refining (level > level()) rebuilds from
+  /// the base rows under the block's own filter.
+  ///
+  /// @param level Target grid level.
+  /// @return A block at `level` over the same data and filter.
+  /// @throws std::logic_error when refining without attached base data
+  ///     (a deserialized or detached block).
   GeoBlock CoarsenTo(int level) const;
 
+  /// @return The block-wide header (level, key range, global aggregate).
   const BlockHeader& header() const { return header_; }
+  /// @return The block's grid level.
   int level() const { return header_.level; }
+  /// @return Number of (non-empty) cell aggregates.
   size_t num_cells() const { return cells_.size(); }
+  /// @return Number of attribute columns aggregated per cell.
   size_t num_columns() const { return num_columns_; }
   /// The base-data window the block was built over. An empty view (no
-  /// parent) for deserialized blocks, which are self-contained. Owning
-  /// views keep the parent dataset alive, so the accessor can never dangle
-  /// even if the dataset's original handle (e.g. a moved ShardedDataset)
-  /// is gone.
+  /// parent) for deserialized or detached blocks, which are self-contained.
+  /// Owning views keep the parent dataset alive, so the accessor can never
+  /// dangle even if the dataset's original handle (e.g. a moved
+  /// ShardedDataset) is gone.
+  ///
+  /// @return The block's view of its base rows (possibly empty).
   const storage::DatasetView& dataset() const { return data_; }
   /// Projection used to map query polygons onto the unit square (copied
   /// from the dataset at build time so a deserialized block is
   /// self-contained).
+  ///
+  /// @return The block's projection.
   const geo::Projection& projection() const { return projection_; }
 
-  /// Filter predicates the block was built with (empty = all rows). Kept so
-  /// refinement re-applies the same predicate set to the base rows.
+  /// Filter predicates the block was built with (empty = all rows). Kept —
+  /// and persisted (format v2, docs/FORMAT.md) — so refinement re-applies
+  /// the same predicate set to the base rows.
+  ///
+  /// @return The build-time filter.
   const storage::Filter& filter() const { return filter_; }
+
+  /// Re-binds base data to a block whose view is empty (deserialized, or
+  /// after DetachData), restoring refinement. The caller is responsible
+  /// for passing the rows the block was actually built over — prefer
+  /// BlockSet::AttachDataset, which validates against the persisted
+  /// manifest before attaching shard windows.
+  ///
+  /// @param view Window of the original base rows.
+  /// @throws std::logic_error when the block already has attached data
+  ///     (DetachData first).
+  /// @throws std::runtime_error when the view's column count does not
+  ///     match the block's.
+  void AttachData(storage::DatasetView view);
+
+  /// Drops the base-data view (and with it the block's co-ownership of
+  /// the rows). Queries keep working; refinement throws until the next
+  /// AttachData. No-op on an already-detached block.
+  void DetachData() { data_ = storage::DatasetView(); }
 
   /// Covering options a query against this block must use: covering cells
   /// are never finer than the block's grid (Section 3.5).
+  ///
+  /// @return Coverer options with max_level set to the block level.
   cell::CovererOptions QueryCovererOptions() const {
     cell::CovererOptions o;
     o.max_level = header_.level;
@@ -99,14 +160,25 @@ class GeoBlock {
   }
 
   /// Computes the covering of a (lat/lng) query polygon for this block.
+  ///
+  /// @param polygon Query polygon.
+  /// @return Sorted, disjoint covering cells no finer than level().
   std::vector<cell::CellId> Cover(const geo::Polygon& polygon) const;
 
   /// SELECT query over an arbitrary polygon (Listing 1): covers the polygon
   /// and combines the contained cell aggregates.
+  ///
+  /// @param polygon Query polygon.
+  /// @param request Aggregates to extract.
+  /// @return One value per requested aggregate plus the tuple count.
   QueryResult Select(const geo::Polygon& polygon,
                      const AggregateRequest& request) const;
 
   /// SELECT over a pre-computed covering.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param request  Aggregates to extract.
+  /// @return One value per requested aggregate plus the tuple count.
   QueryResult SelectCovering(std::span<const cell::CellId> covering,
                              const AggregateRequest& request) const;
 
@@ -114,19 +186,35 @@ class GeoBlock {
   /// combines this cell's contained aggregates into `acc`. `last_idx`
   /// carries the lastAgg position across cells (pass kNoLastAgg initially).
   static constexpr size_t kNoLastAgg = static_cast<size_t>(-1);
+  /// @param qcell    One covering cell (clamped to the block level).
+  /// @param acc      Accumulator the contained aggregates are folded into.
+  /// @param last_idx In/out lastAgg cursor shared across covering cells.
   void CombineCell(cell::CellId qcell, Accumulator* acc,
                    size_t* last_idx) const;
 
   /// Specialized COUNT query (Listing 2): per covering cell, a range sum
   /// over only the first and last contained cell aggregate.
+  ///
+  /// @param polygon Query polygon.
+  /// @return Number of tuples in covered cells.
   uint64_t Count(const geo::Polygon& polygon) const;
+  /// COUNT over a pre-computed covering.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @return Number of tuples in covered cells.
   uint64_t CountCovering(std::span<const cell::CellId> covering) const;
 
   /// Full aggregate (count + every column) of all grid cells contained in
   /// `cell`; used to materialize trie cache entries.
+  ///
+  /// @param cell The (coarse) cell to aggregate.
+  /// @return Combined aggregate of every contained cell.
   AggregateVector AggregateForCell(cell::CellId cell) const;
 
   /// Constant-time pre-check: can `cell` overlap this block at all?
+  ///
+  /// @param cell Candidate covering cell.
+  /// @return False when the cell's leaf range misses [min_cell, max_cell].
   bool MayOverlap(cell::CellId cell) const {
     return !cells_.empty() && cell.RangeMax().id() >= header_.min_cell &&
            cell.RangeMin().id() <= header_.max_cell;
@@ -155,24 +243,39 @@ class GeoBlock {
   /// Note: updates apply to the materialized view only; the block
   /// intentionally diverges from its (historical) base data, mirroring the
   /// paper's design where updates patch the aggregate layout.
+  ///
+  /// @param batch The arriving tuples.
+  /// @return Count of applied tuples plus the rejected batch indices.
   UpdateResult ApplyBatchUpdate(std::span<const UpdateTuple> batch);
 
   /// Bytes used by the cell aggregates (the reference size for the cache's
   /// aggregate threshold, Section 4.3).
+  ///
+  /// @return Cell-aggregate bytes.
   size_t CellAggregateBytes() const;
 
-  /// Total bytes of the block (header + cell aggregates).
+  /// @return Total bytes of the block (header + cell aggregates).
   size_t MemoryBytes() const;
 
-  /// Persists the block in a self-contained binary format (GeoBlocks are
-  /// materialized views; storing them avoids re-extracting on restart).
-  /// The serialized form does not reference the base data, so a loaded
-  /// block answers SELECT/COUNT queries but cannot be refined to a finer
-  /// level or updated against filters that need raw rows.
+  /// Persists the block in a self-contained binary payload (format v2,
+  /// docs/FORMAT.md: magic, version, level, schema width, projection
+  /// domain, key range, global aggregate, the parallel cell-aggregate
+  /// arrays, and the build filter). GeoBlocks are materialized views;
+  /// storing them avoids re-extracting on restart. The payload does not
+  /// reference the base data, so a loaded block answers SELECT/COUNT but
+  /// cannot refine until data is re-attached (AttachData).
+  ///
+  /// @param out Destination stream (open in binary mode).
+  /// @throws std::runtime_error on a big-endian host (the format is
+  ///     little-endian).
   void WriteTo(std::ostream& out) const;
 
-  /// Loads a block written by WriteTo. Throws std::runtime_error on a
-  /// malformed stream.
+  /// Loads a block written by WriteTo (format v2, or the filter-less v1).
+  ///
+  /// @param in Source stream (open in binary mode).
+  /// @return The loaded, self-contained block (empty DatasetView).
+  /// @throws std::runtime_error on bad magic, an unsupported version,
+  ///     truncation, or inconsistent array lengths.
   static GeoBlock ReadFrom(std::istream& in);
 
   // Raw cell-aggregate accessors (used by tests and the trie builder).

@@ -1,59 +1,57 @@
-// Binary (de)serialization of GeoBlocks and AggregateTries. The format is
-// a simple tagged little-endian layout:
+// Implementation of every persistent format in the repo (byte-level spec:
+// docs/FORMAT.md). Three formats share the serialize.h primitives:
 //
-//   GeoBlock:       "GBLK" u32-version | level i32 | ncols u64 |
-//                   projection domain (4 doubles) | min/max cell u64 |
-//                   global aggregate | ncells u64 | parallel arrays
-//   AggregateTrie:  "GTRI" u32-version | root cell u64 | ncols u64 |
-//                   num_cached u64 | arena size u64 | arena bytes
-#include <istream>
-#include <ostream>
-#include <stdexcept>
+//   GeoBlock payload ("GBLK", v2):  level, schema width, projection domain,
+//       key range, global aggregate, parallel cell-aggregate arrays, build
+//       filter (v2; v1 payloads without the filter are still read).
+//   AggregateTrie stream ("GTRI", v1): root cell, schema width, cached
+//       entry count, node arena.
+//   BlockSet container ("GBST", v1): a CRC-checksummed manifest (shard
+//       boundaries, row windows, payload table) followed by one GeoBlock
+//       payload per shard, each individually checksummed.
+#include "core/serialize.h"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <string>
 
 #include "core/aggregate_trie.h"
+#include "core/block_set.h"
 #include "core/geoblock.h"
 
 namespace geoblocks::core {
 
+namespace serialize {
+
+uint32_t Crc32(std::string_view bytes) {
+  // CRC-32/ISO-HDLC, table-driven; the table is built once.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace serialize
+
 namespace {
 
-constexpr uint32_t kBlockMagic = 0x4B4C4247;  // "GBLK"
-constexpr uint32_t kTrieMagic = 0x49525447;   // "GTRI"
-constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T ReadPod(std::istream& in) {
-  T value;
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("geoblocks: truncated stream");
-  return value;
-}
-
-template <typename T>
-void WriteVector(std::ostream& out, const std::vector<T>& v) {
-  WritePod<uint64_t>(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> ReadVector(std::istream& in) {
-  const uint64_t size = ReadPod<uint64_t>(in);
-  // Guard against absurd sizes from corrupted streams (16 GiB cap).
-  if (size * sizeof(T) > (uint64_t{1} << 34)) {
-    throw std::runtime_error("geoblocks: implausible vector size");
-  }
-  std::vector<T> v(size);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  if (!in) throw std::runtime_error("geoblocks: truncated stream");
-  return v;
-}
+using serialize::ReadPod;
+using serialize::ReadVector;
+using serialize::WritePod;
+using serialize::WriteVector;
 
 void WriteAggregateVector(std::ostream& out, const AggregateVector& agg) {
   WritePod<uint64_t>(out, agg.count);
@@ -67,11 +65,47 @@ AggregateVector ReadAggregateVector(std::istream& in) {
   return agg;
 }
 
+void WriteFilter(std::ostream& out, const storage::Filter& filter) {
+  WritePod<uint64_t>(out, filter.predicates().size());
+  for (const storage::Predicate& p : filter.predicates()) {
+    WritePod<int32_t>(out, p.column);
+    WritePod<uint32_t>(out, static_cast<uint32_t>(p.op));
+    WritePod<double>(out, p.value);
+  }
+}
+
+storage::Filter ReadFilter(std::istream& in, size_t num_columns) {
+  const uint64_t n = ReadPod<uint64_t>(in);
+  if (n > serialize::kMaxPayloadBytes / 16) {
+    throw std::runtime_error("geoblocks: implausible predicate count");
+  }
+  std::vector<storage::Predicate> predicates(n);
+  for (storage::Predicate& p : predicates) {
+    p.column = ReadPod<int32_t>(in);
+    if (p.column < 0 || static_cast<size_t>(p.column) >= num_columns) {
+      throw std::runtime_error(
+          "geoblocks: filter predicate column out of range");
+    }
+    const uint32_t op = ReadPod<uint32_t>(in);
+    if (op > static_cast<uint32_t>(storage::CompareOp::kNe)) {
+      throw std::runtime_error("geoblocks: invalid filter operator");
+    }
+    p.op = static_cast<storage::CompareOp>(op);
+    p.value = ReadPod<double>(in);
+  }
+  return storage::Filter(std::move(predicates));
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// GeoBlock payload ("GBLK")
+// ---------------------------------------------------------------------------
+
 void GeoBlock::WriteTo(std::ostream& out) const {
-  WritePod(out, kBlockMagic);
-  WritePod(out, kVersion);
+  serialize::RequireLittleEndianHost();
+  WritePod(out, serialize::kBlockMagic);
+  WritePod(out, serialize::kBlockVersion);
   WritePod<int32_t>(out, header_.level);
   WritePod<uint64_t>(out, num_columns_);
   const geo::Rect domain = projection_.domain();
@@ -88,13 +122,17 @@ void GeoBlock::WriteTo(std::ostream& out) const {
   WriteVector(out, min_keys_);
   WriteVector(out, max_keys_);
   WriteVector(out, column_aggs_);
+  WriteFilter(out, filter_);
 }
 
 GeoBlock GeoBlock::ReadFrom(std::istream& in) {
-  if (ReadPod<uint32_t>(in) != kBlockMagic) {
+  serialize::RequireLittleEndianHost();
+  if (ReadPod<uint32_t>(in) != serialize::kBlockMagic) {
     throw std::runtime_error("geoblocks: not a GeoBlock stream");
   }
-  if (ReadPod<uint32_t>(in) != kVersion) {
+  const uint32_t version = ReadPod<uint32_t>(in);
+  if (version < serialize::kBlockMinVersion ||
+      version > serialize::kBlockVersion) {
     throw std::runtime_error("geoblocks: unsupported GeoBlock version");
   }
   GeoBlock block;
@@ -115,6 +153,9 @@ GeoBlock GeoBlock::ReadFrom(std::istream& in) {
   block.min_keys_ = ReadVector<uint64_t>(in);
   block.max_keys_ = ReadVector<uint64_t>(in);
   block.column_aggs_ = ReadVector<ColumnAggregate>(in);
+  if (version >= 2) {
+    block.filter_ = ReadFilter(in, block.num_columns_);
+  }
   const size_t n = block.cells_.size();
   if (block.offsets_.size() != n || block.counts_.size() != n ||
       block.min_keys_.size() != n || block.max_keys_.size() != n ||
@@ -124,9 +165,14 @@ GeoBlock GeoBlock::ReadFrom(std::istream& in) {
   return block;
 }
 
+// ---------------------------------------------------------------------------
+// AggregateTrie stream ("GTRI")
+// ---------------------------------------------------------------------------
+
 void AggregateTrie::WriteTo(std::ostream& out) const {
-  WritePod(out, kTrieMagic);
-  WritePod(out, kVersion);
+  serialize::RequireLittleEndianHost();
+  WritePod(out, serialize::kTrieMagic);
+  WritePod(out, serialize::kTrieVersion);
   WritePod<uint64_t>(out, root_cell_.id());
   WritePod<uint64_t>(out, num_columns_);
   WritePod<uint64_t>(out, num_cached_);
@@ -134,10 +180,11 @@ void AggregateTrie::WriteTo(std::ostream& out) const {
 }
 
 AggregateTrie AggregateTrie::ReadFrom(std::istream& in) {
-  if (ReadPod<uint32_t>(in) != kTrieMagic) {
+  serialize::RequireLittleEndianHost();
+  if (ReadPod<uint32_t>(in) != serialize::kTrieMagic) {
     throw std::runtime_error("geoblocks: not an AggregateTrie stream");
   }
-  if (ReadPod<uint32_t>(in) != kVersion) {
+  if (ReadPod<uint32_t>(in) != serialize::kTrieVersion) {
     throw std::runtime_error("geoblocks: unsupported AggregateTrie version");
   }
   AggregateTrie trie;
@@ -146,6 +193,217 @@ AggregateTrie AggregateTrie::ReadFrom(std::istream& in) {
   trie.num_cached_ = ReadPod<uint64_t>(in);
   trie.arena_ = ReadVector<uint8_t>(in);
   return trie;
+}
+
+// ---------------------------------------------------------------------------
+// BlockSet container ("GBST"): manifest + shard payloads
+// ---------------------------------------------------------------------------
+//
+// Manifest layout (all little-endian; docs/FORMAT.md §BlockSet manifest):
+//
+//   offset            size      field
+//   0                 4         magic "GBST"
+//   4                 4         format version (1)
+//   8                 4         flags (reserved, 0)
+//   12                4         align_level (i32)
+//   16                8         shard count K (u64)
+//   24                8         total_rows (u64)
+//   32                (K+1)*8   boundaries[0..K] (u64 leaf keys)
+//   32+(K+1)*8        K*16      shard windows: (row_offset u64, num_rows u64)
+//   ...               K*16      payload table: (byte_offset u64, byte_size
+//                               u64), offsets relative to the end of the
+//                               manifest, contiguous
+//   ...               K*4       payload CRC-32s (u32)
+//   ...               4         manifest CRC-32 over all preceding bytes
+//
+// Manifest size: 44 + 44*K bytes. Shard payloads follow back to back.
+
+void BlockSet::WriteTo(std::ostream& out) const {
+  serialize::RequireLittleEndianHost();
+  const size_t k = blocks_.size();
+  if (k == 0 || boundaries_.size() != k + 1 || windows_.size() != k) {
+    throw std::logic_error(
+        "BlockSet::WriteTo: set has no manifest metadata (only sets from "
+        "Build or ReadFrom can be persisted)");
+  }
+
+  // Serialize every shard payload first: the manifest needs their sizes
+  // and checksums.
+  std::vector<std::string> payloads;
+  payloads.reserve(k);
+  for (const GeoBlock& b : blocks_) {
+    std::ostringstream payload(std::ios::binary);
+    b.WriteTo(payload);
+    payloads.push_back(std::move(payload).str());
+  }
+
+  std::ostringstream manifest(std::ios::binary);
+  WritePod(manifest, serialize::kSetMagic);
+  WritePod(manifest, serialize::kSetVersion);
+  WritePod<uint32_t>(manifest, 0);  // flags (reserved)
+  WritePod<int32_t>(manifest, align_level_);
+  WritePod<uint64_t>(manifest, k);
+  WritePod<uint64_t>(manifest, total_rows_);
+  for (const uint64_t b : boundaries_) WritePod<uint64_t>(manifest, b);
+  for (const ShardWindow& w : windows_) {
+    WritePod<uint64_t>(manifest, w.offset);
+    WritePod<uint64_t>(manifest, w.num_rows);
+  }
+  uint64_t byte_offset = 0;
+  for (const std::string& p : payloads) {
+    WritePod<uint64_t>(manifest, byte_offset);
+    WritePod<uint64_t>(manifest, p.size());
+    byte_offset += p.size();
+  }
+  for (const std::string& p : payloads) {
+    WritePod<uint32_t>(manifest, serialize::Crc32(p));
+  }
+  const std::string manifest_bytes = std::move(manifest).str();
+  out.write(manifest_bytes.data(),
+            static_cast<std::streamsize>(manifest_bytes.size()));
+  WritePod<uint32_t>(out, serialize::Crc32(manifest_bytes));
+  for (const std::string& p : payloads) {
+    out.write(p.data(), static_cast<std::streamsize>(p.size()));
+  }
+}
+
+BlockSet BlockSet::ReadFrom(std::istream& in) {
+  serialize::RequireLittleEndianHost();
+  // Fixed 32-byte prefix: enough to learn K and size the rest.
+  char prefix[32];
+  in.read(prefix, sizeof(prefix));
+  if (!in) throw std::runtime_error("geoblocks: truncated BlockSet manifest");
+  uint32_t magic, version, flags;
+  int32_t align_level;
+  uint64_t k, total_rows;
+  std::memcpy(&magic, prefix + 0, 4);
+  std::memcpy(&version, prefix + 4, 4);
+  std::memcpy(&flags, prefix + 8, 4);
+  std::memcpy(&align_level, prefix + 12, 4);
+  std::memcpy(&k, prefix + 16, 8);
+  std::memcpy(&total_rows, prefix + 24, 8);
+  if (magic != serialize::kSetMagic) {
+    throw std::runtime_error("geoblocks: not a BlockSet stream");
+  }
+  if (version != serialize::kSetVersion) {
+    throw std::runtime_error("geoblocks: unsupported BlockSet version");
+  }
+  if (flags != 0) {
+    // All flag bits are reserved; a set bit means a capability this reader
+    // does not implement (docs/FORMAT.md §Versioning).
+    throw std::runtime_error("geoblocks: unsupported BlockSet flags");
+  }
+  if (k == 0 || k > serialize::kMaxManifestShards) {
+    throw std::runtime_error("geoblocks: implausible BlockSet shard count");
+  }
+
+  // Read the rest of the manifest and verify its checksum before trusting
+  // any field.
+  const size_t rest_bytes = (k + 1) * 8 + k * 16 + k * 16 + k * 4 + 4;
+  std::string manifest(sizeof(prefix) + rest_bytes, '\0');
+  std::memcpy(manifest.data(), prefix, sizeof(prefix));
+  in.read(manifest.data() + sizeof(prefix),
+          static_cast<std::streamsize>(rest_bytes));
+  if (!in) throw std::runtime_error("geoblocks: truncated BlockSet manifest");
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, manifest.data() + manifest.size() - 4, 4);
+  const std::string_view checksummed(manifest.data(), manifest.size() - 4);
+  if (serialize::Crc32(checksummed) != stored_crc) {
+    throw std::runtime_error("geoblocks: BlockSet manifest checksum mismatch");
+  }
+
+  const auto read_u64_at = [&](size_t offset) {
+    uint64_t v;
+    std::memcpy(&v, manifest.data() + offset, 8);
+    return v;
+  };
+  const auto read_u32_at = [&](size_t offset) {
+    uint32_t v;
+    std::memcpy(&v, manifest.data() + offset, 4);
+    return v;
+  };
+
+  BlockSet set;
+  set.align_level_ = align_level;
+  set.total_rows_ = total_rows;
+  size_t pos = sizeof(prefix);
+  set.boundaries_.resize(k + 1);
+  for (size_t i = 0; i <= k; ++i, pos += 8) {
+    set.boundaries_[i] = read_u64_at(pos);
+    if (i > 0 && set.boundaries_[i] < set.boundaries_[i - 1]) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet manifest boundaries not ascending");
+    }
+  }
+  set.windows_.resize(k);
+  uint64_t next_row = 0;
+  for (size_t i = 0; i < k; ++i, pos += 16) {
+    set.windows_[i] = {read_u64_at(pos), read_u64_at(pos + 8)};
+    if (set.windows_[i].offset != next_row) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet manifest windows not contiguous");
+    }
+    next_row += set.windows_[i].num_rows;
+  }
+  if (next_row != total_rows) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet manifest row total does not match the windows");
+  }
+  std::vector<uint64_t> payload_sizes(k);
+  uint64_t next_byte = 0;
+  for (size_t i = 0; i < k; ++i, pos += 16) {
+    const uint64_t byte_offset = read_u64_at(pos);
+    payload_sizes[i] = read_u64_at(pos + 8);
+    if (byte_offset != next_byte ||
+        payload_sizes[i] > serialize::kMaxPayloadBytes) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet manifest payload table is inconsistent");
+    }
+    next_byte += payload_sizes[i];
+  }
+  std::vector<uint32_t> payload_crcs(k);
+  for (size_t i = 0; i < k; ++i, pos += 4) payload_crcs[i] = read_u32_at(pos);
+
+  // Shard payloads: checksum each one, then parse it in isolation so a
+  // payload that lies about its length cannot bleed into its neighbor.
+  set.blocks_.reserve(k);
+  std::string payload;
+  for (size_t i = 0; i < k; ++i) {
+    payload.resize(payload_sizes[i]);
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!in) {
+      throw std::runtime_error("geoblocks: truncated BlockSet shard payload");
+    }
+    if (serialize::Crc32(payload) != payload_crcs[i]) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet shard payload checksum mismatch");
+    }
+    std::istringstream payload_stream(payload, std::ios::binary);
+    set.blocks_.push_back(GeoBlock::ReadFrom(payload_stream));
+    if (payload_stream.peek() != std::istringstream::traits_type::eof()) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet shard payload has trailing bytes");
+    }
+    const GeoBlock& b = set.blocks_.back();
+    if (b.level() != set.blocks_.front().level() ||
+        b.num_columns() != set.blocks_.front().num_columns()) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet shards disagree on level or schema width");
+    }
+    // Without a filter the build aggregates every window row, so the global
+    // count must equal the manifest window — a cheap cross-check between
+    // the manifest and the payloads.
+    if (b.filter().IsTrue() &&
+        b.header().global.count != set.windows_[i].num_rows) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet shard row count does not match its manifest "
+          "window");
+    }
+  }
+  set.level_ = set.blocks_.front().level();
+  set.projection_ = set.blocks_.front().projection();
+  set.dataset_attached_ = false;
+  return set;
 }
 
 }  // namespace geoblocks::core

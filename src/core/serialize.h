@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file serialize.h
+/// The binary (de)serialization toolkit shared by every persistent format in
+/// the repo: GeoBlock shard payloads, AggregateTrie caches, and the BlockSet
+/// container (manifest + shard payloads). The byte-level layout of each
+/// format is specified in docs/FORMAT.md; this header owns the constants and
+/// primitives that document references (magic numbers, format versions, the
+/// checksum definition, and the little-endian plain-old-data encoding).
+///
+/// All formats are **little-endian**. The primitives below write host-order
+/// bytes, so every entry point calls RequireLittleEndianHost() first and
+/// refuses to run on a big-endian host rather than silently producing files
+/// other machines cannot read.
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace geoblocks::core::serialize {
+
+// ---------------------------------------------------------------------------
+// Magic numbers and format versions (see docs/FORMAT.md §Versioning)
+// ---------------------------------------------------------------------------
+
+/// First four bytes of a GeoBlock payload: "GBLK" read as a little-endian
+/// uint32.
+inline constexpr uint32_t kBlockMagic = 0x4B4C4247;
+/// First four bytes of an AggregateTrie stream: "GTRI".
+inline constexpr uint32_t kTrieMagic = 0x49525447;
+/// First four bytes of a BlockSet manifest: "GBST".
+inline constexpr uint32_t kSetMagic = 0x54534247;
+
+/// Current GeoBlock payload version. v2 appends the block's filter
+/// predicates so refinement after BlockSet::AttachDataset re-aggregates
+/// exactly the rows the original build did; v1 payloads (no filter field)
+/// are still read and yield an empty (match-all) filter.
+inline constexpr uint32_t kBlockVersion = 2;
+/// Oldest GeoBlock payload version ReadFrom still accepts.
+inline constexpr uint32_t kBlockMinVersion = 1;
+/// Current AggregateTrie stream version.
+inline constexpr uint32_t kTrieVersion = 1;
+/// Current BlockSet manifest version.
+inline constexpr uint32_t kSetVersion = 1;
+
+/// Sanity cap on the shard count of a BlockSet manifest; larger values are
+/// treated as corruption rather than an allocation request.
+inline constexpr uint64_t kMaxManifestShards = uint64_t{1} << 20;
+
+/// Sanity cap on any single length-prefixed array or shard payload
+/// (16 GiB); larger values are treated as corruption.
+inline constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 34;
+
+// ---------------------------------------------------------------------------
+// Host requirements
+// ---------------------------------------------------------------------------
+
+/// Every persistent format in this repo is little-endian, and the POD
+/// primitives below write host-order bytes.
+///
+/// @throws std::runtime_error on big- or mixed-endian hosts, where the raw
+///     writes would produce files that violate docs/FORMAT.md.
+inline void RequireLittleEndianHost() {
+  if constexpr (std::endian::native != std::endian::little) {
+    throw std::runtime_error(
+        "geoblocks: serialized formats are little-endian; this host is not");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------------
+
+/// CRC-32/ISO-HDLC (the zlib/IEEE 802.3 CRC): polynomial 0xEDB88320
+/// (reflected), initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF.
+/// Check value: Crc32("123456789") == 0xCBF43926.
+///
+/// @param bytes The exact byte range to checksum.
+/// @return The final (post-XOR) CRC value as stored on disk.
+uint32_t Crc32(std::string_view bytes);
+
+// ---------------------------------------------------------------------------
+// Little-endian POD primitives
+// ---------------------------------------------------------------------------
+
+/// Writes the raw bytes of a trivially copyable value.
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Reads the raw bytes of a trivially copyable value.
+///
+/// @throws std::runtime_error when the stream ends before sizeof(T) bytes.
+template <typename T>
+T ReadPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("geoblocks: truncated stream");
+  return value;
+}
+
+/// Writes a length-prefixed array: u64 element count, then the elements'
+/// raw bytes back to back.
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+/// Reads a length-prefixed array written by WriteVector.
+///
+/// @throws std::runtime_error on truncation or an implausible element count
+///     (more than kMaxPayloadBytes of payload), which indicates corruption.
+template <typename T>
+std::vector<T> ReadVector(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const uint64_t size = ReadPod<uint64_t>(in);
+  if (size > kMaxPayloadBytes / sizeof(T)) {
+    throw std::runtime_error("geoblocks: implausible vector size");
+  }
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) throw std::runtime_error("geoblocks: truncated stream");
+  return v;
+}
+
+}  // namespace geoblocks::core::serialize

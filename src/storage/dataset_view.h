@@ -34,98 +34,157 @@ namespace geoblocks::storage {
 /// LowerBound/UpperBound/EqualRangeForCell) with all row indices relative
 /// to the window, so build and query code is agnostic to whether it sees
 /// the whole dataset or one shard of it.
+///
+/// Views are also the unit of re-attachment on the persistence path: a
+/// deserialized GeoBlock carries an empty view (every accessor is safe,
+/// num_rows() == 0, has_data() == false) until BlockSet::AttachDataset /
+/// GeoBlock::AttachData re-creates its window (docs/ARCHITECTURE.md).
 class DatasetView {
  public:
   /// An empty view over nothing (no parent). num_rows() == 0.
   DatasetView() = default;
 
   /// View over the whole dataset.
+  ///
+  /// @param data Dataset to view; co-owned by the view. May be null (the
+  ///     result is the empty view).
+  /// @return A view spanning every row of `data`.
   static DatasetView All(std::shared_ptr<const SortedDataset> data);
 
   /// View over rows [first, last), clamped to the parent's row count.
+  ///
+  /// @param data  Dataset to view; co-owned by the view. May be null (the
+  ///     result is the empty view).
+  /// @param first First parent row of the window (clamped to num_rows).
+  /// @param last  One past the window's final parent row (clamped; a
+  ///     `last <= first` window is empty but keeps the parent).
+  /// @return The windowed view.
   static DatasetView Window(std::shared_ptr<const SortedDataset> data,
                             size_t first, size_t last);
 
-  /// Non-owning views for callers that manage the dataset lifetime
-  /// themselves (stack- or member-owned datasets in tests and benches).
+  /// Non-owning view over the whole dataset, for callers that manage the
+  /// dataset lifetime themselves (stack- or member-owned datasets in tests
+  /// and benches).
+  ///
+  /// @param data Dataset to borrow; must stay alive (and in place) for the
+  ///     lifetime of the view and of anything built from it.
+  /// @return A borrowing view spanning every row of `data`.
   static DatasetView Unowned(const SortedDataset& data);
+  /// Non-owning view over rows [first, last), clamped.
+  ///
+  /// @param data  Dataset to borrow (see Unowned).
+  /// @param first First parent row of the window (clamped).
+  /// @param last  One past the final parent row (clamped).
+  /// @return The borrowing windowed view.
   static DatasetView UnownedWindow(const SortedDataset& data, size_t first,
                                    size_t last);
 
-  /// True when the view points at a dataset (possibly an empty window).
+  /// @return True when the view points at a dataset (possibly an empty
+  ///     window); false only for a default-constructed view.
   bool has_data() const { return data_ != nullptr; }
 
   /// The viewed dataset. Null for a default-constructed view; non-null but
   /// non-owning for Unowned views.
+  ///
+  /// @return Shared handle to the parent dataset.
   const std::shared_ptr<const SortedDataset>& parent() const { return data_; }
 
-  /// First parent row of the window.
+  /// @return First parent row of the window.
   size_t offset() const { return offset_; }
 
-  /// Schema/projection of the parent; a default-constructed Schema /
-  /// Projection for an empty view, so every accessor is safe on the empty
-  /// view a deserialized GeoBlock carries.
+  /// Schema of the parent; a default-constructed Schema for an empty view,
+  /// so every accessor is safe on the empty view a deserialized GeoBlock
+  /// carries.
+  ///
+  /// @return The parent's schema (or an empty one).
   const Schema& schema() const {
     static const Schema kEmpty;
     return data_ ? data_->schema() : kEmpty;
   }
+  /// @return The parent's projection (or a default-constructed one for an
+  ///     empty view).
   const geo::Projection& projection() const {
     static const geo::Projection kDefault;
     return data_ ? data_->projection() : kDefault;
   }
+  /// @return Rows in the window.
   size_t num_rows() const { return length_; }
+  /// @return Attribute columns of the parent (0 for an empty view).
   size_t num_columns() const { return data_ ? data_->num_columns() : 0; }
 
   /// Leaf cell id of each row in the window, ascending.
+  ///
+  /// @return Span aliasing the parent's key array (empty for an empty view).
   std::span<const uint64_t> keys() const {
     return data_ ? std::span<const uint64_t>(data_->keys()).subspan(offset_,
                                                                     length_)
                  : std::span<const uint64_t>();
   }
+  /// @return Span of the window's x coordinates.
   std::span<const double> xs() const {
     return data_ ? std::span<const double>(data_->xs()).subspan(offset_,
                                                                 length_)
                  : std::span<const double>();
   }
+  /// @return Span of the window's y coordinates.
   std::span<const double> ys() const {
     return data_ ? std::span<const double>(data_->ys()).subspan(offset_,
                                                                 length_)
                  : std::span<const double>();
   }
+  /// @param c Column index in [0, num_columns()).
+  /// @return Span of the window's values in column `c`.
   std::span<const double> column(size_t c) const {
     return data_ ? std::span<const double>(data_->column(c))
                        .subspan(offset_, length_)
                  : std::span<const double>();
   }
 
+  /// @param row Window-relative row index in [0, num_rows()).
+  /// @return The row's (lat, lng) location.
   geo::Point Location(size_t row) const {
     return data_->Location(offset_ + row);
   }
+  /// @param row Window-relative row index in [0, num_rows()).
+  /// @param col Column index in [0, num_columns()).
+  /// @return The row's value in column `col`.
   double Value(size_t row, size_t col) const {
     return data_->Value(offset_ + row, col);
   }
 
-  /// First in-window row with key >= k / > k (indices relative to the
-  /// window; num_rows() when no such row exists).
+  /// @param k Leaf key to search for.
+  /// @return First in-window row with key >= k (window-relative;
+  ///     num_rows() when no such row exists).
   size_t LowerBound(uint64_t k) const;
+  /// @param k Leaf key to search for.
+  /// @return First in-window row with key > k (window-relative;
+  ///     num_rows() when no such row exists).
   size_t UpperBound(uint64_t k) const;
-  /// Window-relative row range [first, last) of all leaves in `cell`.
+  /// @param cell The cell whose contained leaves to locate.
+  /// @return Window-relative row range [first, last) of all leaves in
+  ///     `cell`.
   std::pair<size_t, size_t> EqualRangeForCell(cell::CellId cell) const;
 
   /// Bytes owned by the view itself. The rows belong to the parent dataset
   /// and are shared by every view over it, so they are intentionally not
   /// counted here — that is the whole point of the view.
+  ///
+  /// @return sizeof(DatasetView).
   size_t MemoryBytes() const { return sizeof(DatasetView); }
 
   /// Bytes of raw payload (x, y, attribute columns) the window spans inside
   /// the parent. Reported for overhead accounting; the bytes are shared,
   /// not owned.
+  ///
+  /// @return Payload bytes spanned by the window.
   size_t PayloadBytes() const {
     return length_ * (2 + num_columns()) * sizeof(double);
   }
 
   /// An owning deep copy of the viewed rows (SortedDataset::Slice) for the
   /// rare caller that genuinely needs an independent dataset.
+  ///
+  /// @return A self-contained copy of the window's rows.
   SortedDataset Materialize() const;
 
  private:

@@ -32,6 +32,7 @@ ShardedDataset ShardedDataset::Partition(
   }
   ShardedDataset out;
   out.parent_ = std::move(data);
+  out.align_level_ = options.align_level;
   const SortedDataset& parent = *out.parent_;
   const size_t k = options.num_shards;
   const size_t n = parent.num_rows();

@@ -37,6 +37,12 @@ struct ShardOptions {
 /// + shared_ptr) over the single parent dataset, so Partition costs O(K)
 /// metadata and no row is ever duplicated. Use DatasetView::Materialize /
 /// SortedDataset::Slice when an owning copy of a shard is genuinely needed.
+///
+/// The partition exports exactly the fields the persistent BlockSet
+/// manifest records (docs/FORMAT.md): `boundaries()` gives the per-shard
+/// Hilbert-key ranges, each shard view carries its `(offset, num_rows)`
+/// window, and `align_level()` preserves the alignment contract across a
+/// save/load cycle.
 class ShardedDataset {
  public:
   ShardedDataset() = default;
@@ -48,14 +54,22 @@ class ShardedDataset {
   /// co-own `data`, so the rows stay alive for as long as any shard view
   /// (or any GeoBlock built from one) exists.
   ///
-  /// Throws std::invalid_argument for num_shards == 0 or an align_level
-  /// outside [0, cell::CellId::kMaxLevel].
+  /// @param data    The sorted dataset to partition (co-owned by the shards).
+  /// @param options Shard count and boundary alignment level.
+  /// @return The partitioned dataset.
+  /// @throws std::invalid_argument for a null `data`, num_shards == 0, or
+  ///     an align_level outside [0, cell::CellId::kMaxLevel].
   static ShardedDataset Partition(std::shared_ptr<const SortedDataset> data,
                                   const ShardOptions& options);
 
   /// Takes ownership of `data` by move, then partitions as above. Options
   /// are validated before the move, so a throwing call leaves `data`
   /// untouched in the caller's hands.
+  ///
+  /// @param data    The sorted dataset to consume and partition.
+  /// @param options Shard count and boundary alignment level.
+  /// @return The partitioned dataset (sole owner of the rows).
+  /// @throws std::invalid_argument as the shared_ptr overload.
   static ShardedDataset Partition(SortedDataset&& data,
                                   const ShardOptions& options);
 
@@ -63,23 +77,45 @@ class ShardedDataset {
   /// must keep alive (and in place) for the lifetime of the shards and of
   /// anything built from them. Prefer the shared_ptr overload; this exists
   /// for callers whose dataset is owned elsewhere (tests, benches).
+  ///
+  /// @param data    The sorted dataset to partition (borrowed).
+  /// @param options Shard count and boundary alignment level.
+  /// @return The partitioned dataset (views do not own the rows).
+  /// @throws std::invalid_argument as the shared_ptr overload.
   static ShardedDataset Partition(const SortedDataset& data,
                                   const ShardOptions& options);
 
+  /// @return Number of shards K.
   size_t num_shards() const { return views_.size(); }
+  /// @param i Shard index in [0, num_shards()).
+  /// @return The i-th shard's zero-copy view.
   const DatasetView& shard(size_t i) const { return views_[i]; }
+  /// @return All shard views, in ascending key order.
   const std::vector<DatasetView>& shards() const { return views_; }
 
   /// The single dataset all shards window into (null for a default-
   /// constructed ShardedDataset; non-owning for the borrow overload).
+  ///
+  /// @return Shared handle to the parent dataset.
   const std::shared_ptr<const SortedDataset>& parent() const {
     return parent_;
   }
 
   /// Leaf-key boundaries: shard i holds rows whose key falls in
   /// [boundaries()[i], boundaries()[i + 1]). Size is num_shards() + 1.
+  /// These are the per-shard key ranges the persistent BlockSet manifest
+  /// stores.
+  ///
+  /// @return The boundary keys.
   const std::vector<uint64_t>& boundaries() const { return boundaries_; }
 
+  /// The cell level shard boundaries were snapped to (ShardOptions::
+  /// align_level as passed to Partition).
+  ///
+  /// @return The alignment level; -1 for a default-constructed object.
+  int align_level() const { return align_level_; }
+
+  /// @return Total rows across all shards (== the parent's row count).
   size_t total_rows() const {
     size_t n = 0;
     for (const DatasetView& v : views_) n += v.num_rows();
@@ -88,6 +124,8 @@ class ShardedDataset {
 
   /// Bytes the partitioning added on top of the parent dataset: boundary
   /// keys plus K view records. This is what `Partition` actually allocates.
+  ///
+  /// @return Partitioning metadata bytes.
   size_t PartitionOverheadBytes() const {
     return boundaries_.size() * sizeof(uint64_t) +
            views_.size() * sizeof(DatasetView);
@@ -95,6 +133,8 @@ class ShardedDataset {
 
   /// True resident bytes: one shared parent payload plus the partitioning
   /// metadata. The parent is counted once — shards are views, not copies.
+  ///
+  /// @return Resident bytes of the partitioned dataset.
   size_t MemoryBytes() const {
     return (parent_ ? parent_->MemoryBytes() : 0) + PartitionOverheadBytes();
   }
@@ -103,6 +143,7 @@ class ShardedDataset {
   std::shared_ptr<const SortedDataset> parent_;
   std::vector<DatasetView> views_;
   std::vector<uint64_t> boundaries_;
+  int align_level_ = -1;
 };
 
 }  // namespace geoblocks::storage

@@ -1,0 +1,419 @@
+// Persistence of the sharded engine: BlockSet::WriteTo/ReadFrom round
+// trips, the byte-level manifest contract (docs/FORMAT.md), corruption
+// handling, and the AttachDataset/DetachDataset state machine.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/geoblock.h"
+#include "core/serialize.h"
+#include "storage/sharded_dataset.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::BlockSet;
+using core::BlockSetOptions;
+using core::QueryResult;
+
+class BlockSetPersistTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+
+  static void SetUpTestSuite() {
+    raw_ = new storage::PointTable(workload::GenTaxi(30000, 21));
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new std::shared_ptr<const storage::SortedDataset>(
+        std::make_shared<const storage::SortedDataset>(
+            storage::SortedDataset::Extract(*raw_, options)));
+    polygons_ = new std::vector<geo::Polygon>(
+        workload::Neighborhoods(*raw_, 25, 22));
+  }
+  static void TearDownTestSuite() {
+    delete polygons_;
+    delete data_;
+    delete raw_;
+    polygons_ = nullptr;
+    data_ = nullptr;
+    raw_ = nullptr;
+  }
+
+  static AggregateRequest Request() {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kMin, 1);
+    req.Add(AggFn::kMax, 2);
+    req.Add(AggFn::kAvg, 3);
+    return req;
+  }
+
+  static storage::ShardedDataset Shard(size_t k, int align_level = kLevel) {
+    storage::ShardOptions options;
+    options.num_shards = k;
+    options.align_level = align_level;
+    return storage::ShardedDataset::Partition(*data_, options);
+  }
+
+  static BlockSet BuildSet(size_t k, int align_level = kLevel,
+                           storage::Filter filter = {}) {
+    return BlockSet::Build(Shard(k, align_level),
+                           BlockSetOptions{{kLevel, std::move(filter)}});
+  }
+
+  static std::string Serialized(const BlockSet& set) {
+    std::ostringstream out(std::ios::binary);
+    set.WriteTo(out);
+    return std::move(out).str();
+  }
+
+  static BlockSet Deserialized(const std::string& bytes) {
+    std::istringstream in(bytes, std::ios::binary);
+    return BlockSet::ReadFrom(in);
+  }
+
+  static void ExpectBitIdenticalAnswers(const BlockSet& loaded,
+                                        const BlockSet& original,
+                                        const char* what) {
+    const AggregateRequest req = Request();
+    for (const geo::Polygon& poly : *polygons_) {
+      const QueryResult a = original.Select(poly, req);
+      const QueryResult b = loaded.Select(poly, req);
+      ASSERT_EQ(a.count, b.count) << what;
+      ASSERT_EQ(a.values.size(), b.values.size()) << what;
+      for (size_t i = 0; i < a.values.size(); ++i) {
+        ASSERT_EQ(a.values[i], b.values[i]) << what << " value " << i;
+      }
+      ASSERT_EQ(original.Count(poly), loaded.Count(poly)) << what;
+    }
+  }
+
+  static storage::PointTable* raw_;
+  static std::shared_ptr<const storage::SortedDataset>* data_;
+  static std::vector<geo::Polygon>* polygons_;
+};
+
+storage::PointTable* BlockSetPersistTest::raw_ = nullptr;
+std::shared_ptr<const storage::SortedDataset>* BlockSetPersistTest::data_ =
+    nullptr;
+std::vector<geo::Polygon>* BlockSetPersistTest::polygons_ = nullptr;
+
+// --------------------------------------------------------------------------
+// Round trips
+// --------------------------------------------------------------------------
+
+TEST_F(BlockSetPersistTest, RoundTripBitIdenticalAcrossShardCounts) {
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{7}, size_t{16}}) {
+    const BlockSet set = BuildSet(k);
+    const BlockSet loaded = Deserialized(Serialized(set));
+    ASSERT_EQ(loaded.num_shards(), k);
+    EXPECT_EQ(loaded.level(), set.level());
+    EXPECT_EQ(loaded.align_level(), kLevel);
+    EXPECT_EQ(loaded.total_rows(), (*data_)->num_rows());
+    EXPECT_EQ(loaded.boundaries(), set.boundaries());
+    EXPECT_EQ(loaded.num_cells(), set.num_cells());
+    EXPECT_FALSE(loaded.dataset_attached());
+    ExpectBitIdenticalAnswers(loaded, set, "round trip");
+  }
+}
+
+TEST_F(BlockSetPersistTest, RoundTripWithEmptyShards) {
+  // Coarse alignment snaps several boundaries onto the same cell start,
+  // leaving later shards empty; the manifest must preserve them.
+  const storage::ShardedDataset sharded = Shard(6, 6);
+  size_t empty = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    if (sharded.shard(s).num_rows() == 0) ++empty;
+  }
+  ASSERT_GT(empty, 0u) << "expected coarse alignment to yield empty shards";
+  const BlockSet set = BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}});
+  const BlockSet loaded = Deserialized(Serialized(set));
+  ASSERT_EQ(loaded.num_shards(), set.num_shards());
+  for (size_t s = 0; s < loaded.num_shards(); ++s) {
+    EXPECT_EQ(loaded.shard(s).num_cells(), set.shard(s).num_cells());
+  }
+  ExpectBitIdenticalAnswers(loaded, set, "empty shards");
+}
+
+TEST_F(BlockSetPersistTest, RoundTripPreservesFilter) {
+  storage::Filter filter;
+  filter.Add({0, storage::CompareOp::kGe, 10.0});
+  filter.Add({2, storage::CompareOp::kLt, 4.0});
+  const BlockSet set = BuildSet(4, kLevel, filter);
+  const BlockSet loaded = Deserialized(Serialized(set));
+  for (size_t s = 0; s < loaded.num_shards(); ++s) {
+    const auto& predicates = loaded.shard(s).filter().predicates();
+    ASSERT_EQ(predicates.size(), 2u);
+    EXPECT_EQ(predicates[0].column, 0);
+    EXPECT_EQ(predicates[0].op, storage::CompareOp::kGe);
+    EXPECT_EQ(predicates[0].value, 10.0);
+    EXPECT_EQ(predicates[1].column, 2);
+    EXPECT_EQ(predicates[1].op, storage::CompareOp::kLt);
+    EXPECT_EQ(predicates[1].value, 4.0);
+  }
+  ExpectBitIdenticalAnswers(loaded, set, "filtered set");
+}
+
+TEST_F(BlockSetPersistTest, ReserializationIsByteIdentical) {
+  const BlockSet set = BuildSet(4);
+  const std::string first = Serialized(set);
+  const BlockSet loaded = Deserialized(first);
+  // Persisting is deterministic, so save -> load -> save reproduces the
+  // exact bytes — the strongest round-trip statement available.
+  EXPECT_EQ(Serialized(loaded), first);
+}
+
+TEST_F(BlockSetPersistTest, LoadedSetSupportsBatchAndCachePaths) {
+  // Each execution path must answer bit-identically to the same path on
+  // the pre-save set (batch-vs-sequential is only near-equal by contract,
+  // so compare like with like).
+  BlockSet set = BuildSet(4);
+  BlockSet loaded = Deserialized(Serialized(set));
+  const AggregateRequest req = Request();
+  const core::QueryBatch batch = core::QueryBatch::Of(*polygons_, &req);
+  const auto want_batch = set.ExecuteBatch(batch, nullptr);
+  const auto got_batch = loaded.ExecuteBatch(batch, nullptr);
+  set.EnableCache({});
+  loaded.EnableCache({});
+  for (size_t i = 0; i < polygons_->size(); ++i) {
+    ASSERT_EQ(got_batch[i].count, want_batch[i].count);
+    ASSERT_EQ(got_batch[i].values, want_batch[i].values);
+    const QueryResult want_cached = set.SelectCached((*polygons_)[i], req);
+    const QueryResult got_cached = loaded.SelectCached((*polygons_)[i], req);
+    ASSERT_EQ(got_cached.count, want_cached.count);
+    ASSERT_EQ(got_cached.values, want_cached.values);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Attach/detach state machine
+// --------------------------------------------------------------------------
+
+TEST_F(BlockSetPersistTest, DetachedRefinementThrowsUntilAttach) {
+  BlockSet loaded = Deserialized(Serialized(BuildSet(4)));
+  ASSERT_FALSE(loaded.dataset_attached());
+  // Coarsening works off the aggregates alone; refining needs base rows.
+  EXPECT_NO_THROW(loaded.shard(0).CoarsenTo(kLevel - 3));
+  EXPECT_THROW(loaded.shard(0).CoarsenTo(kLevel + 2), std::logic_error);
+
+  loaded.AttachDataset(*data_);
+  EXPECT_TRUE(loaded.dataset_attached());
+  const core::GeoBlock refined = loaded.shard(0).CoarsenTo(kLevel + 2);
+  EXPECT_EQ(refined.header().global.count,
+            loaded.shard(0).header().global.count);
+
+  loaded.DetachDataset();
+  EXPECT_FALSE(loaded.dataset_attached());
+  EXPECT_THROW(loaded.shard(0).CoarsenTo(kLevel + 2), std::logic_error);
+}
+
+TEST_F(BlockSetPersistTest, AttachedRefinementMatchesDirectBuild) {
+  const int fine = kLevel + 2;
+  BlockSet loaded = Deserialized(Serialized(BuildSet(4)));
+  loaded.AttachDataset(*data_);
+  const core::GeoBlock direct = core::GeoBlock::Build(
+      storage::DatasetView::Window(*data_, loaded.shard(1).dataset().offset(),
+                                   loaded.shard(1).dataset().offset() +
+                                       loaded.shard(1).dataset().num_rows()),
+      core::BlockOptions{fine, {}});
+  const core::GeoBlock refined = loaded.shard(1).CoarsenTo(fine);
+  EXPECT_EQ(refined.cells(), direct.cells());
+  EXPECT_EQ(refined.counts(), direct.counts());
+}
+
+TEST_F(BlockSetPersistTest, AttachValidatesDatasetAgainstManifest) {
+  BlockSet loaded = Deserialized(Serialized(BuildSet(4)));
+  // Null dataset.
+  EXPECT_THROW(loaded.AttachDataset(nullptr), std::invalid_argument);
+  // Wrong row count.
+  const auto truncated = std::make_shared<const storage::SortedDataset>(
+      (*data_)->Slice(0, (*data_)->num_rows() / 2));
+  EXPECT_THROW(loaded.AttachDataset(truncated), std::runtime_error);
+  // A different dataset with a different key distribution.
+  const storage::PointTable other_raw = workload::GenTaxi(30000, 99);
+  storage::ExtractOptions options;
+  options.clean_bounds = workload::NycBounds();
+  const auto other = std::make_shared<const storage::SortedDataset>(
+      storage::SortedDataset::Extract(other_raw, options));
+  EXPECT_THROW(loaded.AttachDataset(other), std::runtime_error);
+  // The original dataset attaches fine — and a second attach is an error.
+  loaded.AttachDataset(*data_);
+  EXPECT_THROW(loaded.AttachDataset(*data_), std::logic_error);
+  // A freshly built set is already attached.
+  BlockSet built = BuildSet(2);
+  EXPECT_THROW(built.AttachDataset(*data_), std::logic_error);
+}
+
+TEST_F(BlockSetPersistTest, EmptySetCannotBePersistedOrAttached) {
+  const BlockSet empty;
+  std::ostringstream out(std::ios::binary);
+  EXPECT_THROW(empty.WriteTo(out), std::logic_error);
+  BlockSet empty2;
+  EXPECT_THROW(empty2.AttachDataset(*data_), std::logic_error);
+}
+
+// --------------------------------------------------------------------------
+// Corruption: every malformed input throws, never UB
+// --------------------------------------------------------------------------
+
+TEST_F(BlockSetPersistTest, RejectsBadMagic) {
+  std::string bytes = Serialized(BuildSet(4));
+  bytes[0] ^= 0x5A;
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
+}
+
+TEST_F(BlockSetPersistTest, RejectsNonzeroFlags) {
+  // All flag bits are reserved; a reader that does not implement the
+  // capability a bit announces must reject, not ignore (docs/FORMAT.md).
+  std::string bytes = Serialized(BuildSet(4));
+  bytes[8] = 0x01;
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
+}
+
+TEST_F(BlockSetPersistTest, RejectsWrongVersion) {
+  std::string bytes = Serialized(BuildSet(4));
+  bytes[4] = 99;
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
+}
+
+TEST_F(BlockSetPersistTest, RejectsFlippedManifestChecksumByte) {
+  const BlockSet set = BuildSet(4);
+  std::string bytes = Serialized(set);
+  const size_t manifest_size = 44 + 44 * set.num_shards();
+  // Flip one byte of the stored manifest CRC.
+  bytes[manifest_size - 1] ^= 0x01;
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
+  // ...and one byte of a checksummed manifest field (a boundary key).
+  std::string bytes2 = Serialized(set);
+  bytes2[40] ^= 0x01;
+  EXPECT_THROW(Deserialized(bytes2), std::runtime_error);
+}
+
+TEST_F(BlockSetPersistTest, RejectsCorruptShardPayload) {
+  const BlockSet set = BuildSet(4);
+  std::string bytes = Serialized(set);
+  const size_t manifest_size = 44 + 44 * set.num_shards();
+  // Flip a byte in the middle of the payload area: the per-shard CRC check
+  // must catch it before the payload is parsed.
+  bytes[manifest_size + (bytes.size() - manifest_size) / 2] ^= 0x01;
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
+}
+
+TEST_F(BlockSetPersistTest, RejectsTruncation) {
+  const std::string bytes = Serialized(BuildSet(4));
+  // Truncations everywhere: inside the fixed prefix, inside the manifest
+  // arrays, at the payload boundary, and mid-payload.
+  for (const size_t keep :
+       {size_t{10}, size_t{40}, size_t{44 + 44 * 4 - 2}, size_t{44 + 44 * 4},
+        bytes.size() / 2, bytes.size() - 1}) {
+    ASSERT_LT(keep, bytes.size());
+    EXPECT_THROW(Deserialized(bytes.substr(0, keep)), std::runtime_error)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST_F(BlockSetPersistTest, RejectsImplausibleShardCount) {
+  std::string bytes = Serialized(BuildSet(4));
+  const uint64_t absurd = uint64_t{1} << 40;
+  std::memcpy(bytes.data() + 16, &absurd, 8);
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
+}
+
+TEST_F(BlockSetPersistTest, RejectsGarbage) {
+  std::istringstream garbage("definitely not a block set", std::ios::binary);
+  EXPECT_THROW(BlockSet::ReadFrom(garbage), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// The byte-level format contract (docs/FORMAT.md)
+// --------------------------------------------------------------------------
+
+TEST_F(BlockSetPersistTest, Crc32MatchesKnownAnswer) {
+  // CRC-32/ISO-HDLC check value (docs/FORMAT.md §Checksum).
+  EXPECT_EQ(core::serialize::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(core::serialize::Crc32(""), 0x00000000u);
+}
+
+TEST_F(BlockSetPersistTest, ManifestMatchesDocumentedOffsets) {
+  constexpr size_t kShards = 4;
+  const storage::ShardedDataset sharded = Shard(kShards);
+  const BlockSet set =
+      BlockSet::Build(sharded, BlockSetOptions{{kLevel, {}}});
+  const std::string bytes = Serialized(set);
+
+  const auto u32_at = [&](size_t offset) {
+    uint32_t v;
+    std::memcpy(&v, bytes.data() + offset, 4);
+    return v;
+  };
+  const auto i32_at = [&](size_t offset) {
+    int32_t v;
+    std::memcpy(&v, bytes.data() + offset, 4);
+    return v;
+  };
+  const auto u64_at = [&](size_t offset) {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + offset, 8);
+    return v;
+  };
+
+  // Fixed prefix, exactly as documented in docs/FORMAT.md.
+  EXPECT_EQ(u32_at(0), 0x54534247u);  // magic "GBST"
+  EXPECT_EQ(u32_at(4), 1u);           // format version
+  EXPECT_EQ(u32_at(8), 0u);           // flags (reserved)
+  EXPECT_EQ(i32_at(12), kLevel);      // align_level
+  EXPECT_EQ(u64_at(16), kShards);     // shard count
+  EXPECT_EQ(u64_at(24), (*data_)->num_rows());  // total rows
+
+  // Boundary array at offset 32: the partition's key boundaries verbatim.
+  size_t pos = 32;
+  ASSERT_EQ(sharded.boundaries().size(), kShards + 1);
+  for (size_t i = 0; i <= kShards; ++i, pos += 8) {
+    EXPECT_EQ(u64_at(pos), sharded.boundaries()[i]) << "boundary " << i;
+  }
+  // Shard windows: each view's (offset, num_rows).
+  for (size_t i = 0; i < kShards; ++i, pos += 16) {
+    EXPECT_EQ(u64_at(pos), sharded.shard(i).offset()) << "window " << i;
+    EXPECT_EQ(u64_at(pos + 8), sharded.shard(i).num_rows()) << "window " << i;
+  }
+  // Payload table: contiguous (byte_offset, byte_size) pairs that tile the
+  // payload area exactly.
+  const size_t manifest_size = 44 + 44 * kShards;
+  uint64_t expected_offset = 0;
+  std::vector<uint64_t> sizes(kShards);
+  for (size_t i = 0; i < kShards; ++i, pos += 16) {
+    EXPECT_EQ(u64_at(pos), expected_offset) << "payload offset " << i;
+    sizes[i] = u64_at(pos + 8);
+    expected_offset += sizes[i];
+  }
+  EXPECT_EQ(manifest_size + expected_offset, bytes.size());
+  // Per-payload CRC-32s, then the manifest CRC-32 over everything before it.
+  uint64_t payload_start = manifest_size;
+  for (size_t i = 0; i < kShards; ++i, pos += 4) {
+    EXPECT_EQ(u32_at(pos),
+              core::serialize::Crc32(
+                  std::string_view(bytes).substr(payload_start, sizes[i])))
+        << "payload crc " << i;
+    payload_start += sizes[i];
+  }
+  ASSERT_EQ(pos, manifest_size - 4);
+  EXPECT_EQ(u32_at(pos), core::serialize::Crc32(
+                             std::string_view(bytes).substr(0, pos)));
+  // Each payload opens with the GeoBlock magic and current version.
+  EXPECT_EQ(u32_at(manifest_size), 0x4B4C4247u);  // "GBLK"
+  EXPECT_EQ(u32_at(manifest_size + 4), 2u);
+}
+
+}  // namespace
+}  // namespace geoblocks

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "core/aggregate_trie.h"
 #include "core/geoblock.h"
@@ -131,6 +133,88 @@ TEST_F(SerializeTest, TrieRoundTrip) {
       ASSERT_EQ(acc_a.Finish().values, acc_b.Finish().values);
     }
   }
+}
+
+TEST_F(SerializeTest, FilterSurvivesRoundTrip) {
+  // Payload v2 (docs/FORMAT.md) appends the build filter so refinement of a
+  // re-attached block aggregates exactly the rows the original build did.
+  storage::Filter filter;
+  filter.Add({1, storage::CompareOp::kGt, 2.5});
+  const GeoBlock block = GeoBlock::Build(*data_, BlockOptions{15, filter});
+  std::stringstream stream;
+  block.WriteTo(stream);
+  const GeoBlock loaded = GeoBlock::ReadFrom(stream);
+  ASSERT_EQ(loaded.filter().predicates().size(), 1u);
+  EXPECT_EQ(loaded.filter().predicates()[0].column, 1);
+  EXPECT_EQ(loaded.filter().predicates()[0].op, storage::CompareOp::kGt);
+  EXPECT_EQ(loaded.filter().predicates()[0].value, 2.5);
+  EXPECT_EQ(loaded.header().global.count, block.header().global.count);
+}
+
+TEST_F(SerializeTest, ReadsVersion1PayloadsWithoutFilter) {
+  // A v1 payload is exactly a v2 payload minus the trailing filter field
+  // (the filter was appended, docs/FORMAT.md §Versioning). Down-convert a
+  // written stream and check it still loads, with an empty filter.
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  std::string bytes = stream.str();
+  const uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, 4);
+  bytes.resize(bytes.size() - sizeof(uint64_t));  // drop the u64 zero-
+                                                  // predicate filter field
+  std::stringstream v1_stream(bytes);
+  const GeoBlock loaded = GeoBlock::ReadFrom(v1_stream);
+  EXPECT_TRUE(loaded.filter().IsTrue());
+  EXPECT_EQ(loaded.num_cells(), block_->num_cells());
+  EXPECT_EQ(loaded.header().global.count, block_->header().global.count);
+}
+
+TEST_F(SerializeTest, RejectsFilterColumnOutOfRange) {
+  // The filter field closes the payload; the last predicate record is the
+  // final 16 bytes (i32 column, u32 op, f64 value). A column index beyond
+  // the schema must be rejected at read time, or refinement would index
+  // past the column arrays.
+  storage::Filter filter;
+  filter.Add({0, storage::CompareOp::kGe, 1.0});
+  const GeoBlock block = GeoBlock::Build(*data_, BlockOptions{15, filter});
+  std::stringstream stream;
+  block.WriteTo(stream);
+  std::string bytes = stream.str();
+  const int32_t bogus = 500;
+  std::memcpy(bytes.data() + bytes.size() - 16, &bogus, 4);
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(GeoBlock::ReadFrom(corrupt), std::runtime_error);
+  const int32_t negative = -1;
+  std::memcpy(bytes.data() + bytes.size() - 16, &negative, 4);
+  std::stringstream corrupt2(bytes);
+  EXPECT_THROW(GeoBlock::ReadFrom(corrupt2), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsFutureVersion) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  std::string bytes = stream.str();
+  const uint32_t future = 99;
+  std::memcpy(bytes.data() + 4, &future, 4);
+  std::stringstream future_stream(bytes);
+  EXPECT_THROW(GeoBlock::ReadFrom(future_stream), std::runtime_error);
+}
+
+TEST_F(SerializeTest, DeserializedBlockRefinesAfterAttach) {
+  std::stringstream stream;
+  block_->WriteTo(stream);
+  GeoBlock loaded = GeoBlock::ReadFrom(stream);
+  EXPECT_THROW(loaded.CoarsenTo(block_->level() + 1), std::logic_error);
+  loaded.AttachData(storage::DatasetView::Unowned(*data_));
+  const GeoBlock refined = loaded.CoarsenTo(block_->level() + 1);
+  const GeoBlock direct =
+      GeoBlock::Build(*data_, BlockOptions{block_->level() + 1, {}});
+  EXPECT_EQ(refined.cells(), direct.cells());
+  // Attach is a one-shot transition; a second attach must be rejected.
+  EXPECT_THROW(loaded.AttachData(storage::DatasetView::Unowned(*data_)),
+               std::logic_error);
+  loaded.DetachData();
+  EXPECT_THROW(loaded.CoarsenTo(block_->level() + 1), std::logic_error);
 }
 
 TEST_F(SerializeTest, RejectsGarbage) {
