@@ -60,14 +60,16 @@ void Run() {
     const double skew_hits = qc.counters().HitRate();
     if (sink < 0) std::printf("impossible\n");
 
-    // Average trie lookup latency over all covering cells.
+    // Average trie lookup latency over all covering cells, probing the
+    // published immutable snapshot the lock-free read path uses.
+    const auto trie = qc.trie_snapshot();
     size_t lookups = 0;
     bench_util::Timer lookup_timer;
     uint64_t probe_sink = 0;
     for (const auto& coverings : {&base_coverings, &skew_coverings}) {
       for (const auto& covering : *coverings) {
         for (const cell::CellId& c : covering) {
-          probe_sink += qc.trie().Lookup(c).node_exists ? 1 : 0;
+          probe_sink += trie->Lookup(c).node_exists ? 1 : 0;
           ++lookups;
         }
       }
@@ -81,7 +83,7 @@ void Run() {
                   bench_util::TablePrinter::Fmt(skew_ms),
                   bench_util::TablePrinter::Fmt(100.0 * base_hits, 1) + "%",
                   bench_util::TablePrinter::Fmt(100.0 * skew_hits, 1) + "%",
-                  std::to_string(qc.trie().num_cached()),
+                  std::to_string(trie->num_cached()),
                   bench_util::TablePrinter::Fmt(lookup_ns, 1)});
   }
   table.Print();

@@ -130,9 +130,10 @@ void BM_TrieLookup(benchmark::State& state) {
     return q;
   }();
   const auto covering = Block().Cover(env.neighborhoods[11]);
+  const auto trie = qc->trie_snapshot();
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(qc->trie().Lookup(covering[i % covering.size()]));
+    benchmark::DoNotOptimize(trie->Lookup(covering[i % covering.size()]));
     ++i;
   }
 }

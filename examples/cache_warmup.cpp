@@ -71,7 +71,7 @@ int main() {
     const double block_us = timer.ElapsedUs();
     if (sink < 0) return 1;
     std::printf("%-6d %14.0f %14.0f %9.0f%% %10zu\n", round, qc_us, block_us,
-                100.0 * qc.counters().HitRate(), qc.trie().num_cached());
+                100.0 * qc.counters().HitRate(), qc.trie_snapshot()->num_cached());
     qc.RebuildCache();  // adapt to the statistics gathered so far
   }
   std::printf("\nafter warm-up the hot neighborhoods are answered from the "

@@ -114,10 +114,17 @@ std::vector<CoveringCell> GetCovering(const UnitRegion& region,
 std::vector<CellId> GetCoveringCells(const UnitRegion& region,
                                      const CovererOptions& options) {
   std::vector<CellId> cells;
-  for (const CoveringCell& cc : GetCovering(region, options)) {
-    cells.push_back(cc.cell);
-  }
+  GetCoveringCellsInto(region, options, &cells);
   return cells;
+}
+
+void GetCoveringCellsInto(const UnitRegion& region,
+                          const CovererOptions& options,
+                          std::vector<CellId>* out) {
+  out->clear();
+  for (const CoveringCell& cc : GetCovering(region, options)) {
+    out->push_back(cc.cell);
+  }
 }
 
 geo::Rect GetInteriorRect(const geo::Polygon& polygon) {

@@ -97,6 +97,13 @@ std::vector<CoveringCell> GetCovering(const UnitRegion& region,
 std::vector<CellId> GetCoveringCells(const UnitRegion& region,
                                      const CovererOptions& options);
 
+/// Allocation-reusing variant: clears and refills `*out` with the bare
+/// cell ids of the covering, keeping the vector's capacity so a scratch
+/// buffer amortizes the result allocation away on hot query paths.
+void GetCoveringCellsInto(const UnitRegion& region,
+                          const CovererOptions& options,
+                          std::vector<CellId>* out);
+
 /// An axis-aligned rectangle contained in the polygon (the "interior
 /// rectangle" used to query the PH-tree and aR-tree baselines, Section 4.1).
 /// Found by shrinking the bounding box towards an interior anchor point;

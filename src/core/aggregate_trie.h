@@ -26,6 +26,19 @@ namespace geoblocks::core {
 ///
 /// A cached aggregate is `8 + 24 * num_columns` bytes: a uint64 tuple count
 /// followed by (min, max, sum) doubles per column.
+///
+/// ## Const-probe contract (frozen tries)
+///
+/// The probe API (`Lookup`, `DirectChildren`, `Combine`, `IsCached`) never
+/// mutates the trie, so any number of threads may probe one instance
+/// concurrently *as long as no mutator runs*. The mutators are `Build`,
+/// `ApplyTupleUpdate`, and `ReadFrom` — none of them is safe against
+/// concurrent probes on the *same* instance. The lock-free cached read
+/// path (GeoBlockQC) therefore treats every trie as frozen once published:
+/// mutation happens only on a private instance (a fresh build or a clone),
+/// which is then swapped in behind an atomic `shared_ptr` — readers always
+/// probe an immutable snapshot. `Combine`'s internal scratch is
+/// thread-local, so concurrent probes of a frozen trie are race-free.
 class AggregateTrie {
  public:
   struct BuildResult {

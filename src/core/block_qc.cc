@@ -1,9 +1,20 @@
 #include "core/block_qc.h"
 
+#include "util/thread_pool.h"
+
 namespace geoblocks::core {
 
+GeoBlockQC::~GeoBlockQC() {
+  // Neutralize rebuild tasks still queued on a pool: once `alive` drops
+  // under the gate lock, a queued task locks, sees dead, and skips. A task
+  // already holding the lock keeps `this` valid, because this destructor
+  // cannot pass the lock_guard until the task is done.
+  std::lock_guard<std::mutex> lock(gate_->mu);
+  gate_->alive = false;
+}
+
 QueryResult GeoBlockQC::Select(const geo::Polygon& polygon,
-                               const AggregateRequest& request) {
+                               const AggregateRequest& request) const {
   const std::vector<cell::CellId> covering = block_->Cover(polygon);
   return SelectCovering(covering, request);
 }
@@ -14,82 +25,134 @@ void GeoBlockQC::SelectBase(cell::CellId qcell, Accumulator* acc,
 }
 
 QueryResult GeoBlockQC::SelectCovering(
-    std::span<const cell::CellId> covering, const AggregateRequest& request) {
+    std::span<const cell::CellId> covering,
+    const AggregateRequest& request) const {
   Accumulator acc(&request);
   CombineCovering(covering, &acc);
   return acc.Finish();
 }
 
 void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
-                                 Accumulator* acc_out) {
-  Accumulator& acc = *acc_out;
-  size_t last_idx = GeoBlock::kNoLastAgg;
-  for (cell::CellId qcell : covering) {
-    if (qcell.level() > block_->level()) {
-      qcell = qcell.Parent(block_->level());
-    }
-    if (!block_->MayOverlap(qcell)) continue;
-    // Track workload statistics for every query cell that intersects the
-    // GeoBlock (Section 3.6).
-    stats_.Record(qcell);
+                                 Accumulator* acc_out) const {
+  {
+    // One epoch guard per query: the whole covering is answered from a
+    // single frozen trie, which a concurrent rebuild cannot retire until
+    // this guard is released.
+    const util::SnapshotCell<AggregateTrie>::ReadGuard trie(trie_);
+    Accumulator& acc = *acc_out;
+    size_t last_idx = GeoBlock::kNoLastAgg;
+    for (cell::CellId qcell : covering) {
+      if (qcell.level() > block_->level()) {
+        qcell = qcell.Parent(block_->level());
+      }
+      if (!block_->MayOverlap(qcell)) continue;
+      // Track workload statistics for every query cell that intersects the
+      // GeoBlock (Section 3.6). A single relaxed atomic increment.
+      stats_.Record(qcell);
 
-    // Adapted query algorithm (Figure 8): probe the cache first and resort
-    // to the base algorithm only when necessary.
-    ++counters_.probes;
-    const AggregateTrie::Probe probe = trie_.Lookup(qcell);
-    if (!probe.node_exists) {
-      ++counters_.misses;
-      SelectBase(qcell, &acc, &last_idx);
-      continue;
-    }
-    if (probe.agg != nullptr) {
-      ++counters_.full_hits;
-      trie_.Combine(probe.agg, &acc);
-      continue;
-    }
-    // Node exists but the cell itself is not cached: at least one child at
-    // some level resides in the cache. Use cached *direct* children and the
-    // base algorithm for the rest.
-    const auto children = trie_.DirectChildren(probe.node_offset);
-    bool any_cached = false;
-    for (const auto& info : children) {
-      if (info.agg != nullptr) any_cached = true;
-    }
-    if (!any_cached || qcell.level() >= block_->level()) {
-      ++counters_.misses;
-      SelectBase(qcell, &acc, &last_idx);
-      continue;
-    }
-    ++counters_.partial_hits;
-    size_t child_last_idx = GeoBlock::kNoLastAgg;
-    for (int k = 0; k < 4; ++k) {
-      const cell::CellId child = qcell.Child(k);
-      if (children[k].agg != nullptr) {
-        trie_.Combine(children[k].agg, &acc);
-      } else {
-        SelectBase(child, &acc, &child_last_idx);
+      // Adapted query algorithm (Figure 8): probe the cache first and
+      // resort to the base algorithm only when necessary.
+      counters_.AddProbe();
+      const AggregateTrie::Probe probe = trie->Lookup(qcell);
+      if (!probe.node_exists) {
+        counters_.AddMiss();
+        SelectBase(qcell, &acc, &last_idx);
+        continue;
+      }
+      if (probe.agg != nullptr) {
+        counters_.AddFullHit();
+        trie->Combine(probe.agg, &acc);
+        continue;
+      }
+      // Node exists but the cell itself is not cached: at least one child
+      // at some level resides in the cache. Use cached *direct* children
+      // and the base algorithm for the rest.
+      const auto children = trie->DirectChildren(probe.node_offset);
+      bool any_cached = false;
+      for (const auto& info : children) {
+        if (info.agg != nullptr) any_cached = true;
+      }
+      if (!any_cached || qcell.level() >= block_->level()) {
+        counters_.AddMiss();
+        SelectBase(qcell, &acc, &last_idx);
+        continue;
+      }
+      counters_.AddPartialHit();
+      size_t child_last_idx = GeoBlock::kNoLastAgg;
+      for (int k = 0; k < 4; ++k) {
+        const cell::CellId child = qcell.Child(k);
+        if (children[k].agg != nullptr) {
+          trie->Combine(children[k].agg, &acc);
+        } else {
+          SelectBase(child, &acc, &child_last_idx);
+        }
       }
     }
   }
+  // Outside the guard: an inline rebuild must not wait for its own
+  // reader lease to drain.
+  MaybeRebuildAfterQuery();
+}
 
-  if (options_.rebuild_interval > 0 &&
-      ++queries_since_rebuild_ >= options_.rebuild_interval) {
+void GeoBlockQC::MaybeRebuildAfterQuery() const {
+  const size_t interval = options_.rebuild_interval;
+  if (interval == 0) return;
+  const uint64_t n =
+      queries_since_rebuild_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < interval) return;
+  // Exactly one caller per interval crossing wins the reset CAS and owns
+  // the rebuild; everyone else keeps serving queries on the old snapshot.
+  uint64_t expected = n;
+  if (!queries_since_rebuild_.compare_exchange_strong(
+          expected, 0, std::memory_order_relaxed)) {
+    return;
+  }
+  if (options_.rebuild_pool != nullptr) {
+    // Background hook: hand the rebuild to the pool so no query thread
+    // pays the trie construction. At most one rebuild is in flight; if
+    // one is already queued or running, this interval crossing is simply
+    // absorbed by it. The task holds the gate, not a bare `this`, so a
+    // GeoBlockQC destroyed with rebuilds still queued stays safe.
+    if (gate_->inflight.exchange(true, std::memory_order_acq_rel)) return;
+    options_.rebuild_pool->Submit([this, gate = gate_] {
+      {
+        std::lock_guard<std::mutex> lock(gate->mu);
+        if (gate->alive) RebuildCache();
+      }
+      gate->inflight.store(false, std::memory_order_release);
+    });
+  } else {
     RebuildCache();
   }
 }
 
-void GeoBlockQC::RebuildCache() {
-  queries_since_rebuild_ = 0;
-  AggregateTrie fresh;
-  // Reuse payloads of cells the current trie already caches; only newly
-  // promoted cells are aggregated from the block.
-  fresh.Build(*block_, stats_.RankedCells(), CacheBudgetBytes(), &trie_);
-  trie_ = std::move(fresh);
+void GeoBlockQC::RebuildCache() const {
+  // Writers serialize among themselves; readers never touch this mutex.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  queries_since_rebuild_.store(0, std::memory_order_relaxed);
+  // Only the (serialized) writer retires snapshots, so peeking the raw
+  // previous trie is safe here.
+  const AggregateTrie* prev = trie_.WriterPeek();
+  // Build the successor off the read path: a point-in-time-ish stats
+  // snapshot ranks the cells; payloads cached by the outgoing snapshot are
+  // copied instead of recomputed.
+  auto fresh = std::make_shared<AggregateTrie>();
+  fresh->Build(*block_, stats_.RankedCells(), CacheBudgetBytes(), prev);
+  // Epoch swap: one pointer swap publishes the new snapshot; in-flight
+  // readers finish on the old one before it is retired.
+  trie_.Publish(std::move(fresh));
 }
 
 void GeoBlockQC::ApplyBatchUpdateToCache(
     std::span<const GeoBlock::UpdateTuple> batch,
     const GeoBlock::UpdateResult& block_result) {
+  // Nothing applied (every tuple rejected, or an empty batch): skip the
+  // arena clone, epoch flip, and grace period a republish would cost.
+  if (block_result.rejected.size() >= batch.size()) return;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Copy-on-write: patch a private clone, then publish it atomically so
+  // readers see the whole batch or none of it.
+  auto patched = std::make_shared<AggregateTrie>(*trie_.WriterPeek());
   size_t next_rejected = 0;
   for (size_t b = 0; b < batch.size(); ++b) {
     // Skip tuples the block rejected (new regions require a rebuild, which
@@ -101,8 +164,9 @@ void GeoBlockQC::ApplyBatchUpdateToCache(
     }
     const cell::CellId leaf = cell::CellId::FromPoint(
         block_->projection().ToUnit(batch[b].location));
-    trie_.ApplyTupleUpdate(leaf, batch[b].values.data());
+    patched->ApplyTupleUpdate(leaf, batch[b].values.data());
   }
+  trie_.Publish(std::move(patched));
 }
 
 }  // namespace geoblocks::core

@@ -1,31 +1,117 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 
 #include "core/aggregate_trie.h"
 #include "core/geoblock.h"
 #include "core/query_stats.h"
+#include "util/snapshot_cell.h"
+
+namespace geoblocks::util {
+class ThreadPool;
+}  // namespace geoblocks::util
 
 namespace geoblocks::core {
 
 /// Counters describing how the cache served a sequence of queries
-/// (Figure 18 reports the hit rate).
+/// (Figure 18 reports the hit rate). A plain value snapshot — the live
+/// counters are the relaxed atomics of CacheCounterPlane.
 struct CacheCounters {
   uint64_t probes = 0;        ///< covering cells probed against the trie
   uint64_t full_hits = 0;     ///< cells answered entirely from the cache
   uint64_t partial_hits = 0;  ///< cells answered from cached direct children
   uint64_t misses = 0;        ///< cells answered by the base algorithm
 
+  /// @return full_hits / probes (0 when nothing was probed).
   double HitRate() const {
     return probes == 0 ? 0.0 : static_cast<double>(full_hits) / probes;
   }
+};
+
+/// The live cache counters: one relaxed atomic per field, so the read path
+/// bumps them with plain `fetch_add`s — no locks, no contention beyond the
+/// cache line. `Snapshot` merges them into a CacheCounters value that is
+/// *point-in-time-ish*: each field is internally exact (relaxed increments
+/// never lose updates) and monotone between resets, but the four fields
+/// are read one after another, so a snapshot taken mid-query may be off by
+/// the increments that landed between the loads (e.g. probes one ahead of
+/// full_hits + partial_hits + misses). Once queries quiesce, the identity
+/// probes == full_hits + partial_hits + misses is exact — provided no
+/// Reset raced a still-in-flight query (a reset landing mid-query zeroes
+/// some of that query's increments but not others, skewing the identity
+/// until the next reset).
+class CacheCounterPlane {
+ public:
+  /// Relaxed-increment entry points used by the lock-free read path.
+  void AddProbe() { probes_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFullHit() { full_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddPartialHit() {
+    partial_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// @return A point-in-time-ish value snapshot (see class comment).
+  CacheCounters Snapshot() const {
+    CacheCounters c;
+    c.probes = probes_.load(std::memory_order_relaxed);
+    c.full_hits = full_hits_.load(std::memory_order_relaxed);
+    c.partial_hits = partial_hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// Zeroes every counter. Safe concurrently with readers and recorders;
+  /// increments racing with the reset may land before or after it.
+  void Reset() {
+    probes_.store(0, std::memory_order_relaxed);
+    full_hits_.store(0, std::memory_order_relaxed);
+    partial_hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> full_hits_{0};
+  std::atomic<uint64_t> partial_hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 /// GeoBlocks with query caching ("BlockQC" in the evaluation): wraps a
 /// GeoBlock with workload statistics and an AggregateTrie, and runs the
 /// adapted SELECT algorithm of Figure 8. COUNT queries bypass the cache, as
 /// their runtime is mostly independent of the cell level (Section 3.6).
+///
+/// ## Concurrency model (lock-free cached reads)
+///
+/// The cache is split into two planes so the hot path never takes a lock:
+///
+/// - **Snapshot plane.** The AggregateTrie is immutable once built and is
+///   published through a util::SnapshotCell (an RCU-style epoch pointer;
+///   see that header for why `std::atomic<std::shared_ptr>` is not used —
+///   libstdc++'s implementation is not data-race-free). A reader enters an
+///   epoch guard once per query and probes the frozen trie; a rebuild
+///   constructs a *fresh* trie off the read path and installs it with one
+///   pointer swap, retiring the old snapshot only after in-flight readers
+///   drain.
+/// - **Stats plane.** QueryStats and CacheCounterPlane are relaxed-atomic
+///   tables: `Record` and the counter bumps are single atomic increments
+///   with no allocation.
+///
+/// `Select`/`SelectCovering`/`CombineCovering`/`Count` are therefore
+/// `const` and safe to call from any number of threads concurrently, with
+/// results bit-identical to a mutex-guarded execution of the same snapshot
+/// sequence. Writers (`RebuildCache`, `ApplyBatchUpdateToCache`) serialize
+/// among themselves on an internal mutex that readers never touch.
+///
+/// What is and is not linearizable: each *query* sees exactly one trie
+/// snapshot, so a single answer is always internally consistent; across
+/// queries the snapshot may advance at any point. Counters and stats are
+/// exact but only point-in-time-ish when observed mid-flight (see
+/// CacheCounterPlane).
 class GeoBlockQC {
  public:
   struct Options {
@@ -35,57 +121,144 @@ class GeoBlockQC {
     /// Rebuild the trie from current statistics every this many SELECT
     /// queries; 0 disables automatic rebuilds (use RebuildCache()).
     size_t rebuild_interval = 256;
+    /// Slot capacity of the lock-free stats table (see QueryStats).
+    size_t stats_capacity = QueryStats::kDefaultCapacity;
+    /// When set, interval-triggered rebuilds are submitted to this pool
+    /// instead of running inline on the query thread that won the trigger
+    /// CAS — queries never pay the rebuild latency. The pool must outlive
+    /// the GeoBlockQC. Destroying the GeoBlockQC while rebuilds are queued
+    /// is safe (the tasks turn into no-ops via a shared gate); use
+    /// ThreadPool::WaitIdle when a test or shutdown path wants pending
+    /// rebuilds to have actually published — and always before mutating
+    /// the block (see ApplyBatchUpdateToCache's update contract: a queued
+    /// rebuild reads the block and must not race a block update).
+    util::ThreadPool* rebuild_pool = nullptr;
   };
 
+  /// @param block   The block to cache (borrowed; must outlive the QC).
+  /// @param options Cache configuration.
   GeoBlockQC(const GeoBlock* block, const Options& options)
-      : block_(block), options_(options) {}
+      : block_(block),
+        options_(options),
+        stats_(options.stats_capacity),
+        trie_(std::make_shared<AggregateTrie>()) {}
 
+  // The cache planes are atomics and a slot table: pin the address.
+  GeoBlockQC(const GeoBlockQC&) = delete;
+  GeoBlockQC& operator=(const GeoBlockQC&) = delete;
+
+  /// Marks the rebuild gate dead so background rebuilds still queued on a
+  /// pool skip instead of touching freed memory; blocks until a rebuild
+  /// that is already running has finished publishing.
+  ~GeoBlockQC();
+
+  /// @return The wrapped block.
   const GeoBlock& block() const { return *block_; }
-  const AggregateTrie& trie() const { return trie_; }
+
+  /// The currently published cache snapshot. The returned trie is frozen:
+  /// it will never change, and it stays valid as long as the caller holds
+  /// the pointer, even across concurrent rebuilds (holding it never blocks
+  /// a rebuild; it only keeps the memory alive).
+  ///
+  /// @return The current immutable trie snapshot (never null).
+  std::shared_ptr<const AggregateTrie> trie_snapshot() const {
+    return trie_.SnapshotShared();
+  }
+
+  /// @return The lock-free workload statistics table.
   const QueryStats& stats() const { return stats_; }
-  const CacheCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = CacheCounters{}; }
+
+  /// @return A point-in-time-ish snapshot of the cache counters (exact
+  ///     after quiescing; see CacheCounterPlane).
+  CacheCounters counters() const { return counters_.Snapshot(); }
+
+  /// Zeroes the cache counters (safe concurrently with readers).
+  void ResetCounters() const { counters_.Reset(); }
 
   /// Adapted SELECT query: probes the query cache per covering cell and
-  /// falls back to the base algorithm only when necessary.
+  /// falls back to the base algorithm only when necessary. Lock-free and
+  /// thread-safe (see the class concurrency model).
+  ///
+  /// @param polygon Query polygon.
+  /// @param request Aggregates to extract.
+  /// @return Same result the base block would produce (bit-identical for
+  ///     a fixed snapshot; last-ulp FP differences across snapshots, since
+  ///     cached cells fold pre-merged sums).
   QueryResult Select(const geo::Polygon& polygon,
-                     const AggregateRequest& request);
+                     const AggregateRequest& request) const;
+  /// SELECT over a pre-computed covering (sorted, disjoint cells).
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param request  Aggregates to extract.
+  /// @return One value per requested aggregate plus the tuple count.
   QueryResult SelectCovering(std::span<const cell::CellId> covering,
-                             const AggregateRequest& request);
+                             const AggregateRequest& request) const;
 
   /// Core of the adapted SELECT: combines the covering into an external
   /// accumulator instead of finishing a result. Lets a sharded engine fold
-  /// several cached blocks into one query answer (BlockSet).
+  /// several cached blocks into one query answer (BlockSet). Loads the
+  /// trie snapshot exactly once, so one call is internally consistent.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param acc      Accumulator the aggregates are folded into.
   void CombineCovering(std::span<const cell::CellId> covering,
-                       Accumulator* acc);
+                       Accumulator* acc) const;
 
   /// COUNT uses the unmodified base algorithm (no noticeable speedup is
-  /// expected from caching, Section 3.6).
+  /// expected from caching, Section 3.6). Lock-free: it touches neither
+  /// the trie nor the stats plane.
+  ///
+  /// @param polygon Query polygon.
+  /// @return Number of tuples in covered cells.
   uint64_t Count(const geo::Polygon& polygon) const {
     return block_->Count(polygon);
   }
 
-  /// Ranks all recorded query cells and refills the AggregateTrie under the
-  /// configured budget.
-  void RebuildCache();
+  /// Ranks all recorded query cells and publishes a freshly built
+  /// AggregateTrie under the configured budget: takes a stats snapshot,
+  /// builds the trie off the read path (reusing payloads of cells the
+  /// outgoing snapshot already caches), and installs it with one atomic
+  /// pointer swap. Readers are never blocked; concurrent writers
+  /// serialize on an internal mutex. `const` because a rebuild never
+  /// changes query answers — the whole cache is logically-const metadata.
+  void RebuildCache() const;
 
   /// Update propagation for the adaptive version (Section 5): after tuples
   /// have been applied to the (externally owned, mutable) GeoBlock with
   /// GeoBlock::ApplyBatchUpdate, mirror the *applied* tuples into the
   /// cached trie aggregates so cache answers stay identical to block
   /// answers. Pass the same batch and the block's UpdateResult.
+  ///
+  /// Published copy-on-write: the current snapshot is cloned, patched, and
+  /// swapped in, so concurrent readers see either the pre-batch or the
+  /// post-batch cache atomically — never a half-applied one.
+  ///
+  /// Update contract: the GeoBlock mutates in place (Section 5), so the
+  /// whole update sequence — quiesce queries, drain a configured
+  /// rebuild_pool (ThreadPool::WaitIdle), GeoBlock::ApplyBatchUpdate,
+  /// then this call — must be externally serialized against readers *and*
+  /// rebuilds. A rebuild running between the block update and this call
+  /// would bake the batch into the fresh trie and this call would then
+  /// apply it a second time; a rebuild running during the block update
+  /// would read torn aggregates.
+  ///
+  /// @param batch        The arriving tuples.
+  /// @param block_result The block's UpdateResult for the same batch.
   void ApplyBatchUpdateToCache(
       std::span<const GeoBlock::UpdateTuple> batch,
       const GeoBlock::UpdateResult& block_result);
 
   /// Cache budget in bytes implied by the threshold.
+  ///
+  /// @return Byte budget for the trie arena.
   size_t CacheBudgetBytes() const {
     return static_cast<size_t>(options_.threshold *
                                static_cast<double>(block_->CellAggregateBytes()));
   }
 
+  /// @return Block bytes plus the published snapshot's trie bytes.
   size_t MemoryBytes() const {
-    return block_->MemoryBytes() + trie_.MemoryBytes();
+    return block_->MemoryBytes() + trie_snapshot()->MemoryBytes();
   }
 
  private:
@@ -93,12 +266,36 @@ class GeoBlockQC {
   void SelectBase(cell::CellId qcell, Accumulator* acc,
                   size_t* last_idx) const;
 
+  /// Interval trigger: bumps the per-query epoch counter and, when it
+  /// crosses rebuild_interval, lets exactly one caller win the reset CAS
+  /// and run (or schedule) the rebuild.
+  void MaybeRebuildAfterQuery() const;
+
+  /// Lifetime handshake between the GeoBlockQC and rebuild tasks queued on
+  /// a pool: a task locks the gate, and runs only while `alive`. The
+  /// destructor flips `alive` under the same lock, so it both waits out a
+  /// rebuild in flight and neutralizes every task still queued (the gate
+  /// outlives the QC through the tasks' shared_ptr copies).
+  struct RebuildGate {
+    std::mutex mu;
+    bool alive = true;
+    std::atomic<bool> inflight{false};
+  };
+
   const GeoBlock* block_;
   Options options_;
-  QueryStats stats_;
-  AggregateTrie trie_;
-  CacheCounters counters_;
-  size_t queries_since_rebuild_ = 0;
+
+  // The stats plane (relaxed atomics) and the snapshot plane (epoch-swapped
+  // pointer) are mutated from `const` readers by design: they are cache
+  // metadata that never changes a query answer, hence `mutable`.
+  mutable QueryStats stats_;
+  mutable CacheCounterPlane counters_;
+  mutable util::SnapshotCell<AggregateTrie> trie_;
+  mutable std::atomic<uint64_t> queries_since_rebuild_{0};
+  std::shared_ptr<RebuildGate> gate_ = std::make_shared<RebuildGate>();
+  /// Writer-side only (rebuilds and update propagation); the read path
+  /// never acquires it.
+  mutable std::mutex writer_mu_;
 };
 
 }  // namespace geoblocks::core

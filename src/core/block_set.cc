@@ -78,10 +78,23 @@ std::vector<cell::CellId> BlockSet::Cover(const geo::Polygon& polygon) const {
   return CoverPolygon(projection_, level_, polygon);
 }
 
+void BlockSet::CoverInto(const geo::Polygon& polygon,
+                         std::vector<cell::CellId>* out) const {
+  CoverPolygonInto(projection_, level_, polygon, out);
+}
+
 std::vector<size_t> BlockSet::OverlappingShards(
     std::span<const cell::CellId> covering) const {
   std::vector<size_t> result;
-  if (covering.empty()) return result;
+  OverlappingShards(covering, &result);
+  return result;
+}
+
+void BlockSet::OverlappingShards(std::span<const cell::CellId> covering,
+                                 std::vector<size_t>* out) const {
+  std::vector<size_t>& result = *out;
+  result.clear();
+  if (covering.empty()) return;
   result.reserve(blocks_.size());
   for (size_t s = 0; s < blocks_.size(); ++s) {
     const GeoBlock& b = blocks_[s];
@@ -100,19 +113,21 @@ std::vector<size_t> BlockSet::OverlappingShards(
     if (it == covering.end()) continue;
     if (it->RangeMin().id() <= max_cell) result.push_back(s);
   }
-  return result;
 }
 
 QueryResult BlockSet::Select(const geo::Polygon& polygon,
                              const AggregateRequest& request) const {
-  const std::vector<cell::CellId> covering = Cover(polygon);
+  thread_local std::vector<cell::CellId> covering;
+  CoverInto(polygon, &covering);
   return SelectCovering(covering, request);
 }
 
 QueryResult BlockSet::SelectCovering(std::span<const cell::CellId> covering,
                                      const AggregateRequest& request) const {
+  thread_local std::vector<size_t> shards;
+  OverlappingShards(covering, &shards);
   Accumulator acc(&request);
-  for (const size_t s : OverlappingShards(covering)) {
+  for (const size_t s : shards) {
     const GeoBlock& b = blocks_[s];
     size_t last_idx = GeoBlock::kNoLastAgg;
     for (const cell::CellId& qcell : covering) {
@@ -123,14 +138,17 @@ QueryResult BlockSet::SelectCovering(std::span<const cell::CellId> covering,
 }
 
 uint64_t BlockSet::Count(const geo::Polygon& polygon) const {
-  const std::vector<cell::CellId> covering = Cover(polygon);
+  thread_local std::vector<cell::CellId> covering;
+  CoverInto(polygon, &covering);
   return CountCovering(covering);
 }
 
 uint64_t BlockSet::CountCovering(
     std::span<const cell::CellId> covering) const {
+  thread_local std::vector<size_t> shards;
+  OverlappingShards(covering, &shards);
   uint64_t result = 0;
-  for (const size_t s : OverlappingShards(covering)) {
+  for (const size_t s : shards) {
     result += blocks_[s].CountCovering(covering);
   }
   return result;
@@ -163,9 +181,11 @@ std::vector<QueryResult> BlockSet::ExecuteBatch(const QueryBatch& batch,
   };
   std::vector<Part> parts;
   std::vector<size_t> first_part(q + 1, 0);
+  std::vector<size_t> shards;
   for (size_t i = 0; i < q; ++i) {
     first_part[i] = parts.size();
-    for (const size_t s : OverlappingShards(coverings[i])) {
+    OverlappingShards(coverings[i], &shards);
+    for (const size_t s : shards) {
       parts.push_back({i, s});
     }
   }
@@ -277,40 +297,59 @@ void BlockSet::EnableCache(const GeoBlockQC::Options& options) {
   cached_.clear();
   cached_.reserve(blocks_.size());
   for (const GeoBlock& b : blocks_) {
-    cached_.push_back(std::make_unique<CachedShard>(&b, options));
+    cached_.push_back(std::make_unique<GeoBlockQC>(&b, options));
   }
 }
 
+const GeoBlockQC& BlockSet::cached_shard(size_t i) const {
+  if (!cache_enabled()) {
+    throw std::logic_error("BlockSet::cached_shard: cache not enabled");
+  }
+  return *cached_[i];
+}
+
 QueryResult BlockSet::SelectCached(const geo::Polygon& polygon,
-                                   const AggregateRequest& request) {
-  const std::vector<cell::CellId> covering = Cover(polygon);
+                                   const AggregateRequest& request) const {
+  // Per-thread covering scratch: the vector's capacity is reused across
+  // queries, so the cached hot path performs no per-query allocation for
+  // the covering.
+  thread_local std::vector<cell::CellId> covering;
+  CoverInto(polygon, &covering);
   return SelectCoveringCached(covering, request);
 }
 
 QueryResult BlockSet::SelectCoveringCached(
-    std::span<const cell::CellId> covering, const AggregateRequest& request) {
+    std::span<const cell::CellId> covering,
+    const AggregateRequest& request) const {
   if (!cache_enabled()) return SelectCovering(covering, request);
+  thread_local std::vector<size_t> shards;
+  OverlappingShards(covering, &shards);
   Accumulator acc(&request);
-  for (const size_t s : OverlappingShards(covering)) {
-    CachedShard& shard = *cached_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.qc.CombineCovering(covering, &acc);
+  // Lock-free fold: each shard's CombineCovering loads that shard's trie
+  // snapshot once and probes it without any mutex (GeoBlockQC concurrency
+  // model). Shards are visited in ascending order, so the fold stays
+  // bit-identical to a serialized execution over the same snapshots.
+  for (const size_t s : shards) {
+    cached_[s]->CombineCovering(covering, &acc);
   }
   return acc.Finish();
 }
 
-void BlockSet::RebuildCaches() {
-  for (const std::unique_ptr<CachedShard>& shard : cached_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->qc.RebuildCache();
+void BlockSet::RebuildCaches(util::ThreadPool* pool) {
+  const auto rebuild_one = [this](size_t i) { cached_[i]->RebuildCache(); };
+  if (pool != nullptr) {
+    pool->ParallelFor(cached_.size(), rebuild_one);
+  } else {
+    for (size_t i = 0; i < cached_.size(); ++i) rebuild_one(i);
   }
 }
 
 CacheCounters BlockSet::MergedCacheCounters() const {
+  // Lock-free merge of per-shard snapshots: monotone between resets and
+  // exact once readers quiesce (see the header's consistency note).
   CacheCounters total;
-  for (const std::unique_ptr<CachedShard>& shard : cached_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    const CacheCounters& c = shard->qc.counters();
+  for (const std::unique_ptr<GeoBlockQC>& shard : cached_) {
+    const CacheCounters c = shard->counters();
     total.probes += c.probes;
     total.full_hits += c.full_hits;
     total.partial_hits += c.partial_hits;
@@ -320,9 +359,8 @@ CacheCounters BlockSet::MergedCacheCounters() const {
 }
 
 void BlockSet::ResetCacheCounters() {
-  for (const std::unique_ptr<CachedShard>& shard : cached_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->qc.ResetCounters();
+  for (const std::unique_ptr<GeoBlockQC>& shard : cached_) {
+    shard->ResetCounters();
   }
 }
 

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -57,7 +56,9 @@ struct QueryBatch {
 ///
 /// Sequential entry points (Select/Count) are `const` and thread-safe; the
 /// batched entry points fan out over a ThreadPool; the optional cached path
-/// wraps each shard in a GeoBlockQC behind a per-shard mutex.
+/// wraps each shard in a GeoBlockQC whose reads are lock-free (epoch-swapped
+/// trie snapshots + relaxed-atomic stats; see docs/ARCHITECTURE.md,
+/// "Concurrency model").
 ///
 /// ## Persistence and the attach/detach state machine
 ///
@@ -135,6 +136,14 @@ class BlockSet {
   /// @param polygon Query polygon in lat/lng coordinates.
   /// @return Sorted, disjoint covering cells no finer than level().
   std::vector<cell::CellId> Cover(const geo::Polygon& polygon) const;
+  /// Allocation-reusing variant: clears and refills `*out` (its capacity is
+  /// kept, so a thread-local scratch vector amortizes to zero allocations
+  /// per query once warm).
+  ///
+  /// @param polygon Query polygon in lat/lng coordinates.
+  /// @param out     Receives the sorted, disjoint covering cells.
+  void CoverInto(const geo::Polygon& polygon,
+                 std::vector<cell::CellId>* out) const;
 
   /// SELECT: routes the covering to overlapping shards and folds their
   /// cell aggregates into one accumulator, in shard order. Because shards
@@ -269,10 +278,13 @@ class BlockSet {
   /// -- Cached path ---------------------------------------------------------
 
   /// Wraps every shard in a GeoBlockQC with `options`. Queries through
-  /// SelectCached probe the per-shard tries; each shard's cache state is
-  /// guarded by its own mutex, so concurrent callers serialize per shard
-  /// but proceed in parallel across shards. Works on attached and detached
-  /// sets alike (the cache reads only cell aggregates).
+  /// SelectCached probe the per-shard tries entirely lock-free: each shard
+  /// publishes an immutable trie snapshot behind an atomic pointer and
+  /// records statistics in relaxed-atomic tables, so any number of reader
+  /// threads proceed without serializing — per shard or otherwise. Works
+  /// on attached and detached sets alike (the cache reads only cell
+  /// aggregates). Not thread-safe against queries itself (enable the
+  /// cache before serving).
   ///
   /// @param options Cache budget/ranking configuration.
   void EnableCache(const GeoBlockQC::Options& options);
@@ -280,28 +292,54 @@ class BlockSet {
   bool cache_enabled() const { return !cached_.empty(); }
 
   /// SELECT through the per-shard caches (falls back to SelectCovering
-  /// when the cache is disabled).
+  /// when the cache is disabled). `const`, lock-free, and thread-safe;
+  /// the covering and shard-routing *result* vectors live in reused
+  /// thread-local buffers (the coverer's internal working set still
+  /// allocates transiently while computing a covering).
   ///
   /// @param polygon Query polygon.
   /// @param request Aggregates to extract.
   /// @return Same result Select would produce.
   QueryResult SelectCached(const geo::Polygon& polygon,
-                           const AggregateRequest& request);
-  /// Cached SELECT over a pre-computed covering.
+                           const AggregateRequest& request) const;
+  /// Cached SELECT over a pre-computed covering. `const`, lock-free, and
+  /// thread-safe.
   ///
   /// @param covering Covering cells, ascending and disjoint.
   /// @param request  Aggregates to extract.
   /// @return Same result SelectCovering would produce.
   QueryResult SelectCoveringCached(std::span<const cell::CellId> covering,
-                                   const AggregateRequest& request);
+                                   const AggregateRequest& request) const;
 
-  /// Re-ranks and refills every shard trie from its recorded statistics.
-  void RebuildCaches();
+  /// Re-ranks and refills every shard trie from its recorded statistics,
+  /// publishing each shard's new snapshot with one atomic pointer swap.
+  /// Readers are never blocked. With a pool the per-shard rebuilds run
+  /// concurrently (they are independent); null rebuilds inline.
+  ///
+  /// @param pool Optional pool for the per-shard fan-out.
+  void RebuildCaches(util::ThreadPool* pool = nullptr);
 
-  /// @return Sum of the per-shard cache counters.
+  /// Sum of the per-shard cache counters. Safe to call concurrently with
+  /// readers: each field is exact and monotone between resets, but fields
+  /// are sampled one after another, so a merge taken mid-query is
+  /// point-in-time-ish (probes may run ahead of hits + misses); once
+  /// queries quiesce the identity probes == full + partial + misses is
+  /// exact, provided no reset raced a still-in-flight query (see
+  /// CacheCounterPlane).
+  ///
+  /// @return Merged counter snapshot.
   CacheCounters MergedCacheCounters() const;
-  /// Zeroes every shard's cache counters.
+  /// Zeroes every shard's cache counters. Safe concurrently with readers;
+  /// increments racing with the reset land before or after it.
   void ResetCacheCounters();
+
+  /// Per-shard cache accessor (tests and benchmarks; e.g. to compare the
+  /// lock-free path against an externally locked baseline).
+  ///
+  /// @param i Shard index in [0, num_shards()).
+  /// @return The shard's GeoBlockQC.
+  /// @throws std::logic_error when the cache is not enabled.
+  const GeoBlockQC& cached_shard(size_t i) const;
 
   /// Indices of shards whose `[min_cell, max_cell]` range intersects the
   /// (sorted, disjoint) covering; exposed for tests and benchmarks.
@@ -310,14 +348,14 @@ class BlockSet {
   /// @return Ascending shard indices that may contain covered cells.
   std::vector<size_t> OverlappingShards(
       std::span<const cell::CellId> covering) const;
+  /// Allocation-reusing variant: clears and refills `*out` (capacity kept).
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param out      Receives the ascending overlapping shard indices.
+  void OverlappingShards(std::span<const cell::CellId> covering,
+                         std::vector<size_t>* out) const;
 
  private:
-  struct CachedShard {
-    CachedShard(const GeoBlock* block, const GeoBlockQC::Options& options)
-        : qc(block, options) {}
-    GeoBlockQC qc;
-    std::mutex mu;
-  };
 
   /// One shard's (first row, row count) window into the parent dataset —
   /// the manifest fields AttachDataset uses to re-create the views.
@@ -329,7 +367,9 @@ class BlockSet {
   int level_ = 0;
   geo::Projection projection_;
   std::vector<GeoBlock> blocks_;
-  std::vector<std::unique_ptr<CachedShard>> cached_;
+  // One lock-free GeoBlockQC per shard (unique_ptr: the QC pins its
+  // address — it owns atomics and the stats slot table).
+  std::vector<std::unique_ptr<GeoBlockQC>> cached_;
 
   // Manifest metadata (persisted by WriteTo, validated by AttachDataset).
   int align_level_ = -1;

@@ -130,11 +130,19 @@ void GeoBlock::AttachData(storage::DatasetView view) {
 std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
                                        int level,
                                        const geo::Polygon& polygon) {
+  std::vector<cell::CellId> covering;
+  CoverPolygonInto(projection, level, polygon, &covering);
+  return covering;
+}
+
+void CoverPolygonInto(const geo::Projection& projection, int level,
+                      const geo::Polygon& polygon,
+                      std::vector<cell::CellId>* out) {
   const geo::Polygon unit = projection.ToUnit(polygon);
   const cell::PolygonRegion region(&unit);
   cell::CovererOptions options;
   options.max_level = level;
-  return cell::GetCoveringCells(region, options);
+  cell::GetCoveringCellsInto(region, options, out);
 }
 
 std::vector<cell::CellId> GeoBlock::Cover(const geo::Polygon& polygon) const {

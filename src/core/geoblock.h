@@ -46,6 +46,17 @@ std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
                                        int level,
                                        const geo::Polygon& polygon);
 
+/// Allocation-reusing variant of CoverPolygon: clears and refills `*out`,
+/// keeping its capacity (for thread-local scratch buffers on query paths).
+///
+/// @param projection Mapping from lat/lng onto the unit square.
+/// @param level      Finest cell level the covering may use.
+/// @param polygon    Query polygon in lat/lng coordinates.
+/// @param out        Receives the sorted, disjoint covering cells.
+void CoverPolygonInto(const geo::Projection& projection, int level,
+                      const geo::Polygon& polygon,
+                      std::vector<cell::CellId>* out);
+
 /// A GeoBlock: a materialized view over geospatial point data that stores
 /// one *cell aggregate* per non-empty grid cell, sorted by spatial key
 /// (Section 3.4), and answers spatial aggregation queries over arbitrary

@@ -53,6 +53,17 @@ class ThreadPool {
     wake_.notify_one();
   }
 
+  /// Blocks until the queue is empty and no submitted task is running —
+  /// the hook background work (e.g. GeoBlockQC cache rebuilds handed to
+  /// the pool via Options::rebuild_pool) needs before tearing down the
+  /// objects those tasks touch. Tasks submitted *while* waiting extend the
+  /// wait; iterations a ParallelFor caller runs inline are not tracked
+  /// (ParallelFor already joins its own work).
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  }
+
   /// Runs `fn(i)` for every i in [0, n) across the pool and blocks until
   /// all iterations finished. The calling thread runs iteration 0 and then
   /// helps drain the queue while waiting, so a ParallelFor issued from
@@ -95,10 +106,12 @@ class ThreadPool {
         if (!queue_.empty()) {
           task = std::move(queue_.front());
           queue_.pop_front();
+          ++inflight_;
         }
       }
       if (task) {
         task();
+        FinishTask();
       } else {
         std::unique_lock<std::mutex> lock(join->mu);
         join->done.wait_for(lock, std::chrono::milliseconds(1),
@@ -117,15 +130,24 @@ class ThreadPool {
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
+        ++inflight_;
       }
       task();
+      FinishTask();
     }
+  }
+
+  void FinishTask() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--inflight_ == 0 && queue_.empty()) idle_.notify_all();
   }
 
   std::mutex mu_;
   std::condition_variable wake_;
+  std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t inflight_ = 0;  ///< dequeued tasks still running (guarded by mu_)
   bool stop_ = false;
 };
 

@@ -86,7 +86,7 @@ TEST_F(BlockQCTest, WarmCacheMatchesBaseBlock) {
     }
     qc.RebuildCache();
   }
-  EXPECT_GT(qc.trie().num_cached(), 0u);
+  EXPECT_GT(qc.trie_snapshot()->num_cached(), 0u);
   qc.ResetCounters();
   for (const geo::Polygon& poly : *polygons_) {
     ExpectSameResult(qc.Select(poly, req), block_->Select(poly, req));
@@ -123,7 +123,7 @@ TEST_F(BlockQCTest, ZeroThresholdNeverCaches) {
   const AggregateRequest req = SomeRequest();
   for (const geo::Polygon& poly : *polygons_) qc.Select(poly, req);
   qc.RebuildCache();
-  EXPECT_EQ(qc.trie().num_cached(), 0u);
+  EXPECT_EQ(qc.trie_snapshot()->num_cached(), 0u);
   qc.ResetCounters();
   for (const geo::Polygon& poly : *polygons_) {
     ExpectSameResult(qc.Select(poly, req), block_->Select(poly, req));
@@ -138,12 +138,12 @@ TEST_F(BlockQCTest, LargerThresholdCachesMore) {
     GeoBlockQC qc(block_, GeoBlockQC::Options{threshold, 0});
     for (const geo::Polygon& poly : *polygons_) qc.Select(poly, req);
     qc.RebuildCache();
-    EXPECT_GE(qc.trie().num_cached(), prev_cached);
-    EXPECT_LE(qc.trie().MemoryBytes(),
+    EXPECT_GE(qc.trie_snapshot()->num_cached(), prev_cached);
+    EXPECT_LE(qc.trie_snapshot()->MemoryBytes(),
               static_cast<size_t>(threshold *
                                   block_->CellAggregateBytes()) +
                   1);
-    prev_cached = qc.trie().num_cached();
+    prev_cached = qc.trie_snapshot()->num_cached();
   }
 }
 
@@ -154,7 +154,7 @@ TEST_F(BlockQCTest, AutomaticRebuild) {
     qc.Select((*polygons_)[i % 4], req);
   }
   // After >= 5 queries a rebuild has happened automatically.
-  EXPECT_GT(qc.trie().num_cached(), 0u);
+  EXPECT_GT(qc.trie_snapshot()->num_cached(), 0u);
 }
 
 TEST_F(BlockQCTest, SkewedWorkloadGetsHighHitRate) {
@@ -191,7 +191,7 @@ TEST_F(BlockQCTest, MemoryIncludesTrie) {
   for (const geo::Polygon& poly : *polygons_) qc.Select(poly, req);
   qc.RebuildCache();
   EXPECT_EQ(qc.MemoryBytes(),
-            block_->MemoryBytes() + qc.trie().MemoryBytes());
+            block_->MemoryBytes() + qc.trie_snapshot()->MemoryBytes());
 }
 
 }  // namespace

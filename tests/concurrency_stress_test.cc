@@ -1,0 +1,384 @@
+// Multithreaded stress suite for the lock-free cached read path: N reader
+// threads hammer mixed SELECT/COUNT workloads against a BlockSet's per-shard
+// GeoBlockQC caches while rebuilds publish new trie snapshots underneath
+// them. Run under ThreadSanitizer in CI (GEOBLOCKS_TSAN).
+//
+// The correctness contract being pinned:
+//  * For a *frozen* snapshot (no rebuild between queries), concurrent
+//    cached SELECTs are bit-identical to a single-threaded pass — the read
+//    path has no mode where scheduling can change an answer.
+//  * Under concurrent rebuilds, every SELECT still sees exactly one
+//    snapshot per shard probe, so counts are exact and values match the
+//    uncached answer to last-ulp FP tolerance (cached cells fold
+//    pre-merged sums); COUNT bypasses the cache and is always exact.
+//  * Counter accounting is exact after quiescing; merged counters are
+//    monotone between resets even when sampled mid-flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/block_set.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::BlockSet;
+using core::BlockSetOptions;
+using core::CacheCounters;
+using core::GeoBlockQC;
+using core::QueryResult;
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+  static constexpr size_t kShards = 4;
+  static constexpr size_t kReaders = 4;
+
+  static void SetUpTestSuite() {
+    raw_ = new storage::PointTable(workload::GenTaxi(20000, 77));
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new storage::SortedDataset(
+        storage::SortedDataset::Extract(*raw_, options));
+    storage::ShardOptions shard_options;
+    shard_options.num_shards = kShards;
+    shard_options.align_level = kLevel;
+    sharded_ = new storage::ShardedDataset(
+        storage::ShardedDataset::Partition(*data_, shard_options));
+    polygons_ = new std::vector<geo::Polygon>(
+        workload::Neighborhoods(*raw_, 24, 5));
+  }
+  static void TearDownTestSuite() {
+    delete polygons_;
+    delete sharded_;
+    delete data_;
+    delete raw_;
+    polygons_ = nullptr;
+    sharded_ = nullptr;
+    data_ = nullptr;
+    raw_ = nullptr;
+  }
+
+  static AggregateRequest Request() {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kMin, 1);
+    req.Add(AggFn::kMax, 2);
+    req.Add(AggFn::kAvg, 3);
+    return req;
+  }
+
+  static std::vector<std::vector<cell::CellId>> CoverAll(
+      const BlockSet& set) {
+    std::vector<std::vector<cell::CellId>> coverings;
+    for (const geo::Polygon& poly : *polygons_) {
+      coverings.push_back(set.Cover(poly));
+    }
+    return coverings;
+  }
+
+  static storage::PointTable* raw_;
+  static storage::SortedDataset* data_;
+  static storage::ShardedDataset* sharded_;
+  static std::vector<geo::Polygon>* polygons_;
+};
+
+storage::PointTable* ConcurrencyStressTest::raw_ = nullptr;
+storage::SortedDataset* ConcurrencyStressTest::data_ = nullptr;
+storage::ShardedDataset* ConcurrencyStressTest::sharded_ = nullptr;
+std::vector<geo::Polygon>* ConcurrencyStressTest::polygons_ = nullptr;
+
+TEST_F(ConcurrencyStressTest, FrozenSnapshotIsBitIdenticalAcrossThreads) {
+  // Warm the caches deterministically, freeze them (no rebuild interval),
+  // and require every concurrent reader to reproduce the single-threaded
+  // pass bit for bit — SELECT values compared with ==, not tolerance.
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.10, /*rebuild_interval=*/0});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& covering : coverings) {
+      set.SelectCoveringCached(covering, req);
+    }
+    set.RebuildCaches();
+  }
+
+  std::vector<QueryResult> want_select;
+  std::vector<uint64_t> want_count;
+  for (const auto& covering : coverings) {
+    want_select.push_back(set.SelectCoveringCached(covering, req));
+    want_count.push_back(set.CountCovering(covering));
+  }
+
+  constexpr size_t kRounds = 8;
+  std::vector<std::vector<QueryResult>> got(kReaders);
+  std::vector<std::vector<uint64_t>> got_counts(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        for (size_t i = 0; i < coverings.size(); ++i) {
+          if ((i + r + t) % 3 == 0) {
+            got_counts[t].push_back(set.CountCovering(coverings[i]));
+          }
+          got[t].push_back(set.SelectCoveringCached(coverings[i], req));
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  for (size_t t = 0; t < kReaders; ++t) {
+    size_t gi = 0;
+    size_t ci = 0;
+    for (size_t r = 0; r < kRounds; ++r) {
+      for (size_t i = 0; i < coverings.size(); ++i) {
+        if ((i + r + t) % 3 == 0) {
+          ASSERT_EQ(got_counts[t][ci++], want_count[i])
+              << "reader " << t << " covering " << i;
+        }
+        const QueryResult& g = got[t][gi++];
+        ASSERT_EQ(g.count, want_select[i].count) << "reader " << t;
+        ASSERT_EQ(g.values, want_select[i].values)
+            << "reader " << t << " covering " << i
+            << ": cached SELECT not bit-identical";
+      }
+    }
+  }
+}
+
+TEST_F(ConcurrencyStressTest, MixedWorkloadWithConcurrentRebuilds) {
+  // Readers run mixed SELECT/COUNT while a writer thread keeps publishing
+  // fresh snapshots and interval-triggered rebuilds fire from the readers
+  // themselves. Answers must stay correct throughout: counts exact,
+  // values within last-ulp tolerance of the uncached reference.
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.10, /*rebuild_interval=*/16});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  std::vector<QueryResult> want_select;
+  std::vector<uint64_t> want_count;
+  for (const auto& covering : coverings) {
+    want_select.push_back(set.SelectCovering(covering, req));
+    want_count.push_back(set.CountCovering(covering));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> checked{0};
+  std::thread rebuilder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      set.RebuildCaches();
+      set.MergedCacheCounters();  // concurrent merged reads must be safe
+    }
+  });
+
+  constexpr size_t kRounds = 10;
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        for (size_t i = 0; i < coverings.size(); ++i) {
+          if ((i + t) % 2 == 0) {
+            const uint64_t count = set.CountCovering(coverings[i]);
+            ASSERT_EQ(count, want_count[i]) << "reader " << t;
+          }
+          const QueryResult got =
+              set.SelectCoveringCached(coverings[i], req);
+          ASSERT_EQ(got.count, want_select[i].count)
+              << "reader " << t << " covering " << i;
+          for (size_t v = 0; v < got.values.size(); ++v) {
+            ASSERT_NEAR(got.values[v], want_select[i].values[v],
+                        1e-9 * std::abs(want_select[i].values[v]) + 1e-6)
+                << "reader " << t << " covering " << i << " value " << v;
+          }
+          checked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  rebuilder.join();
+
+  EXPECT_EQ(checked.load(), kReaders * kRounds * coverings.size());
+  // Quiesced: the counter identity must hold exactly.
+  const CacheCounters after = set.MergedCacheCounters();
+  EXPECT_EQ(after.probes,
+            after.full_hits + after.partial_hits + after.misses);
+}
+
+TEST_F(ConcurrencyStressTest, CounterAccountingExactAfterQuiescing) {
+  // (kReaders + 1) identical passes over cold, frozen tries: every probe
+  // is a miss and the relaxed counters must add up exactly — the lock-free
+  // plane loses no increment.
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.05, 0});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  for (const auto& covering : coverings) {
+    set.SelectCoveringCached(covering, req);
+  }
+  const CacheCounters base = set.MergedCacheCounters();
+  ASSERT_GT(base.probes, 0u);
+  ASSERT_EQ(base.probes, base.misses);
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (const auto& covering : coverings) {
+        set.SelectCoveringCached(covering, req);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  const CacheCounters after = set.MergedCacheCounters();
+  EXPECT_EQ(after.probes, (kReaders + 1) * base.probes);
+  EXPECT_EQ(after.misses, after.probes);
+
+  // Stats plane: per-shard distinct cells are unchanged by re-running the
+  // same workload concurrently, and nothing was dropped.
+  for (size_t s = 0; s < set.num_shards(); ++s) {
+    EXPECT_EQ(set.cached_shard(s).stats().dropped(), 0u) << "shard " << s;
+  }
+}
+
+TEST_F(ConcurrencyStressTest, MergedCountersAreMonotoneUnderLoad) {
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.05, 0});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    CacheCounters last;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const CacheCounters now = set.MergedCacheCounters();
+      // Each field is monotone between resets (and we never reset here).
+      ASSERT_GE(now.probes, last.probes);
+      ASSERT_GE(now.full_hits, last.full_hits);
+      ASSERT_GE(now.partial_hits, last.partial_hits);
+      ASSERT_GE(now.misses, last.misses);
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      for (size_t r = 0; r < 6; ++r) {
+        for (const auto& covering : coverings) {
+          set.SelectCoveringCached(covering, req);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+}
+
+TEST_F(ConcurrencyStressTest, BackgroundPoolRebuildKeepsServing) {
+  // The ThreadPool rebuild hook: interval crossings submit the rebuild to
+  // a pool, so no query thread ever pays the trie construction. After the
+  // pool drains, the cache must be warm and answers unchanged.
+  util::ThreadPool pool(2);
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  GeoBlockQC::Options options;
+  options.threshold = 0.10;
+  options.rebuild_interval = 8;
+  options.rebuild_pool = &pool;
+  set.EnableCache(options);
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  std::vector<QueryResult> want;
+  for (const auto& covering : coverings) {
+    want.push_back(set.SelectCovering(covering, req));
+  }
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t r = 0; r < 6; ++r) {
+        for (size_t i = 0; i < coverings.size(); ++i) {
+          const QueryResult got =
+              set.SelectCoveringCached(coverings[i], req);
+          ASSERT_EQ(got.count, want[i].count) << "reader " << t;
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  // Drain pending background rebuilds before inspecting (and before the
+  // set goes out of scope — the documented teardown contract).
+  pool.WaitIdle();
+
+  size_t cached = 0;
+  for (size_t s = 0; s < set.num_shards(); ++s) {
+    cached += set.cached_shard(s).trie_snapshot()->num_cached();
+  }
+  EXPECT_GT(cached, 0u) << "background rebuilds never published a snapshot";
+  for (size_t i = 0; i < coverings.size(); ++i) {
+    const QueryResult got = set.SelectCoveringCached(coverings[i], req);
+    ASSERT_EQ(got.count, want[i].count);
+    for (size_t v = 0; v < got.values.size(); ++v) {
+      ASSERT_NEAR(got.values[v], want[i].values[v],
+                  1e-9 * std::abs(want[i].values[v]) + 1e-6);
+    }
+  }
+}
+
+TEST_F(ConcurrencyStressTest, ConcurrentResetNeverCorruptsCounters) {
+  // Reset racing with readers: fields may be sampled mid-reset, but once
+  // everything quiesces a final reset + sequential pass must account
+  // exactly (no stuck or corrupted counters).
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.05, 0});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      set.ResetCacheCounters();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      for (size_t r = 0; r < 8; ++r) {
+        for (const auto& covering : coverings) {
+          set.SelectCoveringCached(covering, req);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  resetter.join();
+
+  set.ResetCacheCounters();
+  for (const auto& covering : coverings) {
+    set.SelectCoveringCached(covering, req);
+  }
+  const CacheCounters last = set.MergedCacheCounters();
+  EXPECT_GT(last.probes, 0u);
+  EXPECT_EQ(last.probes,
+            last.full_hits + last.partial_hits + last.misses);
+}
+
+}  // namespace
+}  // namespace geoblocks

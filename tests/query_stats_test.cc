@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "core/query_stats.h"
 
 namespace geoblocks::core {
@@ -89,6 +93,90 @@ TEST(QueryStatsTest, Clear) {
   stats.Clear();
   EXPECT_EQ(stats.num_distinct_cells(), 0u);
   EXPECT_TRUE(stats.RankedCells().empty());
+  EXPECT_EQ(stats.dropped(), 0u);
+}
+
+TEST(QueryStatsTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(QueryStats(5).capacity(), 8u);
+  EXPECT_EQ(QueryStats(16).capacity(), 16u);
+  EXPECT_EQ(QueryStats(1).capacity(), 4u);
+}
+
+TEST(QueryStatsTest, OverflowIsLossyButBounded) {
+  // A tiny table must drop records once full — never block, grow, or lose
+  // counts for cells that did claim a slot.
+  QueryStats stats(/*capacity=*/8);
+  std::vector<cell::CellId> cells;
+  for (int i = 0; i < 40; ++i) {
+    cells.push_back(CellAt(0.02 * i + 0.01, 0.9 - 0.02 * i, 13));
+    stats.Record(cells.back());
+  }
+  EXPECT_LE(stats.num_distinct_cells(), stats.capacity());
+  EXPECT_GT(stats.dropped(), 0u);
+  // Cells that hold a slot keep exact counts even at capacity.
+  uint32_t claimed = 0;
+  for (const cell::CellId& c : cells) {
+    if (stats.HitsFor(c) > 0) {
+      EXPECT_EQ(stats.HitsFor(c), 1u);
+      ++claimed;
+    }
+  }
+  EXPECT_EQ(claimed, stats.num_distinct_cells());
+  // Established cells never hit the drop path again.
+  const auto it = std::find_if(cells.begin(), cells.end(),
+                               [&](cell::CellId c) {
+                                 return stats.HitsFor(c) > 0;
+                               });
+  ASSERT_NE(it, cells.end());
+  const uint64_t dropped_before = stats.dropped();
+  stats.Record(*it);
+  EXPECT_EQ(stats.dropped(), dropped_before);
+  EXPECT_EQ(stats.HitsFor(*it), 2u);
+}
+
+TEST(QueryStatsTest, ConcurrentRecordsAreExactWhenTableFits) {
+  // The lock-free table must not lose any increment under contention:
+  // relaxed fetch_adds on claimed slots are exact.
+  QueryStats stats;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 5000;
+  constexpr size_t kDistinct = 64;
+  std::vector<cell::CellId> cells;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    cells.push_back(CellAt(0.01 * (i % 10) + 0.005, 0.08 * (i / 10) + 0.04,
+                           14));
+  }
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, &cells, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        stats.Record(cells[(i + t) % cells.size()]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(stats.dropped(), 0u);
+  uint64_t total = 0;
+  for (const cell::CellId& c : cells) total += stats.HitsFor(c);
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(QueryStatsTest, RankedCellsIgnoresSlotPlacement) {
+  // The ranking must be identical across different table capacities (and
+  // thus completely different slot layouts): the sort key is a total
+  // order over the recorded cells, not the table.
+  QueryStats small(1 << 8);
+  QueryStats large(1 << 14);
+  for (int i = 0; i < 50; ++i) {
+    const cell::CellId c = CellAt(0.02 * (i % 7) + 0.01,
+                                  0.11 * (i % 9) + 0.02, 9 + i % 6);
+    for (int r = 0; r <= i % 4; ++r) {
+      small.Record(c);
+      large.Record(c);
+    }
+  }
+  ASSERT_EQ(small.dropped(), 0u);
+  EXPECT_EQ(small.RankedCells(), large.RankedCells());
 }
 
 }  // namespace

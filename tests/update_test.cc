@@ -152,7 +152,7 @@ TEST_F(UpdateTest, AdaptiveVersionKeepsCacheConsistent) {
     for (const geo::Polygon& poly : polygons) qc.Select(poly, req);
     qc.RebuildCache();
   }
-  ASSERT_GT(qc.trie().num_cached(), 0u);
+  ASSERT_GT(qc.trie_snapshot()->num_cached(), 0u);
 
   const auto batch = InCellBatch(300, 6);
   const auto result = block_.ApplyBatchUpdate(batch);
@@ -176,7 +176,7 @@ TEST_F(UpdateTest, TrieUpdateCountsPatchedAggregates) {
   const auto polygons = workload::Neighborhoods(raw_, 10, 7);
   for (const geo::Polygon& poly : polygons) qc.Select(poly, req);
   qc.RebuildCache();
-  ASSERT_GT(qc.trie().num_cached(), 0u);
+  ASSERT_GT(qc.trie_snapshot()->num_cached(), 0u);
 
   // A tuple inside some cached cell updates at least one aggregate; a
   // tuple far outside the root updates none.
@@ -185,7 +185,9 @@ TEST_F(UpdateTest, TrieUpdateCountsPatchedAggregates) {
   ASSERT_EQ(result.applied, 50u);
   qc.ApplyBatchUpdateToCache(batch, result);
 
-  AggregateTrie& trie = const_cast<AggregateTrie&>(qc.trie());
+  // Published snapshots are immutable; patch a private copy, the way
+  // ApplyBatchUpdateToCache's copy-on-write path does.
+  AggregateTrie trie = *qc.trie_snapshot();
   std::vector<double> values(data_.num_columns(), 1.0);
   EXPECT_EQ(trie.ApplyTupleUpdate(cell::CellId::FromPoint({0.01, 0.99}),
                                   values.data()),
