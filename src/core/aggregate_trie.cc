@@ -26,18 +26,18 @@ void AggregateTrie::WriteU32(size_t offset, uint32_t value) {
 }
 
 AggregateTrie::BuildResult AggregateTrie::Build(
-    const GeoBlock& block, const std::vector<cell::CellId>& ranked,
+    const BlockState& state, const std::vector<cell::CellId>& ranked,
     size_t byte_budget, const AggregateTrie* previous) {
   arena_.clear();
   num_cached_ = 0;
-  num_columns_ = block.num_columns();
+  num_columns_ = state.num_columns;
   root_cell_ = cell::CellId();
-  if (block.num_cells() == 0) return {};
+  if (state.num_cells() == 0) return {};
 
   // The root encloses the block's input data (Section 3.6).
   root_cell_ = cell::CellId::CommonAncestor(
-      cell::CellId(block.header().min_cell),
-      cell::CellId(block.header().max_cell));
+      cell::CellId(state.header.min_cell),
+      cell::CellId(state.header.max_cell));
 
   // Phase 1: decide the cached set under the budget. Nodes are tracked in a
   // temporary keyed trie; allocating the children of a node costs one
@@ -89,10 +89,12 @@ AggregateTrie::BuildResult AggregateTrie::Build(
           previous != nullptr ? previous->Lookup(cell).agg : nullptr;
       if (prev_agg != nullptr) {
         // Cheap refresh: the cell was already cached; its payload is
-        // unchanged (blocks are write-once between explicit updates).
+        // unchanged (update commits patch the published trie in the same
+        // writer critical section that publishes the block state, so the
+        // previous trie is always consistent with the pinned state).
         std::memcpy(dst, prev_agg, AggBytes());
       } else {
-        const AggregateVector agg = block.AggregateForCell(cell);
+        const AggregateVector agg = state.AggregateForCell(cell);
         std::memcpy(dst, &agg.count, sizeof(uint64_t));
         dst += sizeof(uint64_t);
         for (size_t c = 0; c < num_columns_; ++c) {

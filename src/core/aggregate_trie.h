@@ -48,16 +48,28 @@ class AggregateTrie {
 
   AggregateTrie() = default;
 
-  /// Builds the cache for `block` from `ranked` candidate cells (most
-  /// relevant first, see QueryStats::RankedCells), inserting cells until
-  /// the next one would exceed `byte_budget`. When `previous` is given
-  /// (typically the trie being replaced), aggregates of cells it already
-  /// caches are copied instead of recomputed from the block — this makes
-  /// periodic cache refreshes cheap once the cached set stabilizes.
-  BuildResult Build(const GeoBlock& block,
+  /// Builds the cache for one pinned block state from `ranked` candidate
+  /// cells (most relevant first, see QueryStats::RankedCells), inserting
+  /// cells until the next one would exceed `byte_budget`. When `previous`
+  /// is given (typically the trie being replaced), aggregates of cells it
+  /// already caches are copied instead of recomputed from the state — this
+  /// makes periodic cache refreshes cheap once the cached set stabilizes.
+  /// Taking a BlockState (not a GeoBlock) pins the build to exactly one
+  /// MVCC version, so a rebuild racing concurrent update commits still
+  /// produces a trie consistent with a single version.
+  BuildResult Build(const BlockState& state,
                     const std::vector<cell::CellId>& ranked,
                     size_t byte_budget,
                     const AggregateTrie* previous = nullptr);
+
+  /// Convenience overload: builds over the block's currently published
+  /// state version.
+  BuildResult Build(const GeoBlock& block,
+                    const std::vector<cell::CellId>& ranked,
+                    size_t byte_budget,
+                    const AggregateTrie* previous = nullptr) {
+    return Build(*block.StateSnapshot(), ranked, byte_budget, previous);
+  }
 
   bool empty() const { return num_cached_ == 0; }
   size_t num_cached() const { return num_cached_; }

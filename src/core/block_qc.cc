@@ -1,5 +1,7 @@
 #include "core/block_qc.h"
 
+#include <stdexcept>
+
 #include "util/thread_pool.h"
 
 namespace geoblocks::core {
@@ -19,11 +21,6 @@ QueryResult GeoBlockQC::Select(const geo::Polygon& polygon,
   return SelectCovering(covering, request);
 }
 
-void GeoBlockQC::SelectBase(cell::CellId qcell, Accumulator* acc,
-                            size_t* last_idx) const {
-  block_->CombineCell(qcell, acc, last_idx);
-}
-
 QueryResult GeoBlockQC::SelectCovering(
     std::span<const cell::CellId> covering,
     const AggregateRequest& request) const {
@@ -35,17 +32,20 @@ QueryResult GeoBlockQC::SelectCovering(
 void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
                                  Accumulator* acc_out) const {
   {
-    // One epoch guard per query: the whole covering is answered from a
-    // single frozen trie, which a concurrent rebuild cannot retire until
-    // this guard is released.
+    // Two epoch guards per query: the whole covering is answered from a
+    // single frozen trie *and* a single block-state version — cache hits
+    // and base-algorithm fallbacks read a mutually consistent pair, which
+    // a concurrent update commit cannot retire until the guards release.
     const util::SnapshotCell<AggregateTrie>::ReadGuard trie(trie_);
+    const util::SnapshotCell<BlockState>::ReadGuard state(
+        block_->state_cell());
     Accumulator& acc = *acc_out;
     size_t last_idx = GeoBlock::kNoLastAgg;
     for (cell::CellId qcell : covering) {
       if (qcell.level() > block_->level()) {
         qcell = qcell.Parent(block_->level());
       }
-      if (!block_->MayOverlap(qcell)) continue;
+      if (!state->MayOverlap(qcell)) continue;
       // Track workload statistics for every query cell that intersects the
       // GeoBlock (Section 3.6). A single relaxed atomic increment.
       stats_.Record(qcell);
@@ -56,7 +56,7 @@ void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
       const AggregateTrie::Probe probe = trie->Lookup(qcell);
       if (!probe.node_exists) {
         counters_.AddMiss();
-        SelectBase(qcell, &acc, &last_idx);
+        state->CombineCell(qcell, &acc, &last_idx);
         continue;
       }
       if (probe.agg != nullptr) {
@@ -74,7 +74,7 @@ void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
       }
       if (!any_cached || qcell.level() >= block_->level()) {
         counters_.AddMiss();
-        SelectBase(qcell, &acc, &last_idx);
+        state->CombineCell(qcell, &acc, &last_idx);
         continue;
       }
       counters_.AddPartialHit();
@@ -84,12 +84,12 @@ void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
         if (children[k].agg != nullptr) {
           trie->Combine(children[k].agg, &acc);
         } else {
-          SelectBase(child, &acc, &child_last_idx);
+          state->CombineCell(child, &acc, &child_last_idx);
         }
       }
     }
   }
-  // Outside the guard: an inline rebuild must not wait for its own
+  // Outside the guards: an inline rebuild must not wait for its own
   // reader lease to drain.
   MaybeRebuildAfterQuery();
 }
@@ -133,32 +133,36 @@ void GeoBlockQC::RebuildCache() const {
   // Only the (serialized) writer retires snapshots, so peeking the raw
   // previous trie is safe here.
   const AggregateTrie* prev = trie_.WriterPeek();
+  // Pin the block state *inside* the writer critical section: update
+  // commits (CommitBlockBatch / CommitNewRegionMerge) publish their state
+  // and trie patch under the same mutex, so the version seen here is
+  // always whole-commit consistent with `prev` — a rebuild can neither
+  // lose a committed batch nor let one be applied twice.
+  const std::shared_ptr<const BlockState> state = block_->StateSnapshot();
   // Build the successor off the read path: a point-in-time-ish stats
   // snapshot ranks the cells; payloads cached by the outgoing snapshot are
   // copied instead of recomputed.
   auto fresh = std::make_shared<AggregateTrie>();
-  fresh->Build(*block_, stats_.RankedCells(), CacheBudgetBytes(), prev);
+  fresh->Build(*state, stats_.RankedCells(), CacheBudgetBytes(), prev);
   // Epoch swap: one pointer swap publishes the new snapshot; in-flight
   // readers finish on the old one before it is retired.
   trie_.Publish(std::move(fresh));
 }
 
-void GeoBlockQC::ApplyBatchUpdateToCache(
-    std::span<const GeoBlock::UpdateTuple> batch,
-    const GeoBlock::UpdateResult& block_result) {
-  // Nothing applied (every tuple rejected, or an empty batch): skip the
-  // arena clone, epoch flip, and grace period a republish would cost.
-  if (block_result.rejected.size() >= batch.size()) return;
-  std::lock_guard<std::mutex> lock(writer_mu_);
+void GeoBlockQC::PatchTrieLocked(std::span<const GeoBlock::UpdateTuple> batch,
+                                 const std::vector<size_t>& rejected) {
+  // An empty trie (cache enabled but nothing cached yet) makes every
+  // tuple walk a no-op: skip the clone, epoch flip, and grace period —
+  // the published snapshot would be bit-identical.
+  if (trie_.WriterPeek()->empty()) return;
   // Copy-on-write: patch a private clone, then publish it atomically so
   // readers see the whole batch or none of it.
   auto patched = std::make_shared<AggregateTrie>(*trie_.WriterPeek());
   size_t next_rejected = 0;
   for (size_t b = 0; b < batch.size(); ++b) {
-    // Skip tuples the block rejected (new regions require a rebuild, which
-    // also rebuilds the cache).
-    if (next_rejected < block_result.rejected.size() &&
-        block_result.rejected[next_rejected] == b) {
+    // Skip tuples the block rejected (new regions require a merge, which
+    // patches the cache through CommitNewRegionMerge when it happens).
+    if (next_rejected < rejected.size() && rejected[next_rejected] == b) {
       ++next_rejected;
       continue;
     }
@@ -167,6 +171,38 @@ void GeoBlockQC::ApplyBatchUpdateToCache(
     patched->ApplyTupleUpdate(leaf, batch[b].values.data());
   }
   trie_.Publish(std::move(patched));
+}
+
+GeoBlock::UpdateResult GeoBlockQC::CommitBlockBatch(
+    GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch) {
+  if (block != block_) {
+    // Patching this cache with another block's batch would silently
+    // diverge cache answers from block answers; fail loudly instead.
+    throw std::invalid_argument(
+        "GeoBlockQC::CommitBlockBatch: block is not the wrapped block");
+  }
+  // The whole commit — block-state publish plus trie patch — runs inside
+  // one writer critical section, so a rebuild serializes against it as a
+  // unit. Readers are never blocked: both publishes are epoch swaps.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const GeoBlock::UpdateResult result = block->ApplyBatchUpdate(batch);
+  if (result.applied > 0) PatchTrieLocked(batch, result.rejected);
+  return result;
+}
+
+size_t GeoBlockQC::CommitNewRegionMerge(
+    GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch) {
+  if (block != block_) {
+    throw std::invalid_argument(
+        "GeoBlockQC::CommitNewRegionMerge: block is not the wrapped block");
+  }
+  if (batch.empty()) return 0;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const size_t new_cells = block->MergeNewRegionTuples(batch);
+  // Every tuple is applied by a merge; cached ancestor aggregates of the
+  // new cells absorb them one ApplyTupleUpdate walk each.
+  PatchTrieLocked(batch, {});
+  return new_cells;
 }
 
 }  // namespace geoblocks::core

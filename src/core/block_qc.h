@@ -100,18 +100,31 @@ class CacheCounterPlane {
 /// - **Stats plane.** QueryStats and CacheCounterPlane are relaxed-atomic
 ///   tables: `Record` and the counter bumps are single atomic increments
 ///   with no allocation.
+/// - **Block-state plane.** The wrapped GeoBlock's aggregate state is
+///   itself MVCC (an immutable BlockState behind a SnapshotCell); a query
+///   pins one trie snapshot *and* one block-state version, so cache hits
+///   and base-algorithm fallbacks within a query read a mutually
+///   consistent pair even while update commits publish successors.
 ///
 /// `Select`/`SelectCovering`/`CombineCovering`/`Count` are therefore
 /// `const` and safe to call from any number of threads concurrently, with
 /// results bit-identical to a mutex-guarded execution of the same snapshot
-/// sequence. Writers (`RebuildCache`, `ApplyBatchUpdateToCache`) serialize
-/// among themselves on an internal mutex that readers never touch.
+/// sequence. Writers (`RebuildCache`, `CommitBlockBatch`,
+/// `CommitNewRegionMerge`) serialize among themselves on an internal
+/// mutex that readers never touch; the commit entry points publish the
+/// block state and the trie patch inside one writer critical section,
+/// which is what makes an interval-triggered rebuild racing an update
+/// commit safe (a rebuild sees either the whole commit or none of it —
+/// it can neither lose a batch nor bake one in twice).
 ///
 /// What is and is not linearizable: each *query* sees exactly one trie
-/// snapshot, so a single answer is always internally consistent; across
-/// queries the snapshot may advance at any point. Counters and stats are
-/// exact but only point-in-time-ish when observed mid-flight (see
-/// CacheCounterPlane).
+/// snapshot and one block-state version, so a single answer is always
+/// internally consistent; across queries the snapshots may advance at any
+/// point, and during a commit's window between the state publish and the
+/// trie publish a query may combine the new state with the old trie —
+/// counts land between the pre- and post-batch values, never outside.
+/// Counters and stats are exact but only point-in-time-ish when observed
+/// mid-flight (see CacheCounterPlane).
 class GeoBlockQC {
  public:
   struct Options {
@@ -129,9 +142,9 @@ class GeoBlockQC {
     /// the GeoBlockQC. Destroying the GeoBlockQC while rebuilds are queued
     /// is safe (the tasks turn into no-ops via a shared gate); use
     /// ThreadPool::WaitIdle when a test or shutdown path wants pending
-    /// rebuilds to have actually published — and always before mutating
-    /// the block (see ApplyBatchUpdateToCache's update contract: a queued
-    /// rebuild reads the block and must not race a block update).
+    /// rebuilds to have actually published. Update commits need no such
+    /// drain: CommitBlockBatch/CommitNewRegionMerge serialize with queued
+    /// rebuilds on the writer mutex.
     util::ThreadPool* rebuild_pool = nullptr;
   };
 
@@ -223,30 +236,36 @@ class GeoBlockQC {
   /// changes query answers — the whole cache is logically-const metadata.
   void RebuildCache() const;
 
-  /// Update propagation for the adaptive version (Section 5): after tuples
-  /// have been applied to the (externally owned, mutable) GeoBlock with
-  /// GeoBlock::ApplyBatchUpdate, mirror the *applied* tuples into the
-  /// cached trie aggregates so cache answers stay identical to block
-  /// answers. Pass the same batch and the block's UpdateResult.
+  /// One-shot MVCC commit of an update batch against block *and* cache
+  /// (Section 5): applies `batch` to `block` (clone-patch-publish of its
+  /// BlockState) and mirrors the applied tuples into a patched trie
+  /// snapshot (copy-on-write: readers see the whole batch or none of it),
+  /// all inside the writer critical section. Safe concurrently with any
+  /// number of readers and with interval-triggered rebuilds; this is the
+  /// per-shard commit BlockSet::ApplyBatchUpdate runs under its shard
+  /// lock. There is deliberately no two-step variant: a block publish
+  /// outside the critical section would let a racing rebuild bake the
+  /// batch into its fresh trie before the cache patch applied it again.
   ///
-  /// Published copy-on-write: the current snapshot is cloned, patched, and
-  /// swapped in, so concurrent readers see either the pre-batch or the
-  /// post-batch cache atomically — never a half-applied one.
+  /// @param block The wrapped block (non-const: the commit publishes).
+  /// @param batch The arriving tuples.
+  /// @return The block's UpdateResult for the batch.
+  /// @throws std::invalid_argument when `block` is not the wrapped block.
+  GeoBlock::UpdateResult CommitBlockBatch(
+      GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch);
+
+  /// One-shot MVCC commit of a new-region merge (the batched rebuild for
+  /// tuples ApplyBatchUpdate rejected): merges `batch` into a fresh block
+  /// state via GeoBlock::MergeNewRegionTuples and patches every cached
+  /// ancestor aggregate in a cloned trie, inside one writer critical
+  /// section. Safe concurrently with readers and rebuilds.
   ///
-  /// Update contract: the GeoBlock mutates in place (Section 5), so the
-  /// whole update sequence — quiesce queries, drain a configured
-  /// rebuild_pool (ThreadPool::WaitIdle), GeoBlock::ApplyBatchUpdate,
-  /// then this call — must be externally serialized against readers *and*
-  /// rebuilds. A rebuild running between the block update and this call
-  /// would bake the batch into the fresh trie and this call would then
-  /// apply it a second time; a rebuild running during the block update
-  /// would read torn aggregates.
-  ///
-  /// @param batch        The arriving tuples.
-  /// @param block_result The block's UpdateResult for the same batch.
-  void ApplyBatchUpdateToCache(
-      std::span<const GeoBlock::UpdateTuple> batch,
-      const GeoBlock::UpdateResult& block_result);
+  /// @param block The wrapped block.
+  /// @param batch The (previously rejected) tuples to merge.
+  /// @return Number of new cell aggregates created.
+  /// @throws std::invalid_argument when `block` is not the wrapped block.
+  size_t CommitNewRegionMerge(GeoBlock* block,
+                              std::span<const GeoBlock::UpdateTuple> batch);
 
   /// Cache budget in bytes implied by the threshold.
   ///
@@ -262,9 +281,11 @@ class GeoBlockQC {
   }
 
  private:
-  /// Base-algorithm path for a single covering cell.
-  void SelectBase(cell::CellId qcell, Accumulator* acc,
-                  size_t* last_idx) const;
+  /// Clones the published trie, patches it with the batch (skipping the
+  /// rejected indices), and publishes the patched snapshot. Must hold
+  /// writer_mu_.
+  void PatchTrieLocked(std::span<const GeoBlock::UpdateTuple> batch,
+                       const std::vector<size_t>& rejected);
 
   /// Interval trigger: bumps the per-query epoch counter and, when it
   /// crosses rebuild_interval, lets exactly one caller win the reset CAS

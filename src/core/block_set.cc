@@ -6,13 +6,48 @@
 
 namespace geoblocks::core {
 
+BlockSet::~BlockSet() { NeutralizeWriters(); }
+
+BlockSet& BlockSet::operator=(BlockSet&& other) noexcept {
+  if (this == &other) return *this;
+  NeutralizeWriters();
+  level_ = other.level_;
+  projection_ = other.projection_;
+  blocks_ = std::move(other.blocks_);
+  cached_ = std::move(other.cached_);
+  writers_ = std::move(other.writers_);
+  update_options_ = other.update_options_;
+  align_level_ = other.align_level_;
+  total_rows_ = other.total_rows_;
+  boundaries_ = std::move(other.boundaries_);
+  windows_ = std::move(other.windows_);
+  dataset_attached_ = other.dataset_attached_;
+  return *this;
+}
+
+void BlockSet::NeutralizeWriters() {
+  // Flip every per-shard gate dead: a background merge already inside its
+  // gate finishes first (the lock waits it out); every merge still queued
+  // locks, sees dead, and skips — it holds the gate, never the set.
+  for (const std::shared_ptr<ShardWriter>& w : writers_) {
+    if (w == nullptr) continue;
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->alive = false;
+  }
+}
+
 BlockSet BlockSet::Build(const storage::ShardedDataset& shards,
                          const BlockSetOptions& options,
                          util::ThreadPool* pool) {
   BlockSet set;
   set.level_ = options.block.level;
   const size_t k = shards.num_shards();
-  set.blocks_.resize(k);
+  set.blocks_.reserve(k);
+  set.writers_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    set.blocks_.push_back(std::make_unique<GeoBlock>());
+    set.writers_.push_back(std::make_shared<ShardWriter>());
+  }
   if (k == 0) return set;
   set.projection_ = shards.shard(0).projection();
 
@@ -30,7 +65,7 @@ BlockSet BlockSet::Build(const storage::ShardedDataset& shards,
   set.dataset_attached_ = true;
 
   const auto build_one = [&](size_t i) {
-    set.blocks_[i] = GeoBlock::Build(shards.shard(i), options.block);
+    *set.blocks_[i] = GeoBlock::Build(shards.shard(i), options.block);
   };
   if (pool != nullptr) {
     pool->ParallelFor(k, build_one);
@@ -41,8 +76,13 @@ BlockSet BlockSet::Build(const storage::ShardedDataset& shards,
 }
 
 size_t BlockSet::num_cells() const {
+  // Pin each shard's state: this is a read path and must stay safe
+  // concurrently with update commits (the raw GeoBlock accessors are
+  // writer-quiesced only).
   size_t cells = 0;
-  for (const GeoBlock& b : blocks_) cells += b.num_cells();
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
+    cells += b->StateSnapshot()->num_cells();
+  }
   return cells;
 }
 
@@ -50,27 +90,34 @@ BlockHeader BlockSet::MergedHeader() const {
   BlockHeader header;
   header.level = level_;
   size_t columns = 0;
-  for (const GeoBlock& b : blocks_) columns = std::max(columns, b.num_columns());
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
+    columns = std::max(columns, b->num_columns());
+  }
   header.global = AggregateVector(columns);
   bool any = false;
-  for (const GeoBlock& b : blocks_) {
-    if (b.num_cells() == 0) continue;
+  // One pinned version per shard (not the unpinned header() peek): a
+  // monitoring thread may merge headers while commits publish successors.
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
+    const std::shared_ptr<const BlockState> state = b->StateSnapshot();
+    if (state->num_cells() == 0) continue;
     if (!any) {
-      header.min_cell = b.header().min_cell;
-      header.max_cell = b.header().max_cell;
+      header.min_cell = state->header.min_cell;
+      header.max_cell = state->header.max_cell;
       any = true;
     } else {
-      header.min_cell = std::min(header.min_cell, b.header().min_cell);
-      header.max_cell = std::max(header.max_cell, b.header().max_cell);
+      header.min_cell = std::min(header.min_cell, state->header.min_cell);
+      header.max_cell = std::max(header.max_cell, state->header.max_cell);
     }
-    header.global.Merge(b.header().global);
+    header.global.Merge(state->header.global);
   }
   return header;
 }
 
 size_t BlockSet::MemoryBytes() const {
   size_t bytes = 0;
-  for (const GeoBlock& b : blocks_) bytes += b.MemoryBytes();
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
+    bytes += b->MemoryBytes();
+  }
   return bytes;
 }
 
@@ -97,14 +144,18 @@ void BlockSet::OverlappingShards(std::span<const cell::CellId> covering,
   if (covering.empty()) return;
   result.reserve(blocks_.size());
   for (size_t s = 0; s < blocks_.size(); ++s) {
-    const GeoBlock& b = blocks_[s];
-    if (b.num_cells() == 0) continue;
+    const GeoBlock& b = *blocks_[s];
+    // Routing reads the lock-free atomic mirror of each shard's key hull,
+    // never a pinned state: safe concurrently with update commits (a
+    // racing merge can shift the hull; MayOverlap documents why any tear
+    // is benign for routing).
+    if (!b.has_cells()) continue;
     // Covering cells are disjoint and sorted, so their leaf ranges ascend:
     // binary-search the first cell whose range reaches the shard, then a
     // single comparison decides the overlap (the shard-level BlockHeader
     // pre-check).
-    const uint64_t min_cell = b.header().min_cell;
-    const uint64_t max_cell = b.header().max_cell;
+    const uint64_t min_cell = b.routing_min_cell();
+    const uint64_t max_cell = b.routing_max_cell();
     const auto it = std::lower_bound(
         covering.begin(), covering.end(), min_cell,
         [](const cell::CellId& c, uint64_t key) {
@@ -127,12 +178,11 @@ QueryResult BlockSet::SelectCovering(std::span<const cell::CellId> covering,
   thread_local std::vector<size_t> shards;
   OverlappingShards(covering, &shards);
   Accumulator acc(&request);
+  // Each shard folds its whole covering contribution under one pinned
+  // state version (GeoBlock::CombineCovering); shards ascend, so the fold
+  // order matches a single block over the same data bit for bit.
   for (const size_t s : shards) {
-    const GeoBlock& b = blocks_[s];
-    size_t last_idx = GeoBlock::kNoLastAgg;
-    for (const cell::CellId& qcell : covering) {
-      b.CombineCell(qcell, &acc, &last_idx);
-    }
+    blocks_[s]->CombineCovering(covering, &acc);
   }
   return acc.Finish();
 }
@@ -149,7 +199,7 @@ uint64_t BlockSet::CountCovering(
   OverlappingShards(covering, &shards);
   uint64_t result = 0;
   for (const size_t s : shards) {
-    result += blocks_[s].CountCovering(covering);
+    result += blocks_[s]->CountCovering(covering);
   }
   return result;
 }
@@ -194,11 +244,7 @@ std::vector<QueryResult> BlockSet::ExecuteBatch(const QueryBatch& batch,
   std::vector<Accumulator> partials(parts.size(), Accumulator(&request));
   const auto run_part = [&](size_t p) {
     const Part& part = parts[p];
-    const GeoBlock& b = blocks_[part.shard];
-    size_t last_idx = GeoBlock::kNoLastAgg;
-    for (const cell::CellId& qcell : coverings[part.query]) {
-      b.CombineCell(qcell, &partials[p], &last_idx);
-    }
+    blocks_[part.shard]->CombineCovering(coverings[part.query], &partials[p]);
   };
   if (pool != nullptr) {
     pool->ParallelFor(parts.size(), run_part);
@@ -232,6 +278,155 @@ std::vector<uint64_t> BlockSet::CountBatch(
   return results;
 }
 
+// ---------------------------------------------------------------------------
+// The update plane
+// ---------------------------------------------------------------------------
+
+BlockSet::SetUpdateResult BlockSet::ApplyBatchUpdate(
+    std::span<const GeoBlock::UpdateTuple> batch, util::ThreadPool* pool) {
+  const size_t k = blocks_.size();
+  if (k == 0 || boundaries_.size() != k + 1 || writers_.size() != k) {
+    throw std::logic_error(
+        "BlockSet::ApplyBatchUpdate: set has no manifest metadata (only "
+        "sets from Build or ReadFrom can be updated)");
+  }
+  SetUpdateResult result;
+  if (batch.empty()) {
+    result.pending_after = PendingUpdateCount();
+    return result;
+  }
+
+  // Phase 1: route every tuple to its shard by Hilbert key against the
+  // manifest boundaries — the same rule the partitioner cut the data with,
+  // so a tuple lands in the shard whose block covers (or will cover) its
+  // cell. Routing reads only immutable fields; no locks.
+  std::vector<std::vector<GeoBlock::UpdateTuple>> routed(k);
+  for (const GeoBlock::UpdateTuple& tuple : batch) {
+    const uint64_t key =
+        cell::CellId::FromPoint(projection_.ToUnit(tuple.location)).id();
+    routed[storage::ShardForKey(boundaries_, key)].push_back(tuple);
+  }
+
+  // Phase 2: commit each non-empty shard sub-batch under that shard's
+  // commit lock — striped writers, parallel across shards on the pool.
+  // Readers never block: each commit is an epoch-swap publish.
+  std::vector<size_t> busy;
+  busy.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    if (!routed[s].empty()) busy.push_back(s);
+  }
+  std::atomic<size_t> applied{0};
+  std::atomic<size_t> buffered{0};
+  std::atomic<size_t> rebuilds{0};
+  const auto commit_one = [&](size_t i) {
+    const size_t s = busy[i];
+    CommitShardBatch(s, std::move(routed[s]), &applied, &buffered, &rebuilds);
+  };
+  if (pool != nullptr && busy.size() > 1) {
+    pool->ParallelFor(busy.size(), commit_one);
+  } else {
+    for (size_t i = 0; i < busy.size(); ++i) commit_one(i);
+  }
+
+  result.applied = applied.load(std::memory_order_relaxed);
+  result.buffered = buffered.load(std::memory_order_relaxed);
+  result.rebuilds = rebuilds.load(std::memory_order_relaxed);
+  result.pending_after = PendingUpdateCount();
+  return result;
+}
+
+void BlockSet::CommitShardBatch(size_t s,
+                                std::vector<GeoBlock::UpdateTuple> batch,
+                                std::atomic<size_t>* applied,
+                                std::atomic<size_t>* buffered,
+                                std::atomic<size_t>* rebuilds) {
+  ShardWriter& w = *writers_[s];
+  GeoBlock* block = blocks_[s].get();
+  GeoBlockQC* qc = cache_enabled() ? cached_[s].get() : nullptr;
+  std::lock_guard<std::mutex> lock(w.mu);
+  // The commit proper: with a cache, block-state publish and trie patch
+  // run as one writer critical section (GeoBlockQC::CommitBlockBatch), so
+  // an interval-triggered trie rebuild can never interleave half a commit.
+  const GeoBlock::UpdateResult r =
+      qc != nullptr ? qc->CommitBlockBatch(block, batch)
+                    : block->ApplyBatchUpdate(batch);
+  applied->fetch_add(r.applied, std::memory_order_relaxed);
+  buffered->fetch_add(r.rejected.size(), std::memory_order_relaxed);
+  for (const size_t idx : r.rejected) {
+    w.pending.push_back(std::move(batch[idx]));
+  }
+  w.pending_count.store(w.pending.size(), std::memory_order_relaxed);
+
+  const size_t threshold = update_options_.pending_rebuild_threshold;
+  if (threshold == 0 || w.pending.size() < threshold) return;
+  if (update_options_.rebuild_pool != nullptr) {
+    // Elect one background merger per shard; later crossings while it is
+    // queued or running are absorbed (it drains whatever is buffered when
+    // it gets the lock). The task holds the shard gate and the stable
+    // per-shard pointers, never the (movable) set.
+    if (w.merge_inflight.exchange(true, std::memory_order_acq_rel)) return;
+    rebuilds->fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<ShardWriter> writer = writers_[s];
+    update_options_.rebuild_pool->Submit([writer, block, qc] {
+      std::lock_guard<std::mutex> task_lock(writer->mu);
+      if (writer->alive) MergePendingLocked(writer.get(), block, qc);
+      // Clear the election *inside* the lock: an updater holds this mutex
+      // when it checks the flag, so inflight==true always means the merge
+      // has not locked yet and will still drain that updater's tuples —
+      // a crossing can never be absorbed by a merge that already ran.
+      writer->merge_inflight.store(false, std::memory_order_release);
+    });
+  } else {
+    rebuilds->fetch_add(1, std::memory_order_relaxed);
+    MergePendingLocked(&w, block, qc);
+  }
+}
+
+bool BlockSet::MergePendingLocked(ShardWriter* writer, GeoBlock* block,
+                                  GeoBlockQC* qc) {
+  if (writer->pending.empty()) return false;
+  // The batched rebuild for new regions: one linear merge of the sorted
+  // layouts (GeoBlock::MergeNewRegionTuples), with the cached ancestor
+  // aggregates patched in the same writer critical section when a cache
+  // exists.
+  if (qc != nullptr) {
+    qc->CommitNewRegionMerge(block, writer->pending);
+  } else {
+    block->MergeNewRegionTuples(writer->pending);
+  }
+  writer->pending.clear();
+  writer->pending.shrink_to_fit();
+  writer->pending_count.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+size_t BlockSet::FlushPendingUpdates() {
+  size_t merged = 0;
+  for (size_t s = 0; s < writers_.size(); ++s) {
+    ShardWriter& w = *writers_[s];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (MergePendingLocked(&w, blocks_[s].get(),
+                           cache_enabled() ? cached_[s].get() : nullptr)) {
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+size_t BlockSet::PendingUpdateCount() const {
+  // Lock-free sum of the per-shard mirrors: never blocks on a shard whose
+  // merge-rebuild is holding its writer lock. Point-in-time by nature.
+  size_t pending = 0;
+  for (const std::shared_ptr<ShardWriter>& w : writers_) {
+    pending += w->pending_count.load(std::memory_order_relaxed);
+  }
+  return pending;
+}
+
+// ---------------------------------------------------------------------------
+// Attachment and the cached path
+// ---------------------------------------------------------------------------
+
 void BlockSet::AttachDataset(
     std::shared_ptr<const storage::SortedDataset> data) {
   if (data == nullptr) {
@@ -261,7 +456,7 @@ void BlockSet::AttachDataset(
   }
   constexpr uint64_t kEndKey = ~uint64_t{0};
   for (size_t i = 0; i < blocks_.size(); ++i) {
-    if (blocks_[i].num_columns() != data->num_columns()) {
+    if (blocks_[i]->num_columns() != data->num_columns()) {
       throw std::runtime_error(
           "BlockSet::AttachDataset: dataset column count does not match the "
           "blocks");
@@ -282,22 +477,38 @@ void BlockSet::AttachDataset(
   }
   for (size_t i = 0; i < blocks_.size(); ++i) {
     const ShardWindow& w = windows_[i];
-    blocks_[i].AttachData(
+    blocks_[i]->AttachData(
         storage::DatasetView::Window(data, w.offset, w.offset + w.num_rows));
   }
   dataset_attached_ = true;
 }
 
 void BlockSet::DetachDataset() {
-  for (GeoBlock& b : blocks_) b.DetachData();
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) b->DetachData();
   dataset_attached_ = false;
 }
 
 void BlockSet::EnableCache(const GeoBlockQC::Options& options) {
+  // Re-enabling after updates ran: background merge tasks still queued on
+  // a rebuild pool captured the *outgoing* QCs. Neutralize each shard's
+  // gate (the task locks, sees dead, skips) and migrate its pending
+  // buffer to a fresh writer record before destroying the QCs.
+  for (std::shared_ptr<ShardWriter>& w : writers_) {
+    if (w == nullptr) continue;
+    auto fresh = std::make_shared<ShardWriter>();
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->alive = false;
+      fresh->pending = std::move(w->pending);
+      fresh->pending_count.store(fresh->pending.size(),
+                                 std::memory_order_relaxed);
+    }
+    w = std::move(fresh);
+  }
   cached_.clear();
   cached_.reserve(blocks_.size());
-  for (const GeoBlock& b : blocks_) {
-    cached_.push_back(std::make_unique<GeoBlockQC>(&b, options));
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
+    cached_.push_back(std::make_unique<GeoBlockQC>(b.get(), options));
   }
 }
 
@@ -326,9 +537,10 @@ QueryResult BlockSet::SelectCoveringCached(
   OverlappingShards(covering, &shards);
   Accumulator acc(&request);
   // Lock-free fold: each shard's CombineCovering loads that shard's trie
-  // snapshot once and probes it without any mutex (GeoBlockQC concurrency
-  // model). Shards are visited in ascending order, so the fold stays
-  // bit-identical to a serialized execution over the same snapshots.
+  // snapshot and block-state version once and probes them without any
+  // mutex (GeoBlockQC concurrency model). Shards are visited in ascending
+  // order, so the fold stays bit-identical to a serialized execution over
+  // the same snapshots.
   for (const size_t s : shards) {
     cached_[s]->CombineCovering(covering, &acc);
   }

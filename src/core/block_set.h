@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -60,6 +62,25 @@ struct QueryBatch {
 /// trie snapshots + relaxed-atomic stats; see docs/ARCHITECTURE.md,
 /// "Concurrency model").
 ///
+/// ## The update plane (MVCC writes, docs/ARCHITECTURE.md "Update plane")
+///
+/// ApplyBatchUpdate routes arriving tuples to shards by Hilbert key using
+/// the manifest boundaries and commits each shard's sub-batch under that
+/// shard's commit lock: the shard block publishes a cloned-and-patched
+/// BlockState version, and (when the cache is enabled) the shard's trie is
+/// patched in the same writer critical section. Writers stripe across
+/// shards — commits to different shards proceed in parallel (optionally on
+/// a ThreadPool) — and readers never block: SELECT/COUNT, cached or not,
+/// run concurrently with updates with no external serialization. Tuples
+/// for new, previously unaggregated regions land in a per-shard pending
+/// buffer; when a buffer crosses UpdateOptions::pending_rebuild_threshold,
+/// one writer is CAS-elected to merge it into a fresh shard state (the
+/// paper's "batched rebuild"), inline or on UpdateOptions::rebuild_pool.
+///
+/// Like EnableCache, the update plane holds per-shard pointers: configure
+/// and update a set only in its final resting place (don't move a set
+/// that is actively serving updates).
+///
 /// ## Persistence and the attach/detach state machine
 ///
 /// A BlockSet is a materialized view: its cell aggregates answer
@@ -81,6 +102,18 @@ struct QueryBatch {
 class BlockSet {
  public:
   BlockSet() = default;
+
+  /// Neutralizes pending-rebuild tasks still queued on a rebuild pool
+  /// (they hold the per-shard writer gates, never the set), then waits out
+  /// any rebuild already inside a gate.
+  ~BlockSet();
+
+  BlockSet(BlockSet&& other) noexcept = default;
+  /// Move-assignment neutralizes the target's own writer gates first (as
+  /// the destructor would) before adopting the source's shards.
+  BlockSet& operator=(BlockSet&& other) noexcept;
+  BlockSet(const BlockSet&) = delete;
+  BlockSet& operator=(const BlockSet&) = delete;
 
   /// Builds one GeoBlock per shard. When `pool` is non-null the per-shard
   /// builds run concurrently on it (the build is embarrassingly parallel:
@@ -105,7 +138,7 @@ class BlockSet {
   size_t num_shards() const { return blocks_.size(); }
   /// @param i Shard index in [0, num_shards()).
   /// @return The i-th shard's block.
-  const GeoBlock& shard(size_t i) const { return blocks_[i]; }
+  const GeoBlock& shard(size_t i) const { return *blocks_[i]; }
   /// @return The grid level every shard block was built at.
   int level() const { return level_; }
   /// @return The projection shared by every shard block.
@@ -196,6 +229,75 @@ class BlockSet {
   std::vector<uint64_t> CountBatch(
       std::span<const geo::Polygon* const> polygons,
       util::ThreadPool* pool) const;
+
+  /// -- Update plane --------------------------------------------------------
+
+  /// Configuration of the concurrent write path.
+  struct UpdateOptions {
+    /// A shard whose pending (new-region) buffer reaches this many tuples
+    /// triggers a batched merge-rebuild of that shard. 0 disables the
+    /// automatic trigger (use FlushPendingUpdates).
+    size_t pending_rebuild_threshold = 1024;
+    /// When set, threshold-triggered merges are submitted to this pool
+    /// instead of running on the updating thread — updates never pay the
+    /// merge latency. The pool must outlive the set's update activity;
+    /// destroying the set with merges still queued is safe (the tasks
+    /// neutralize through per-shard gates).
+    util::ThreadPool* rebuild_pool = nullptr;
+  };
+
+  /// Outcome of one routed batch.
+  struct SetUpdateResult {
+    size_t applied = 0;    ///< tuples merged into existing cell aggregates
+    size_t buffered = 0;   ///< new-region tuples added to pending buffers
+    size_t rebuilds = 0;   ///< shard merge-rebuilds triggered by this batch
+    size_t pending_after = 0;  ///< pending tuples across shards afterwards
+                               ///< (point-in-time; a background merge may
+                               ///< still be draining a buffer)
+  };
+
+  /// Sets the pending-buffer policy (threshold, rebuild pool). Call before
+  /// serving updates; not thread-safe against in-flight ApplyBatchUpdate.
+  ///
+  /// @param options The update-plane configuration.
+  void ConfigureUpdates(const UpdateOptions& options) {
+    update_options_ = options;
+  }
+
+  /// Integrates newly arriving tuples into the sharded view (Section 5,
+  /// lifted to the shard level): tuples are routed to their shard by
+  /// Hilbert key via the manifest boundaries, each shard's sub-batch
+  /// commits under that shard's writer lock (block state and cache trie
+  /// publish as one logical unit per shard), and tuples for new regions
+  /// accumulate in the shard's pending buffer until the threshold triggers
+  /// a batched merge-rebuild.
+  ///
+  /// Safe concurrently with every `const` read path — Select/Count,
+  /// SelectCached/SelectCoveringCached, batched execution — with no
+  /// external serialization: readers pin per-shard snapshots and never
+  /// block. Concurrent ApplyBatchUpdate calls are also safe (shard commit
+  /// locks stripe the writers), though per-shard commit order then depends
+  /// on scheduling. With `pool`, per-shard commits of this batch run in
+  /// parallel; results are independent of the pool (shards are disjoint).
+  ///
+  /// @param batch The arriving tuples (routed by location).
+  /// @param pool  Optional pool for the per-shard commit fan-out.
+  /// @return Applied/buffered counts plus rebuild activity.
+  /// @throws std::logic_error on a set without manifest metadata (only
+  ///     sets from Build or ReadFrom can be updated).
+  SetUpdateResult ApplyBatchUpdate(std::span<const GeoBlock::UpdateTuple> batch,
+                                   util::ThreadPool* pool = nullptr);
+
+  /// Merges every shard's pending buffer now, on the calling thread
+  /// (waiting for a background merge of the same shard to finish first).
+  /// After it returns — and any configured rebuild_pool is drained — all
+  /// previously buffered tuples are queryable.
+  ///
+  /// @return Number of shards that had pending tuples merged.
+  size_t FlushPendingUpdates();
+
+  /// @return Total new-region tuples currently buffered across shards.
+  size_t PendingUpdateCount() const;
 
   /// -- Persistence ---------------------------------------------------------
 
@@ -364,12 +466,58 @@ class BlockSet {
     uint64_t num_rows = 0;
   };
 
+  /// Per-shard writer state: the striped commit lock, the pending
+  /// (new-region) buffer it guards, and the lifetime gate background
+  /// merge tasks hold instead of the set. shared_ptr: a queued task
+  /// co-owns the gate, so a set destroyed (alive=false under mu) with
+  /// merges still queued leaves them as safe no-ops.
+  struct ShardWriter {
+    std::mutex mu;
+    bool alive = true;  ///< guarded by mu; flipped by ~BlockSet
+    std::vector<GeoBlock::UpdateTuple> pending;
+    /// Relaxed mirror of pending.size(), maintained by writers under mu,
+    /// so PendingUpdateCount (and ApplyBatchUpdate's pending_after) read
+    /// it without taking a shard lock — an update batch's return latency
+    /// must not be gated by an unrelated shard's in-flight merge.
+    std::atomic<size_t> pending_count{0};
+    /// At most one background merge per shard is queued or running; an
+    /// updating thread that crosses the threshold while one is in flight
+    /// is absorbed by it (the merge drains whatever is buffered when it
+    /// runs).
+    std::atomic<bool> merge_inflight{false};
+  };
+
+  /// Commits one routed sub-batch against shard `s` under its writer lock
+  /// and handles the pending buffer + threshold trigger. Returns through
+  /// the atomics in ApplyBatchUpdate.
+  void CommitShardBatch(size_t s, std::vector<GeoBlock::UpdateTuple> batch,
+                        std::atomic<size_t>* applied,
+                        std::atomic<size_t>* buffered,
+                        std::atomic<size_t>* rebuilds);
+
+  /// Merges `writer`'s pending buffer into a fresh state of `block` (and
+  /// patches `qc`'s trie when non-null). Caller must hold writer->mu.
+  /// Static — background merge tasks capture the stable per-shard pointers
+  /// plus the gate, never the (movable) set itself.
+  /// @return True when there was anything to merge.
+  static bool MergePendingLocked(ShardWriter* writer, GeoBlock* block,
+                                 GeoBlockQC* qc);
+
+  /// Flips every writer gate dead (destructor / move-assign teardown).
+  void NeutralizeWriters();
+
   int level_ = 0;
   geo::Projection projection_;
-  std::vector<GeoBlock> blocks_;
+  // One block per shard. unique_ptr keeps each block's address stable so
+  // the per-shard GeoBlockQCs and queued background merges stay valid
+  // across set moves.
+  std::vector<std::unique_ptr<GeoBlock>> blocks_;
   // One lock-free GeoBlockQC per shard (unique_ptr: the QC pins its
   // address — it owns atomics and the stats slot table).
   std::vector<std::unique_ptr<GeoBlockQC>> cached_;
+  // The update plane: one writer record per shard plus the shared policy.
+  std::vector<std::shared_ptr<ShardWriter>> writers_;
+  UpdateOptions update_options_;
 
   // Manifest metadata (persisted by WriteTo, validated by AttachDataset).
   int align_level_ = -1;

@@ -1,11 +1,276 @@
 #include "core/geoblock.h"
 
 #include <algorithm>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <utility>
 
 namespace geoblocks::core {
+
+namespace {
+
+/// Mutable staging area for a fresh BlockState: build/merge paths fill the
+/// plain vectors, then Finish() freezes them into the immutable,
+/// individually refcounted form a publish expects.
+struct StateBuilder {
+  BlockHeader header;
+  size_t num_columns = 0;
+  std::vector<uint64_t> cells;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> counts;
+  std::vector<uint64_t> min_keys;
+  std::vector<uint64_t> max_keys;
+  std::vector<ColumnAggregate> column_aggs;
+
+  std::shared_ptr<const BlockState> Finish() {
+    if (!cells.empty()) {
+      header.min_cell = cells.front();
+      header.max_cell = cells.back();
+    }
+    auto state = std::make_shared<BlockState>();
+    state->header = std::move(header);
+    state->num_columns = num_columns;
+    state->cells =
+        std::make_shared<const std::vector<uint64_t>>(std::move(cells));
+    state->offsets =
+        std::make_shared<const std::vector<uint32_t>>(std::move(offsets));
+    state->counts =
+        std::make_shared<const std::vector<uint32_t>>(std::move(counts));
+    state->min_keys =
+        std::make_shared<const std::vector<uint64_t>>(std::move(min_keys));
+    state->max_keys =
+        std::make_shared<const std::vector<uint64_t>>(std::move(max_keys));
+    state->column_aggs = std::make_shared<const std::vector<ColumnAggregate>>(
+        std::move(column_aggs));
+    return state;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockState: the immutable query plane
+// ---------------------------------------------------------------------------
+
+BlockState::BlockState()
+    : cells(std::make_shared<const std::vector<uint64_t>>()),
+      offsets(std::make_shared<const std::vector<uint32_t>>()),
+      counts(std::make_shared<const std::vector<uint32_t>>()),
+      min_keys(std::make_shared<const std::vector<uint64_t>>()),
+      max_keys(std::make_shared<const std::vector<uint64_t>>()),
+      column_aggs(std::make_shared<const std::vector<ColumnAggregate>>()) {}
+
+size_t BlockState::SeekFirst(uint64_t key, size_t last_idx) const {
+  const std::vector<uint64_t>& ids = *cells;
+  // Listing 1: after a match, first try the successor of the last combined
+  // aggregate before falling back to binary search.
+  if (last_idx != GeoBlock::kNoLastAgg) {
+    const size_t next = last_idx + 1;
+    if (next >= ids.size()) return ids.size();
+    if (ids[next] >= key && (next == 0 || ids[next - 1] < key)) {
+      // The successor is exactly the first aggregate >= key only when the
+      // previous one is below; since query cells arrive in ascending order
+      // and last_idx was consumed, ids[last_idx] < key always holds.
+      return next;
+    }
+    return static_cast<size_t>(
+        std::lower_bound(ids.begin() + next, ids.end(), key) - ids.begin());
+  }
+  return static_cast<size_t>(std::lower_bound(ids.begin(), ids.end(), key) -
+                             ids.begin());
+}
+
+void BlockState::CombineCell(cell::CellId qcell, Accumulator* acc,
+                             size_t* last_idx) const {
+  // Covering cells are never finer than the grid; clamp defensively.
+  if (qcell.level() > header.level) qcell = qcell.Parent(header.level);
+  // Prune query cells outside [minCell, maxCell] (Listing 1, lines 5-6).
+  if (!MayOverlap(qcell)) return;
+  const std::vector<uint64_t>& ids = *cells;
+  const uint64_t first_child = qcell.ChildBegin(header.level).id();
+  const uint64_t last_child = qcell.ChildLast(header.level).id();
+  size_t idx = SeekFirst(first_child, *last_idx);
+  // Contiguous scan over the sorted cell aggregates (Listing 1, 25-28).
+  while (idx < ids.size() && ids[idx] <= last_child) {
+    acc->AddAggregate((*counts)[idx], cell_columns(idx));
+    *last_idx = idx;
+    ++idx;
+  }
+}
+
+void BlockState::CombineCovering(std::span<const cell::CellId> covering,
+                                 Accumulator* acc) const {
+  size_t last_idx = GeoBlock::kNoLastAgg;
+  for (const cell::CellId& qcell : covering) {
+    CombineCell(qcell, acc, &last_idx);
+  }
+}
+
+QueryResult BlockState::SelectCovering(std::span<const cell::CellId> covering,
+                                       const AggregateRequest& request) const {
+  Accumulator acc(&request);
+  CombineCovering(covering, &acc);
+  return acc.Finish();
+}
+
+uint64_t BlockState::CountCovering(
+    std::span<const cell::CellId> covering) const {
+  const std::vector<uint64_t>& ids = *cells;
+  uint64_t result = 0;
+  size_t hint = 0;
+  for (cell::CellId qcell : covering) {
+    if (qcell.level() > header.level) qcell = qcell.Parent(header.level);
+    if (!MayOverlap(qcell)) continue;
+    const uint64_t f_child = qcell.ChildBegin(header.level).id();
+    const uint64_t l_child = qcell.ChildLast(header.level).id();
+    // Locate the first and last contained aggregate (Listing 2, lines 8-9);
+    // the second search starts from the first, and both reuse the position
+    // of the previous query cell as a hint (query cells ascend).
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(ids.begin() + hint, ids.end(), f_child) -
+        ids.begin());
+    const size_t last_plus_one = static_cast<size_t>(
+        std::upper_bound(ids.begin() + first, ids.end(), l_child) -
+        ids.begin());
+    hint = first;
+    if (last_plus_one <= first) continue;
+    const size_t last = last_plus_one - 1;
+    // Range-sum over offsets (Listing 2, line 11).
+    result += static_cast<uint64_t>((*offsets)[last]) + (*counts)[last] -
+              (*offsets)[first];
+  }
+  return result;
+}
+
+AggregateVector BlockState::AggregateForCell(cell::CellId cell) const {
+  AggregateVector agg(num_columns);
+  if (cell.level() > header.level) cell = cell.Parent(header.level);
+  if (!MayOverlap(cell)) return agg;
+  const std::vector<uint64_t>& ids = *cells;
+  const uint64_t first_child = cell.ChildBegin(header.level).id();
+  const uint64_t last_child = cell.ChildLast(header.level).id();
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(ids.begin(), ids.end(), first_child) - ids.begin());
+  while (idx < ids.size() && ids[idx] <= last_child) {
+    agg.count += (*counts)[idx];
+    const ColumnAggregate* cols = cell_columns(idx);
+    for (size_t c = 0; c < num_columns; ++c) agg.columns[c].Merge(cols[c]);
+    ++idx;
+  }
+  return agg;
+}
+
+size_t BlockState::CellAggregateBytes() const {
+  return cells->size() * (sizeof(uint64_t) * 3 + sizeof(uint32_t) * 2) +
+         column_aggs->size() * sizeof(ColumnAggregate);
+}
+
+// ---------------------------------------------------------------------------
+// GeoBlock: construction, copies, state installation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One cell with the retirement-counting hook attached — shared by the
+/// default constructor and InstallState.
+std::unique_ptr<util::SnapshotCell<BlockState>> MakeStateCell(
+    std::shared_ptr<const BlockState> initial,
+    const std::shared_ptr<std::atomic<uint64_t>>& counter) {
+  auto cell =
+      std::make_unique<util::SnapshotCell<BlockState>>(std::move(initial));
+  cell->SetRetireHook([counter](std::shared_ptr<const BlockState>) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  });
+  return cell;
+}
+
+}  // namespace
+
+GeoBlock::GeoBlock()
+    : retired_(std::make_shared<std::atomic<uint64_t>>(0)) {
+  state_ = MakeStateCell(std::make_shared<const BlockState>(), retired_);
+}
+
+GeoBlock::GeoBlock(const GeoBlock& other) : GeoBlock() {
+  data_ = other.data_;
+  filter_ = other.filter_;
+  projection_ = other.projection_;
+  level_ = other.level_;
+  num_columns_ = other.num_columns_;
+  // Copies share the immutable current version; future publishes on either
+  // block never affect the other (each has its own cell).
+  InstallState(other.StateSnapshot());
+}
+
+GeoBlock& GeoBlock::operator=(const GeoBlock& other) {
+  if (this == &other) return *this;
+  GeoBlock copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+GeoBlock::GeoBlock(GeoBlock&& other) noexcept
+    : data_(std::move(other.data_)),
+      filter_(std::move(other.filter_)),
+      projection_(other.projection_),
+      level_(other.level_),
+      num_columns_(other.num_columns_),
+      state_(std::move(other.state_)),
+      retired_(std::move(other.retired_)) {
+  route_cells_.store(other.route_cells_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  route_min_.store(other.route_min_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  route_max_.store(other.route_max_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+GeoBlock& GeoBlock::operator=(GeoBlock&& other) noexcept {
+  if (this == &other) return *this;
+  data_ = std::move(other.data_);
+  filter_ = std::move(other.filter_);
+  projection_ = other.projection_;
+  level_ = other.level_;
+  num_columns_ = other.num_columns_;
+  state_ = std::move(other.state_);
+  retired_ = std::move(other.retired_);
+  route_cells_.store(other.route_cells_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  route_min_.store(other.route_min_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  route_max_.store(other.route_max_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
+void GeoBlock::InstallState(std::shared_ptr<const BlockState> state) {
+  // Pre-publication (build/load/copy): no readers exist yet, so the cell is
+  // replaced outright instead of epoch-swapped — the empty initial state is
+  // not counted as a retirement.
+  state_ = MakeStateCell(state, retired_);
+  route_cells_.store(state->num_cells(), std::memory_order_relaxed);
+  route_min_.store(state->header.min_cell, std::memory_order_relaxed);
+  route_max_.store(state->header.max_cell, std::memory_order_relaxed);
+}
+
+void GeoBlock::PublishState(std::shared_ptr<const BlockState> state) {
+  // Commit order: the state version first (readers pinning after the swap
+  // see the successor), then the routing mirror. A reader interleaving the
+  // two sees a routing range at most one version behind its pinned state,
+  // which the MayOverlap contract tolerates.
+  const size_t cells = state->num_cells();
+  const uint64_t min_cell = state->header.min_cell;
+  const uint64_t max_cell = state->header.max_cell;
+  state_->Publish(std::move(state));
+  route_cells_.store(cells, std::memory_order_relaxed);
+  route_min_.store(min_cell, std::memory_order_relaxed);
+  route_max_.store(max_cell, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Build and derivation
+// ---------------------------------------------------------------------------
 
 GeoBlock GeoBlock::Build(storage::DatasetView data,
                          const BlockOptions& options) {
@@ -13,12 +278,16 @@ GeoBlock GeoBlock::Build(storage::DatasetView data,
   block.data_ = std::move(data);
   block.filter_ = options.filter;
   const storage::DatasetView& view = block.data_;
-  block.header_.level = options.level;
+  block.level_ = options.level;
   if (view.has_data()) {
     block.projection_ = view.projection();
     block.num_columns_ = view.num_columns();
   }
-  block.header_.global = AggregateVector(block.num_columns_);
+
+  StateBuilder b;
+  b.header.level = options.level;
+  b.num_columns = block.num_columns_;
+  b.header.global = AggregateVector(block.num_columns_);
 
   const uint64_t lsb = cell::CellId::LsbForLevel(options.level);
   const storage::Filter& filter = options.filter;
@@ -35,47 +304,35 @@ GeoBlock GeoBlock::Build(storage::DatasetView data,
     const uint64_t key = keys[row];
     const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
     if (cell_id != current_cell) {
-      block.cells_.push_back(cell_id);
-      block.offsets_.push_back(matched_so_far);
-      block.counts_.push_back(0);
-      block.min_keys_.push_back(key);
-      block.max_keys_.push_back(key);
-      block.column_aggs_.resize(block.column_aggs_.size() +
-                                block.num_columns_);
+      b.cells.push_back(cell_id);
+      b.offsets.push_back(matched_so_far);
+      b.counts.push_back(0);
+      b.min_keys.push_back(key);
+      b.max_keys.push_back(key);
+      b.column_aggs.resize(b.column_aggs.size() + b.num_columns);
       current_cell = cell_id;
     }
-    const size_t idx = block.cells_.size() - 1;
-    ++block.counts_[idx];
+    const size_t idx = b.cells.size() - 1;
+    ++b.counts[idx];
     ++matched_so_far;
-    block.max_keys_[idx] = key;
-    ColumnAggregate* cols =
-        block.column_aggs_.data() + idx * block.num_columns_;
-    ++block.header_.global.count;
-    for (size_t c = 0; c < block.num_columns_; ++c) {
+    b.max_keys[idx] = key;
+    ColumnAggregate* cols = b.column_aggs.data() + idx * b.num_columns;
+    ++b.header.global.count;
+    for (size_t c = 0; c < b.num_columns; ++c) {
       const double v = view.Value(row, c);
       cols[c].Add(v);
-      block.header_.global.columns[c].Add(v);
+      b.header.global.columns[c].Add(v);
     }
   }
 
-  if (!block.cells_.empty()) {
-    block.header_.min_cell = block.cells_.front();
-    block.header_.max_cell = block.cells_.back();
-  }
+  block.InstallState(b.Finish());
   return block;
 }
 
 GeoBlock GeoBlock::CoarsenTo(int level) const {
-  GeoBlock block;
-  block.data_ = data_;
-  block.filter_ = filter_;
-  block.projection_ = projection_;
-  block.num_columns_ = num_columns_;
-  block.header_.level = level;
-  block.header_.global = header_.global;
-  if (level >= header_.level) {
+  if (level >= level_) {
     // Refining requires the base data; same level is a copy.
-    if (level == header_.level) return *this;
+    if (level == level_) return *this;
     if (!data_.has_data()) {
       // Deserialized blocks are self-contained cell aggregates without base
       // rows; they can coarsen but not refine.
@@ -87,30 +344,41 @@ GeoBlock GeoBlock::CoarsenTo(int level) const {
     return Build(data_, BlockOptions{level, filter_});
   }
 
+  const std::shared_ptr<const BlockState> state = StateSnapshot();
+  GeoBlock block;
+  block.data_ = data_;
+  block.filter_ = filter_;
+  block.projection_ = projection_;
+  block.level_ = level;
+  block.num_columns_ = num_columns_;
+
+  StateBuilder b;
+  b.header.level = level;
+  b.num_columns = num_columns_;
+  b.header.global = state->header.global;
+
+  const std::vector<uint64_t>& src_cells = *state->cells;
   const uint64_t lsb = cell::CellId::LsbForLevel(level);
   uint64_t current_cell = 0;
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    const uint64_t parent = (cells_[i] & (~lsb + 1)) | lsb;
+  for (size_t i = 0; i < src_cells.size(); ++i) {
+    const uint64_t parent = (src_cells[i] & (~lsb + 1)) | lsb;
     if (parent != current_cell) {
-      block.cells_.push_back(parent);
-      block.offsets_.push_back(offsets_[i]);
-      block.counts_.push_back(0);
-      block.min_keys_.push_back(min_keys_[i]);
-      block.max_keys_.push_back(max_keys_[i]);
-      block.column_aggs_.resize(block.column_aggs_.size() + num_columns_);
+      b.cells.push_back(parent);
+      b.offsets.push_back((*state->offsets)[i]);
+      b.counts.push_back(0);
+      b.min_keys.push_back((*state->min_keys)[i]);
+      b.max_keys.push_back((*state->max_keys)[i]);
+      b.column_aggs.resize(b.column_aggs.size() + num_columns_);
       current_cell = parent;
     }
-    const size_t idx = block.cells_.size() - 1;
-    block.counts_[idx] += counts_[i];
-    block.max_keys_[idx] = max_keys_[i];
-    ColumnAggregate* dst = block.column_aggs_.data() + idx * num_columns_;
-    const ColumnAggregate* src = cell_columns(i);
+    const size_t idx = b.cells.size() - 1;
+    b.counts[idx] += (*state->counts)[i];
+    b.max_keys[idx] = (*state->max_keys)[i];
+    ColumnAggregate* dst = b.column_aggs.data() + idx * num_columns_;
+    const ColumnAggregate* src = state->cell_columns(i);
     for (size_t c = 0; c < num_columns_; ++c) dst[c].Merge(src[c]);
   }
-  if (!block.cells_.empty()) {
-    block.header_.min_cell = block.cells_.front();
-    block.header_.max_cell = block.cells_.back();
-  }
+  block.InstallState(b.Finish());
   return block;
 }
 
@@ -126,6 +394,10 @@ void GeoBlock::AttachData(storage::DatasetView view) {
   }
   data_ = std::move(view);
 }
+
+// ---------------------------------------------------------------------------
+// Covering and queries (each pins one state version)
+// ---------------------------------------------------------------------------
 
 std::vector<cell::CellId> CoverPolygon(const geo::Projection& projection,
                                        int level,
@@ -146,27 +418,7 @@ void CoverPolygonInto(const geo::Projection& projection, int level,
 }
 
 std::vector<cell::CellId> GeoBlock::Cover(const geo::Polygon& polygon) const {
-  return CoverPolygon(projection_, header_.level, polygon);
-}
-
-size_t GeoBlock::SeekFirst(uint64_t key, size_t last_idx) const {
-  // Listing 1: after a match, first try the successor of the last combined
-  // aggregate before falling back to binary search.
-  if (last_idx != kNoLastAgg) {
-    const size_t next = last_idx + 1;
-    if (next >= cells_.size()) return cells_.size();
-    if (cells_[next] >= key && (next == 0 || cells_[next - 1] < key)) {
-      // The successor is exactly the first aggregate >= key only when the
-      // previous one is below; since query cells arrive in ascending order
-      // and last_idx was consumed, cells_[last_idx] < key always holds.
-      return next;
-    }
-    return static_cast<size_t>(
-        std::lower_bound(cells_.begin() + next, cells_.end(), key) -
-        cells_.begin());
-  }
-  return static_cast<size_t>(
-      std::lower_bound(cells_.begin(), cells_.end(), key) - cells_.begin());
+  return CoverPolygon(projection_, level_, polygon);
 }
 
 QueryResult GeoBlock::Select(const geo::Polygon& polygon,
@@ -175,31 +427,22 @@ QueryResult GeoBlock::Select(const geo::Polygon& polygon,
   return SelectCovering(covering, request);
 }
 
-void GeoBlock::CombineCell(cell::CellId qcell, Accumulator* acc,
-                           size_t* last_idx) const {
-  // Covering cells are never finer than the grid; clamp defensively.
-  if (qcell.level() > header_.level) qcell = qcell.Parent(header_.level);
-  // Prune query cells outside [minCell, maxCell] (Listing 1, lines 5-6).
-  if (!MayOverlap(qcell)) return;
-  const uint64_t first_child = qcell.ChildBegin(header_.level).id();
-  const uint64_t last_child = qcell.ChildLast(header_.level).id();
-  size_t idx = SeekFirst(first_child, *last_idx);
-  // Contiguous scan over the sorted cell aggregates (Listing 1, 25-28).
-  while (idx < cells_.size() && cells_[idx] <= last_child) {
-    acc->AddAggregate(counts_[idx], cell_columns(idx));
-    *last_idx = idx;
-    ++idx;
-  }
-}
-
 QueryResult GeoBlock::SelectCovering(std::span<const cell::CellId> covering,
                                      const AggregateRequest& request) const {
-  Accumulator acc(&request);
-  size_t last_idx = kNoLastAgg;
-  for (const cell::CellId& qcell : covering) {
-    CombineCell(qcell, &acc, &last_idx);
-  }
-  return acc.Finish();
+  const util::SnapshotCell<BlockState>::ReadGuard state(*state_);
+  return state->SelectCovering(covering, request);
+}
+
+void GeoBlock::CombineCovering(std::span<const cell::CellId> covering,
+                               Accumulator* acc) const {
+  const util::SnapshotCell<BlockState>::ReadGuard state(*state_);
+  state->CombineCovering(covering, acc);
+}
+
+void GeoBlock::CombineCell(cell::CellId qcell, Accumulator* acc,
+                           size_t* last_idx) const {
+  const util::SnapshotCell<BlockState>::ReadGuard state(*state_);
+  state->CombineCell(qcell, acc, last_idx);
 }
 
 uint64_t GeoBlock::Count(const geo::Polygon& polygon) const {
@@ -209,97 +452,211 @@ uint64_t GeoBlock::Count(const geo::Polygon& polygon) const {
 
 uint64_t GeoBlock::CountCovering(
     std::span<const cell::CellId> covering) const {
-  uint64_t result = 0;
-  size_t hint = 0;
-  for (cell::CellId qcell : covering) {
-    if (qcell.level() > header_.level) qcell = qcell.Parent(header_.level);
-    if (!MayOverlap(qcell)) continue;
-    const uint64_t f_child = qcell.ChildBegin(header_.level).id();
-    const uint64_t l_child = qcell.ChildLast(header_.level).id();
-    // Locate the first and last contained aggregate (Listing 2, lines 8-9);
-    // the second search starts from the first, and both reuse the position
-    // of the previous query cell as a hint (query cells ascend).
-    const size_t first = static_cast<size_t>(
-        std::lower_bound(cells_.begin() + hint, cells_.end(), f_child) -
-        cells_.begin());
-    const size_t last_plus_one = static_cast<size_t>(
-        std::upper_bound(cells_.begin() + first, cells_.end(), l_child) -
-        cells_.begin());
-    hint = first;
-    if (last_plus_one <= first) continue;
-    const size_t last = last_plus_one - 1;
-    // Range-sum over offsets (Listing 2, line 11).
-    result += static_cast<uint64_t>(offsets_[last]) + counts_[last] -
-              offsets_[first];
-  }
-  return result;
+  const util::SnapshotCell<BlockState>::ReadGuard state(*state_);
+  return state->CountCovering(covering);
 }
 
 AggregateVector GeoBlock::AggregateForCell(cell::CellId cell) const {
-  AggregateVector agg(num_columns_);
-  if (cell.level() > header_.level) cell = cell.Parent(header_.level);
-  if (!MayOverlap(cell)) return agg;
-  const uint64_t first_child = cell.ChildBegin(header_.level).id();
-  const uint64_t last_child = cell.ChildLast(header_.level).id();
-  size_t idx = static_cast<size_t>(
-      std::lower_bound(cells_.begin(), cells_.end(), first_child) -
-      cells_.begin());
-  while (idx < cells_.size() && cells_[idx] <= last_child) {
-    agg.count += counts_[idx];
-    const ColumnAggregate* cols = cell_columns(idx);
-    for (size_t c = 0; c < num_columns_; ++c) agg.columns[c].Merge(cols[c]);
-    ++idx;
-  }
-  return agg;
+  const util::SnapshotCell<BlockState>::ReadGuard state(*state_);
+  return state->AggregateForCell(cell);
 }
+
+// ---------------------------------------------------------------------------
+// The MVCC write plane: clone-patch-publish
+// ---------------------------------------------------------------------------
 
 GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
     std::span<const UpdateTuple> batch) {
   UpdateResult result;
-  const uint64_t lsb = cell::CellId::LsbForLevel(header_.level);
+  // Writers are externally serialized, so the raw current version is
+  // stable for the whole commit.
+  const BlockState* cur = CurrentState();
+  const std::vector<uint64_t>& ids = *cur->cells;
+  const uint64_t lsb = cell::CellId::LsbForLevel(level_);
+
+  // Pass 1: classify the batch against the (frozen) cell layout.
+  struct Hit {
+    size_t idx;  ///< cell-aggregate index the tuple lands in
+    size_t b;    ///< batch index
+    uint64_t key;
+  };
+  std::vector<Hit> hits;
+  hits.reserve(batch.size());
   for (size_t b = 0; b < batch.size(); ++b) {
-    const UpdateTuple& tuple = batch[b];
     const uint64_t key =
-        cell::CellId::FromPoint(projection_.ToUnit(tuple.location))
-            .id();
+        cell::CellId::FromPoint(projection_.ToUnit(batch[b].location)).id();
     const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
-    const auto it = std::lower_bound(cells_.begin(), cells_.end(), cell_id);
-    if (it == cells_.end() || *it != cell_id) {
+    const auto it = std::lower_bound(ids.begin(), ids.end(), cell_id);
+    if (it == ids.end() || *it != cell_id) {
       // New, previously unaggregated region: the sorted layout has no slot
-      // for it (Section 5 — requires a rebuild, ideally batched).
+      // for it (Section 5 — requires a rebuild, ideally batched; see
+      // MergeNewRegionTuples and BlockSet's pending buffer).
       result.rejected.push_back(b);
       continue;
     }
-    const size_t idx = static_cast<size_t>(it - cells_.begin());
-    ++counts_[idx];
-    min_keys_[idx] = std::min(min_keys_[idx], key);
-    max_keys_[idx] = std::max(max_keys_[idx], key);
-    ColumnAggregate* cols = column_aggs_.data() + idx * num_columns_;
-    ++header_.global.count;
+    hits.push_back({static_cast<size_t>(it - ids.begin()), b, key});
+  }
+  // Early exit: an all-rejected (or empty) batch publishes nothing — not
+  // even the offsets prefix-sum is recomputed, and the state pointer is
+  // bit-identically unchanged.
+  if (hits.empty()) return result;
+  result.applied = hits.size();
+
+  // Pass 2: clone only the touched arrays. The cell-id array is never
+  // touched by an in-place patch and is shared with the predecessor; the
+  // base-data view is not part of the state at all.
+  auto next = std::make_shared<BlockState>();
+  next->header = cur->header;
+  next->num_columns = num_columns_;
+  next->cells = cur->cells;
+  auto counts = std::make_shared<std::vector<uint32_t>>(*cur->counts);
+  auto min_keys = std::make_shared<std::vector<uint64_t>>(*cur->min_keys);
+  auto max_keys = std::make_shared<std::vector<uint64_t>>(*cur->max_keys);
+  auto column_aggs =
+      std::make_shared<std::vector<ColumnAggregate>>(*cur->column_aggs);
+  for (const Hit& h : hits) {
+    const UpdateTuple& tuple = batch[h.b];
+    ++(*counts)[h.idx];
+    (*min_keys)[h.idx] = std::min((*min_keys)[h.idx], h.key);
+    (*max_keys)[h.idx] = std::max((*max_keys)[h.idx], h.key);
+    ColumnAggregate* cols = column_aggs->data() + h.idx * num_columns_;
+    ++next->header.global.count;
     for (size_t c = 0; c < num_columns_; ++c) {
       cols[c].Add(tuple.values[c]);
-      header_.global.columns[c].Add(tuple.values[c]);
+      next->header.global.columns[c].Add(tuple.values[c]);
     }
-    ++result.applied;
   }
   // Restore the prefix-sum invariant of the offsets in one pass.
+  auto offsets = std::make_shared<std::vector<uint32_t>>(ids.size());
   uint32_t running = 0;
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    offsets_[i] = running;
-    running += counts_[i];
+  for (size_t i = 0; i < ids.size(); ++i) {
+    (*offsets)[i] = running;
+    running += (*counts)[i];
   }
+  next->counts = std::move(counts);
+  next->min_keys = std::move(min_keys);
+  next->max_keys = std::move(max_keys);
+  next->column_aggs = std::move(column_aggs);
+  next->offsets = std::move(offsets);
+
+  PublishState(std::move(next));
   return result;
 }
 
+size_t GeoBlock::MergeNewRegionTuples(std::span<const UpdateTuple> batch) {
+  if (batch.empty()) return 0;
+  const BlockState* cur = CurrentState();
+  const uint64_t lsb = cell::CellId::LsbForLevel(level_);
+
+  // Stage the batch as its own tiny sorted cell-aggregate layout. Within a
+  // cell, tuples fold in batch order, so a serial re-application of the
+  // same batches produces bit-identical sums.
+  struct Partial {
+    uint32_t count = 0;
+    uint64_t min_key = ~uint64_t{0};
+    uint64_t max_key = 0;
+    std::vector<ColumnAggregate> cols;
+  };
+  std::map<uint64_t, Partial> incoming;
+  AggregateVector batch_global(num_columns_);
+  for (const UpdateTuple& tuple : batch) {
+    const uint64_t key =
+        cell::CellId::FromPoint(projection_.ToUnit(tuple.location)).id();
+    const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
+    Partial& p = incoming[cell_id];
+    if (p.cols.empty()) p.cols.resize(num_columns_);
+    ++p.count;
+    p.min_key = std::min(p.min_key, key);
+    p.max_key = std::max(p.max_key, key);
+    ++batch_global.count;
+    for (size_t c = 0; c < num_columns_; ++c) {
+      p.cols[c].Add(tuple.values[c]);
+      batch_global.columns[c].Add(tuple.values[c]);
+    }
+  }
+
+  // One linear merge of the two sorted layouts — the paper's "batched
+  // rebuild" without rescanning any base row.
+  StateBuilder b;
+  b.header.level = level_;
+  b.num_columns = num_columns_;
+  b.header.global = cur->header.global;
+  b.header.global.Merge(batch_global);
+  const size_t n = cur->num_cells();
+  const size_t total = n + incoming.size();
+  b.cells.reserve(total);
+  b.offsets.reserve(total);
+  b.counts.reserve(total);
+  b.min_keys.reserve(total);
+  b.max_keys.reserve(total);
+  b.column_aggs.reserve(total * num_columns_);
+
+  size_t new_cells = 0;
+  size_t i = 0;
+  auto it = incoming.begin();
+  const auto append_existing = [&](size_t idx) {
+    b.cells.push_back((*cur->cells)[idx]);
+    b.counts.push_back((*cur->counts)[idx]);
+    b.min_keys.push_back((*cur->min_keys)[idx]);
+    b.max_keys.push_back((*cur->max_keys)[idx]);
+    const ColumnAggregate* cols = cur->cell_columns(idx);
+    b.column_aggs.insert(b.column_aggs.end(), cols, cols + num_columns_);
+  };
+  while (i < n || it != incoming.end()) {
+    if (it == incoming.end() ||
+        (i < n && (*cur->cells)[i] < it->first)) {
+      append_existing(i++);
+      continue;
+    }
+    if (i < n && (*cur->cells)[i] == it->first) {
+      // The cell exists by now (created by an earlier merge after the
+      // tuples were buffered): fold the partial in place.
+      append_existing(i++);
+      const size_t idx = b.cells.size() - 1;
+      b.counts[idx] += it->second.count;
+      b.min_keys[idx] = std::min(b.min_keys[idx], it->second.min_key);
+      b.max_keys[idx] = std::max(b.max_keys[idx], it->second.max_key);
+      ColumnAggregate* dst = b.column_aggs.data() + idx * num_columns_;
+      for (size_t c = 0; c < num_columns_; ++c) {
+        dst[c].Merge(it->second.cols[c]);
+      }
+      ++it;
+      continue;
+    }
+    // Genuinely new cell aggregate.
+    b.cells.push_back(it->first);
+    b.counts.push_back(it->second.count);
+    b.min_keys.push_back(it->second.min_key);
+    b.max_keys.push_back(it->second.max_key);
+    b.column_aggs.insert(b.column_aggs.end(), it->second.cols.begin(),
+                         it->second.cols.end());
+    ++new_cells;
+    ++it;
+  }
+  b.offsets.resize(b.cells.size());
+  uint32_t running = 0;
+  for (size_t j = 0; j < b.cells.size(); ++j) {
+    b.offsets[j] = running;
+    running += b.counts[j];
+  }
+
+  PublishState(b.Finish());
+  return new_cells;
+}
+
+// ---------------------------------------------------------------------------
+// Sizes
+// ---------------------------------------------------------------------------
+
 size_t GeoBlock::CellAggregateBytes() const {
-  return cells_.size() * (sizeof(uint64_t) * 3 + sizeof(uint32_t) * 2) +
-         column_aggs_.size() * sizeof(ColumnAggregate);
+  return StateSnapshot()->CellAggregateBytes();
 }
 
 size_t GeoBlock::MemoryBytes() const {
+  const std::shared_ptr<const BlockState> state = StateSnapshot();
   return sizeof(BlockHeader) +
-         header_.global.columns.size() * sizeof(ColumnAggregate) +
-         CellAggregateBytes();
+         state->header.global.columns.size() * sizeof(ColumnAggregate) +
+         state->CellAggregateBytes();
 }
 
 }  // namespace geoblocks::core

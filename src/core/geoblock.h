@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "storage/dataset_view.h"
 #include "storage/filter.h"
 #include "storage/sorted_dataset.h"
+#include "util/snapshot_cell.h"
 
 namespace geoblocks::core {
 
@@ -57,6 +60,82 @@ void CoverPolygonInto(const geo::Projection& projection, int level,
                       const geo::Polygon& polygon,
                       std::vector<cell::CellId>* out);
 
+/// One immutable MVCC version of a GeoBlock's aggregate state: the header
+/// plus the parallel cell-aggregate arrays, frozen at publication time.
+///
+/// A BlockState is never mutated once published — updates build a successor
+/// (cloning only the arrays they touch; untouched arrays are shared through
+/// their `shared_ptr`s) and swap it in through the block's
+/// util::SnapshotCell. Readers therefore probe a consistent version with no
+/// locks: every query method on this struct is `const`, touches only the
+/// frozen arrays, and is safe from any number of threads concurrently.
+///
+/// The struct also carries the full query implementation (CombineCell /
+/// CountCovering / AggregateForCell), so a pinned snapshot can be queried
+/// directly and repeatedly with bitwise-stable answers while newer versions
+/// are published underneath — the contract the concurrent update stress
+/// suite asserts.
+struct BlockState {
+  BlockHeader header;
+  size_t num_columns = 0;
+
+  /// Parallel arrays, one entry per non-empty grid cell, ascending by cell
+  /// id. Each array is individually refcounted so a clone-patch-publish
+  /// update copies only the arrays it changes (an in-place aggregate patch
+  /// shares `cells`, which it never touches). Never null — empty states
+  /// hold empty vectors.
+  std::shared_ptr<const std::vector<uint64_t>> cells;
+  std::shared_ptr<const std::vector<uint32_t>> offsets;
+  std::shared_ptr<const std::vector<uint32_t>> counts;
+  std::shared_ptr<const std::vector<uint64_t>> min_keys;
+  std::shared_ptr<const std::vector<uint64_t>> max_keys;
+  std::shared_ptr<const std::vector<ColumnAggregate>> column_aggs;
+
+  BlockState();
+
+  /// @return Number of (non-empty) cell aggregates in this version.
+  size_t num_cells() const { return cells->size(); }
+
+  /// @param idx Cell-aggregate index.
+  /// @return The per-column aggregates of the idx-th cell.
+  const ColumnAggregate* cell_columns(size_t idx) const {
+    return column_aggs->data() + idx * num_columns;
+  }
+
+  /// Constant-time pre-check: can `cell` overlap this state at all?
+  bool MayOverlap(cell::CellId cell) const {
+    return !cells->empty() && cell.RangeMax().id() >= header.min_cell &&
+           cell.RangeMin().id() <= header.max_cell;
+  }
+
+  /// Locates the first cell-aggregate index with cell id >= key, using the
+  /// lastAgg successor shortcut from Listing 1 when possible.
+  size_t SeekFirst(uint64_t key, size_t last_idx) const;
+
+  /// Inner loop of the SELECT algorithm for one covering cell (Listing 1);
+  /// `last_idx` carries the lastAgg cursor across cells.
+  void CombineCell(cell::CellId qcell, Accumulator* acc,
+                   size_t* last_idx) const;
+
+  /// SELECT over a pre-computed covering, folded into `acc`.
+  void CombineCovering(std::span<const cell::CellId> covering,
+                       Accumulator* acc) const;
+
+  /// SELECT over a pre-computed covering.
+  QueryResult SelectCovering(std::span<const cell::CellId> covering,
+                             const AggregateRequest& request) const;
+
+  /// COUNT over a pre-computed covering (Listing 2 range sums).
+  uint64_t CountCovering(std::span<const cell::CellId> covering) const;
+
+  /// Full aggregate (count + every column) of all grid cells contained in
+  /// `cell`; used to materialize trie cache entries.
+  AggregateVector AggregateForCell(cell::CellId cell) const;
+
+  /// Bytes used by the cell aggregates of this version.
+  size_t CellAggregateBytes() const;
+};
+
 /// A GeoBlock: a materialized view over geospatial point data that stores
 /// one *cell aggregate* per non-empty grid cell, sorted by spatial key
 /// (Section 3.4), and answers spatial aggregation queries over arbitrary
@@ -65,6 +144,24 @@ void CoverPolygonInto(const geo::Projection& projection, int level,
 /// Cell aggregates are stored column-wise: parallel arrays of cell id, base
 /// data offset, tuple count, min/max contained leaf key, and a flat array
 /// of per-column min/max/sum.
+///
+/// ## MVCC aggregate state
+///
+/// The aggregate arrays and the global header live in an immutable,
+/// refcounted BlockState published through a util::SnapshotCell. Query
+/// entry points pin exactly one state version per call, so SELECT/COUNT
+/// are `const`, lock-free, and safe concurrently with `ApplyBatchUpdate`
+/// and `MergeNewRegionTuples` — writers commit a cloned-and-patched
+/// successor with one epoch swap and never block readers. Writers must be
+/// serialized externally (BlockSet's per-shard commit locks, or a single
+/// updating thread). `StateSnapshot()` hands out an owning reference whose
+/// query answers stay bitwise-stable forever, regardless of later updates.
+///
+/// The raw-array accessors (`cells()`, `offsets()`, `header()`, ...) read
+/// the currently published version without pinning; they are for
+/// writer-quiesced use (tests, serialization, benches) and must not race a
+/// concurrent publish — concurrent readers go through the query methods or
+/// StateSnapshot().
 ///
 /// ## Base-data attachment
 ///
@@ -77,7 +174,17 @@ void CoverPolygonInto(const geo::Projection& projection, int level,
 /// the self-contained state.
 class GeoBlock {
  public:
-  GeoBlock() = default;
+  GeoBlock();
+
+  /// Copies share the (immutable) current state version — cheap, and the
+  /// copy's future updates never affect the original. Quiesced-only, like
+  /// the raw accessors.
+  GeoBlock(const GeoBlock& other);
+  GeoBlock& operator=(const GeoBlock& other);
+  /// Moved-from blocks are valid only for destruction and reassignment.
+  GeoBlock(GeoBlock&& other) noexcept;
+  GeoBlock& operator=(GeoBlock&& other) noexcept;
+  ~GeoBlock() = default;
 
   /// Builds a GeoBlock from a window of sorted base data in a single
   /// linear pass (the *build* phase of Figure 5). The block keeps the view
@@ -112,14 +219,43 @@ class GeoBlock {
   ///     (a deserialized or detached block).
   GeoBlock CoarsenTo(int level) const;
 
-  /// @return The block-wide header (level, key range, global aggregate).
-  const BlockHeader& header() const { return header_; }
-  /// @return The block's grid level.
-  int level() const { return header_.level; }
-  /// @return Number of (non-empty) cell aggregates.
-  size_t num_cells() const { return cells_.size(); }
+  /// The block-wide header of the currently published state (level, key
+  /// range, global aggregate). Writer-quiesced accessor: the reference is
+  /// invalidated by the next update commit.
+  ///
+  /// @return The current header.
+  const BlockHeader& header() const { return CurrentState()->header; }
+  /// @return The block's grid level (immutable).
+  int level() const { return level_; }
+  /// @return Number of (non-empty) cell aggregates (writer-quiesced).
+  size_t num_cells() const { return CurrentState()->num_cells(); }
   /// @return Number of attribute columns aggregated per cell.
   size_t num_columns() const { return num_columns_; }
+
+  /// Pins the currently published aggregate state: an owning, immutable
+  /// version whose query answers are bitwise-stable for as long as the
+  /// caller holds it, across any number of concurrent update commits
+  /// (holding it never blocks a writer; it only keeps the version alive).
+  ///
+  /// @return The current state version (never null).
+  std::shared_ptr<const BlockState> StateSnapshot() const {
+    return state_->SnapshotShared();
+  }
+
+  /// The underlying snapshot cell, for readers that want a guard-scoped
+  /// pin (two relaxed-cost RMWs, no refcount traffic) instead of an owning
+  /// shared_ptr — e.g. GeoBlockQC's per-query block-state lease.
+  ///
+  /// @return The block's state cell.
+  const util::SnapshotCell<BlockState>& state_cell() const { return *state_; }
+
+  /// Number of state versions retired so far (a version is retired when an
+  /// update commit's grace period ends). Observability for the MVCC write
+  /// plane; exact once writers quiesce.
+  uint64_t retired_states() const {
+    return retired_->load(std::memory_order_relaxed);
+  }
+
   /// The base-data window the block was built over. An empty view (no
   /// parent) for deserialized or detached blocks, which are self-contained.
   /// Owning views keep the parent dataset alive, so the accessor can never
@@ -166,7 +302,7 @@ class GeoBlock {
   /// @return Coverer options with max_level set to the block level.
   cell::CovererOptions QueryCovererOptions() const {
     cell::CovererOptions o;
-    o.max_level = header_.level;
+    o.max_level = level_;
     return o;
   }
 
@@ -177,7 +313,8 @@ class GeoBlock {
   std::vector<cell::CellId> Cover(const geo::Polygon& polygon) const;
 
   /// SELECT query over an arbitrary polygon (Listing 1): covers the polygon
-  /// and combines the contained cell aggregates.
+  /// and combines the contained cell aggregates. Pins one state version
+  /// for the whole covering; lock-free and safe concurrently with updates.
   ///
   /// @param polygon Query polygon.
   /// @param request Aggregates to extract.
@@ -185,7 +322,7 @@ class GeoBlock {
   QueryResult Select(const geo::Polygon& polygon,
                      const AggregateRequest& request) const;
 
-  /// SELECT over a pre-computed covering.
+  /// SELECT over a pre-computed covering (one pinned state version).
   ///
   /// @param covering Covering cells, ascending and disjoint.
   /// @param request  Aggregates to extract.
@@ -193,9 +330,20 @@ class GeoBlock {
   QueryResult SelectCovering(std::span<const cell::CellId> covering,
                              const AggregateRequest& request) const;
 
+  /// Folds a whole covering into an external accumulator under a single
+  /// pinned state version — the per-shard unit of BlockSet's SELECT fold.
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param acc      Accumulator the contained aggregates are folded into.
+  void CombineCovering(std::span<const cell::CellId> covering,
+                       Accumulator* acc) const;
+
   /// Inner loop of the SELECT algorithm for one covering cell: locates and
   /// combines this cell's contained aggregates into `acc`. `last_idx`
   /// carries the lastAgg position across cells (pass kNoLastAgg initially).
+  /// Pins a state version *per call* — when folding several cells of one
+  /// query, prefer CombineCovering (or a pinned StateSnapshot), which keeps
+  /// the whole covering on one version.
   static constexpr size_t kNoLastAgg = static_cast<size_t>(-1);
   /// @param qcell    One covering cell (clamped to the block level).
   /// @param acc      Accumulator the contained aggregates are folded into.
@@ -209,7 +357,7 @@ class GeoBlock {
   /// @param polygon Query polygon.
   /// @return Number of tuples in covered cells.
   uint64_t Count(const geo::Polygon& polygon) const;
-  /// COUNT over a pre-computed covering.
+  /// COUNT over a pre-computed covering (one pinned state version).
   ///
   /// @param covering Covering cells, ascending and disjoint.
   /// @return Number of tuples in covered cells.
@@ -223,12 +371,36 @@ class GeoBlock {
   AggregateVector AggregateForCell(cell::CellId cell) const;
 
   /// Constant-time pre-check: can `cell` overlap this block at all?
+  /// Lock-free — reads the routing atomics, not the state — so BlockSet's
+  /// shard routing never pins a snapshot. The three loads are individually
+  /// atomic; a reader racing a MergeNewRegionTuples commit may see a
+  /// partially advanced range, which routing tolerates (the fold of a
+  /// wrongly included shard contributes nothing; a wrongly excluded shard
+  /// can only hide cells newer than the reader's view).
   ///
   /// @param cell Candidate covering cell.
   /// @return False when the cell's leaf range misses [min_cell, max_cell].
   bool MayOverlap(cell::CellId cell) const {
-    return !cells_.empty() && cell.RangeMax().id() >= header_.min_cell &&
-           cell.RangeMin().id() <= header_.max_cell;
+    return route_cells_.load(std::memory_order_relaxed) != 0 &&
+           cell.RangeMax().id() >=
+               route_min_.load(std::memory_order_relaxed) &&
+           cell.RangeMin().id() <= route_max_.load(std::memory_order_relaxed);
+  }
+
+  /// @return True when the block currently has at least one cell aggregate
+  ///     (lock-free routing read).
+  bool has_cells() const {
+    return route_cells_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Lock-free routing reads of the current [min_cell, max_cell] hull
+  /// (BlockSet's shard pre-check). Individually atomic; see MayOverlap for
+  /// the tear tolerance.
+  uint64_t routing_min_cell() const {
+    return route_min_.load(std::memory_order_relaxed);
+  }
+  uint64_t routing_max_cell() const {
+    return route_max_.load(std::memory_order_relaxed);
   }
 
   /// One newly arriving tuple (Section 5, Updates).
@@ -248,8 +420,17 @@ class GeoBlock {
   /// Integrates newly arriving tuples (Section 5): a tuple whose grid cell
   /// already has a cell aggregate updates that aggregate (and the global
   /// header); tuples for new regions are rejected, as covering them
-  /// requires rebuilding the sorted aggregate layout. Offsets are fixed in
-  /// a single pass after the batch, so COUNT range sums stay exact.
+  /// requires rebuilding the sorted aggregate layout (MergeNewRegionTuples
+  /// is that rebuild, batched). Offsets are fixed in a single pass over the
+  /// patched version, so COUNT range sums stay exact.
+  ///
+  /// MVCC commit: the current state is cloned (only the touched arrays —
+  /// the cell-id array is shared, and the base-data view is never copied),
+  /// patched with the whole batch, and published with one epoch swap.
+  /// Readers concurrently pinning snapshots see the pre-batch or the
+  /// post-batch version, never a torn one. An all-rejected (or empty)
+  /// batch publishes nothing — the state pointer is unchanged. Writers
+  /// must be externally serialized (BlockSet's per-shard commit locks).
   ///
   /// Note: updates apply to the materialized view only; the block
   /// intentionally diverges from its (historical) base data, mirroring the
@@ -259,8 +440,21 @@ class GeoBlock {
   /// @return Count of applied tuples plus the rejected batch indices.
   UpdateResult ApplyBatchUpdate(std::span<const UpdateTuple> batch);
 
+  /// The batched rebuild for new regions (Section 5: new cells "require a
+  /// rebuild, ideally batched"): merges `batch` into a fresh state version,
+  /// creating cell aggregates for previously unaggregated cells, in one
+  /// linear merge of the sorted layouts — no base-row rescan. Every tuple
+  /// is applied (tuples whose cell meanwhile exists fold in place). The
+  /// successor is published like ApplyBatchUpdate's; the routing range
+  /// atomics advance with it. Writers must be externally serialized.
+  ///
+  /// @param batch The (previously rejected) tuples to merge.
+  /// @return Number of new cell aggregates created.
+  size_t MergeNewRegionTuples(std::span<const UpdateTuple> batch);
+
   /// Bytes used by the cell aggregates (the reference size for the cache's
-  /// aggregate threshold, Section 4.3).
+  /// aggregate threshold, Section 4.3). Pins the current version; safe
+  /// concurrently with updates.
   ///
   /// @return Cell-aggregate bytes.
   size_t CellAggregateBytes() const;
@@ -274,7 +468,10 @@ class GeoBlock {
   /// arrays, and the build filter). GeoBlocks are materialized views;
   /// storing them avoids re-extracting on restart. The payload does not
   /// reference the base data, so a loaded block answers SELECT/COUNT but
-  /// cannot refine until data is re-attached (AttachData).
+  /// cannot refine until data is re-attached (AttachData). The currently
+  /// published state version is written — a block that received updates
+  /// persists the updated aggregates (see docs/FORMAT.md on
+  /// re-serialization after updates).
   ///
   /// @param out Destination stream (open in binary mode).
   /// @throws std::runtime_error on a big-endian host (the format is
@@ -289,33 +486,53 @@ class GeoBlock {
   ///     truncation, or inconsistent array lengths.
   static GeoBlock ReadFrom(std::istream& in);
 
-  // Raw cell-aggregate accessors (used by tests and the trie builder).
-  const std::vector<uint64_t>& cells() const { return cells_; }
-  const std::vector<uint32_t>& offsets() const { return offsets_; }
-  const std::vector<uint32_t>& counts() const { return counts_; }
-  const ColumnAggregate* cell_columns(size_t idx) const {
-    return column_aggs_.data() + idx * num_columns_;
+  // Raw cell-aggregate accessors (tests, serialization, the trie builder —
+  // writer-quiesced use only; see the class comment).
+  const std::vector<uint64_t>& cells() const { return *CurrentState()->cells; }
+  const std::vector<uint32_t>& offsets() const {
+    return *CurrentState()->offsets;
   }
-  uint64_t cell_min_key(size_t idx) const { return min_keys_[idx]; }
-  uint64_t cell_max_key(size_t idx) const { return max_keys_[idx]; }
+  const std::vector<uint32_t>& counts() const {
+    return *CurrentState()->counts;
+  }
+  const ColumnAggregate* cell_columns(size_t idx) const {
+    return CurrentState()->cell_columns(idx);
+  }
+  uint64_t cell_min_key(size_t idx) const {
+    return (*CurrentState()->min_keys)[idx];
+  }
+  uint64_t cell_max_key(size_t idx) const {
+    return (*CurrentState()->max_keys)[idx];
+  }
 
  private:
-  /// Locates the first cell-aggregate index with cell id >= key, using the
-  /// lastAgg successor shortcut from Listing 1 when possible.
-  size_t SeekFirst(uint64_t key, size_t last_idx) const;
+  /// Raw pointer to the currently published state. Writer-quiesced: must
+  /// not race a concurrent Publish (concurrent readers pin instead).
+  const BlockState* CurrentState() const { return state_->WriterPeek(); }
+
+  /// Installs a freshly built state (build/load paths): publishes it and
+  /// seeds the routing atomics.
+  void InstallState(std::shared_ptr<const BlockState> state);
+
+  /// Publishes an update successor and advances the routing atomics.
+  void PublishState(std::shared_ptr<const BlockState> state);
 
   storage::DatasetView data_;
   storage::Filter filter_;
   geo::Projection projection_;
-  BlockHeader header_;
+  int level_ = 0;
   size_t num_columns_ = 0;
 
-  std::vector<uint64_t> cells_;
-  std::vector<uint32_t> offsets_;
-  std::vector<uint32_t> counts_;
-  std::vector<uint64_t> min_keys_;
-  std::vector<uint64_t> max_keys_;
-  std::vector<ColumnAggregate> column_aggs_;  // num_cells * num_columns
+  /// The MVCC plane: the currently published aggregate state plus the
+  /// lock-free routing mirror of (num_cells, min_cell, max_cell) that
+  /// BlockSet's shard pre-check reads without pinning. unique_ptr keeps the
+  /// cell's address stable across block moves (readers may hold guards on
+  /// it); the retire counter is shared with the cell's retire hook.
+  std::unique_ptr<util::SnapshotCell<BlockState>> state_;
+  std::shared_ptr<std::atomic<uint64_t>> retired_;
+  std::atomic<size_t> route_cells_{0};
+  std::atomic<uint64_t> route_min_{0};
+  std::atomic<uint64_t> route_max_{0};
 };
 
 }  // namespace geoblocks::core

@@ -104,24 +104,28 @@ storage::Filter ReadFilter(std::istream& in, size_t num_columns) {
 
 void GeoBlock::WriteTo(std::ostream& out) const {
   serialize::RequireLittleEndianHost();
+  // The currently published MVCC version is what persists: a block that
+  // received updates writes the updated aggregates (docs/FORMAT.md,
+  // "Updates and re-serialization").
+  const std::shared_ptr<const BlockState> state = StateSnapshot();
   WritePod(out, serialize::kBlockMagic);
   WritePod(out, serialize::kBlockVersion);
-  WritePod<int32_t>(out, header_.level);
+  WritePod<int32_t>(out, state->header.level);
   WritePod<uint64_t>(out, num_columns_);
   const geo::Rect domain = projection_.domain();
   WritePod(out, domain.min.x);
   WritePod(out, domain.min.y);
   WritePod(out, domain.max.x);
   WritePod(out, domain.max.y);
-  WritePod<uint64_t>(out, header_.min_cell);
-  WritePod<uint64_t>(out, header_.max_cell);
-  WriteAggregateVector(out, header_.global);
-  WriteVector(out, cells_);
-  WriteVector(out, offsets_);
-  WriteVector(out, counts_);
-  WriteVector(out, min_keys_);
-  WriteVector(out, max_keys_);
-  WriteVector(out, column_aggs_);
+  WritePod<uint64_t>(out, state->header.min_cell);
+  WritePod<uint64_t>(out, state->header.max_cell);
+  WriteAggregateVector(out, state->header.global);
+  WriteVector(out, *state->cells);
+  WriteVector(out, *state->offsets);
+  WriteVector(out, *state->counts);
+  WriteVector(out, *state->min_keys);
+  WriteVector(out, *state->max_keys);
+  WriteVector(out, *state->column_aggs);
   WriteFilter(out, filter_);
 }
 
@@ -136,32 +140,42 @@ GeoBlock GeoBlock::ReadFrom(std::istream& in) {
     throw std::runtime_error("geoblocks: unsupported GeoBlock version");
   }
   GeoBlock block;
-  block.header_.level = ReadPod<int32_t>(in);
+  auto state = std::make_shared<BlockState>();
+  state->header.level = ReadPod<int32_t>(in);
+  block.level_ = state->header.level;
   block.num_columns_ = ReadPod<uint64_t>(in);
+  state->num_columns = block.num_columns_;
   geo::Rect domain;
   domain.min.x = ReadPod<double>(in);
   domain.min.y = ReadPod<double>(in);
   domain.max.x = ReadPod<double>(in);
   domain.max.y = ReadPod<double>(in);
   block.projection_ = geo::Projection(domain);
-  block.header_.min_cell = ReadPod<uint64_t>(in);
-  block.header_.max_cell = ReadPod<uint64_t>(in);
-  block.header_.global = ReadAggregateVector(in);
-  block.cells_ = ReadVector<uint64_t>(in);
-  block.offsets_ = ReadVector<uint32_t>(in);
-  block.counts_ = ReadVector<uint32_t>(in);
-  block.min_keys_ = ReadVector<uint64_t>(in);
-  block.max_keys_ = ReadVector<uint64_t>(in);
-  block.column_aggs_ = ReadVector<ColumnAggregate>(in);
+  state->header.min_cell = ReadPod<uint64_t>(in);
+  state->header.max_cell = ReadPod<uint64_t>(in);
+  state->header.global = ReadAggregateVector(in);
+  state->cells = std::make_shared<const std::vector<uint64_t>>(
+      ReadVector<uint64_t>(in));
+  state->offsets = std::make_shared<const std::vector<uint32_t>>(
+      ReadVector<uint32_t>(in));
+  state->counts = std::make_shared<const std::vector<uint32_t>>(
+      ReadVector<uint32_t>(in));
+  state->min_keys = std::make_shared<const std::vector<uint64_t>>(
+      ReadVector<uint64_t>(in));
+  state->max_keys = std::make_shared<const std::vector<uint64_t>>(
+      ReadVector<uint64_t>(in));
+  state->column_aggs = std::make_shared<const std::vector<ColumnAggregate>>(
+      ReadVector<ColumnAggregate>(in));
   if (version >= 2) {
     block.filter_ = ReadFilter(in, block.num_columns_);
   }
-  const size_t n = block.cells_.size();
-  if (block.offsets_.size() != n || block.counts_.size() != n ||
-      block.min_keys_.size() != n || block.max_keys_.size() != n ||
-      block.column_aggs_.size() != n * block.num_columns_) {
+  const size_t n = state->cells->size();
+  if (state->offsets->size() != n || state->counts->size() != n ||
+      state->min_keys->size() != n || state->max_keys->size() != n ||
+      state->column_aggs->size() != n * block.num_columns_) {
     throw std::runtime_error("geoblocks: inconsistent GeoBlock arrays");
   }
+  block.InstallState(std::move(state));
   return block;
 }
 
@@ -231,9 +245,9 @@ void BlockSet::WriteTo(std::ostream& out) const {
   // and checksums.
   std::vector<std::string> payloads;
   payloads.reserve(k);
-  for (const GeoBlock& b : blocks_) {
+  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
     std::ostringstream payload(std::ios::binary);
-    b.WriteTo(payload);
+    b->WriteTo(payload);
     payloads.push_back(std::move(payload).str());
   }
 
@@ -379,29 +393,34 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
           "geoblocks: BlockSet shard payload checksum mismatch");
     }
     std::istringstream payload_stream(payload, std::ios::binary);
-    set.blocks_.push_back(GeoBlock::ReadFrom(payload_stream));
+    set.blocks_.push_back(
+        std::make_unique<GeoBlock>(GeoBlock::ReadFrom(payload_stream)));
+    set.writers_.push_back(std::make_shared<BlockSet::ShardWriter>());
     if (payload_stream.peek() != std::istringstream::traits_type::eof()) {
       throw std::runtime_error(
           "geoblocks: BlockSet shard payload has trailing bytes");
     }
-    const GeoBlock& b = set.blocks_.back();
-    if (b.level() != set.blocks_.front().level() ||
-        b.num_columns() != set.blocks_.front().num_columns()) {
+    const GeoBlock& b = *set.blocks_.back();
+    if (b.level() != set.blocks_.front()->level() ||
+        b.num_columns() != set.blocks_.front()->num_columns()) {
       throw std::runtime_error(
           "geoblocks: BlockSet shards disagree on level or schema width");
     }
-    // Without a filter the build aggregates every window row, so the global
-    // count must equal the manifest window — a cheap cross-check between
-    // the manifest and the payloads.
+    // Without a filter the build aggregates every window row, so the
+    // global count must cover the manifest window — a cheap cross-check
+    // between the manifest and the payloads. Updates only ever add tuples
+    // to the materialized view, so a persisted post-update set may carry
+    // *more* than its window (docs/FORMAT.md, "Updates and
+    // re-serialization"); fewer is always corruption.
     if (b.filter().IsTrue() &&
-        b.header().global.count != set.windows_[i].num_rows) {
+        b.header().global.count < set.windows_[i].num_rows) {
       throw std::runtime_error(
           "geoblocks: BlockSet shard row count does not match its manifest "
           "window");
     }
   }
-  set.level_ = set.blocks_.front().level();
-  set.projection_ = set.blocks_.front().projection();
+  set.level_ = set.blocks_.front()->level();
+  set.projection_ = set.blocks_.front()->projection();
   set.dataset_attached_ = false;
   return set;
 }

@@ -24,6 +24,17 @@ void ValidateOptions(const ShardOptions& options) {
 
 }  // namespace
 
+size_t ShardForKey(std::span<const uint64_t> boundaries, uint64_t key) {
+  // boundaries[i] is the first key shard i may contain; the owner is the
+  // last shard whose boundary is <= key. upper_bound lands one past it.
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), key);
+  const size_t k = boundaries.size() - 1;  // shard count
+  if (it == boundaries.begin()) return 0;  // key below the first boundary
+  const size_t idx = static_cast<size_t>(it - boundaries.begin()) - 1;
+  return idx < k ? idx : k - 1;
+}
+
 ShardedDataset ShardedDataset::Partition(
     std::shared_ptr<const SortedDataset> data, const ShardOptions& options) {
   ValidateOptions(options);

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,19 @@ struct ShardOptions {
   /// (Partition throws std::invalid_argument).
   int align_level = 17;
 };
+
+/// Index of the shard whose boundary range [boundaries[i], boundaries[i+1])
+/// contains `key`, given the K+1 ascending boundary keys of a partition
+/// (ShardedDataset::boundaries(), or a persisted BlockSet manifest). Keys
+/// below boundaries[0] clamp to shard 0 and keys at or above the last
+/// boundary clamp to shard K-1, so every leaf key routes to exactly one
+/// shard — the routing rule shared by the partitioner and the update
+/// plane's tuple router.
+///
+/// @param boundaries K+1 ascending boundary keys (K >= 1).
+/// @param key        A leaf-cell Hilbert key.
+/// @return The owning shard index, in [0, K).
+size_t ShardForKey(std::span<const uint64_t> boundaries, uint64_t key);
 
 /// A SortedDataset partitioned into K contiguous Hilbert-key ranges — the
 /// storage side of the sharded query engine. Because the space-filling
@@ -108,6 +122,14 @@ class ShardedDataset {
   ///
   /// @return The boundary keys.
   const std::vector<uint64_t>& boundaries() const { return boundaries_; }
+
+  /// The shard a leaf key routes to under this partition's boundaries.
+  ///
+  /// @param key A leaf-cell Hilbert key.
+  /// @return The owning shard index.
+  size_t ShardIndexForKey(uint64_t key) const {
+    return ShardForKey(boundaries_, key);
+  }
 
   /// The cell level shard boundaries were snapped to (ShardOptions::
   /// align_level as passed to Partition).

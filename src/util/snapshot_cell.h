@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
+#include <utility>
 
 namespace geoblocks::util {
 
@@ -121,6 +123,16 @@ class SnapshotCell {
     return slots_[epoch_.load(std::memory_order_relaxed) & 1].get();
   }
 
+  /// Called with each retired snapshot after its grace period has drained —
+  /// the one point where "no reader can still be probing this snapshot" is
+  /// certain. The hook receives the cell's (writer) reference; other
+  /// SnapshotShared holders may still keep the object alive. Used by the
+  /// block/trie planes for shared retirement accounting (and as a seam for
+  /// future deferred reclamation, e.g. arena recycling). Writer-side only:
+  /// set it before concurrent publishes, never from a reader.
+  using RetireHook = std::function<void(std::shared_ptr<const T>)>;
+  void SetRetireHook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
   /// Publishes `next` (non-null) and retires the previous snapshot after
   /// its grace period: new readers see `next` immediately; readers still
   /// probing the old snapshot finish undisturbed; the old snapshot's
@@ -145,6 +157,9 @@ class SnapshotCell {
     while (readers_[old_parity].count.load(std::memory_order_seq_cst) != 0) {
       std::this_thread::yield();
     }
+    if (retire_hook_) {
+      retire_hook_(std::move(slots_[old_parity]));
+    }
     slots_[old_parity].reset();
   }
 
@@ -160,6 +175,7 @@ class SnapshotCell {
   std::shared_ptr<const T> slots_[2];  ///< parity-indexed snapshot owners
   std::atomic<uint64_t> epoch_{0};
   mutable ReaderCount readers_[2];
+  RetireHook retire_hook_;  ///< writer-side; invoked post-grace per retiree
 };
 
 }  // namespace geoblocks::util

@@ -15,8 +15,11 @@
 //    monotone between resets even when sampled mid-flight.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -32,7 +35,9 @@ using core::AggFn;
 using core::AggregateRequest;
 using core::BlockSet;
 using core::BlockSetOptions;
+using core::BlockState;
 using core::CacheCounters;
+using core::GeoBlock;
 using core::GeoBlockQC;
 using core::QueryResult;
 
@@ -378,6 +383,327 @@ TEST_F(ConcurrencyStressTest, ConcurrentResetNeverCorruptsCounters) {
   EXPECT_GT(last.probes, 0u);
   EXPECT_EQ(last.probes,
             last.full_hits + last.partial_hits + last.misses);
+}
+
+// ---------------------------------------------------------------------------
+// The MVCC update plane: BlockSet::ApplyBatchUpdate concurrent with the
+// lock-free read paths, with no external serialization.
+// ---------------------------------------------------------------------------
+
+/// Builds update batches for the update-plane stress tests: in-cell tuples
+/// (hit existing aggregates, spread across shards) and new-region tuples
+/// (land in pending buffers and merge-rebuilds).
+class UpdatePlaneStressTest : public ConcurrencyStressTest {
+ protected:
+  static std::vector<GeoBlock::UpdateTuple> InCellBatch(size_t count,
+                                                        uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<GeoBlock::UpdateTuple> batch;
+    // Sample populated cells across all shards via the sharded views'
+    // parent keys (quiesced pre-test setup).
+    const auto keys = data_->keys();
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t key = keys[rng() % keys.size()];
+      const geo::Point unit =
+          cell::CellId(key).Parent(kLevel).CenterPoint();
+      GeoBlock::UpdateTuple t;
+      t.location = data_->projection().FromUnit(unit);
+      t.values.assign(data_->num_columns(), 0.0);
+      for (size_t c = 0; c < t.values.size(); ++c) {
+        t.values[c] = static_cast<double>((rng() % 1000)) / 10.0;
+      }
+      batch.push_back(std::move(t));
+    }
+    return batch;
+  }
+
+  static std::vector<GeoBlock::UpdateTuple> NewRegionBatch(
+      const BlockSet& set, size_t count, uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<GeoBlock::UpdateTuple> batch;
+    while (batch.size() < count) {
+      const double x = (static_cast<double>(rng() % 100000) + 0.5) / 100000.0;
+      const double y = (static_cast<double>(rng() % 100000) + 0.5) / 100000.0;
+      const cell::CellId cell = cell::CellId::FromPoint({x, y}).Parent(kLevel);
+      bool populated = false;
+      for (size_t s = 0; s < set.num_shards(); ++s) {
+        const auto& cells = set.shard(s).cells();
+        if (std::binary_search(cells.begin(), cells.end(), cell.id())) {
+          populated = true;
+          break;
+        }
+      }
+      if (populated) continue;
+      GeoBlock::UpdateTuple t;
+      t.location = data_->projection().FromUnit(cell.CenterPoint());
+      t.values.assign(data_->num_columns(), 1.0);
+      batch.push_back(std::move(t));
+    }
+    return batch;
+  }
+};
+
+TEST_F(UpdatePlaneStressTest, CachedReadsStayInRangeDuringCommits) {
+  // N readers run cached SELECT + COUNT while a writer thread commits
+  // in-cell batches through BlockSet::ApplyBatchUpdate — no external
+  // serialization anywhere. Updates only add tuples, so every concurrent
+  // count must land in [pre, pre + total_updates]; after the writer joins,
+  // answers must equal a serial re-application oracle bit for bit.
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.10, /*rebuild_interval=*/16});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  // Warm the cache so the stress exercises hits, partial hits, and misses.
+  for (const auto& covering : coverings) {
+    set.SelectCoveringCached(covering, req);
+  }
+  set.RebuildCaches();
+
+  std::vector<uint64_t> pre_count;
+  for (const auto& covering : coverings) {
+    pre_count.push_back(set.CountCovering(covering));
+  }
+
+  constexpr size_t kBatches = 20;
+  constexpr size_t kBatchSize = 64;
+  std::vector<std::vector<GeoBlock::UpdateTuple>> batches;
+  for (size_t j = 0; j < kBatches; ++j) {
+    batches.push_back(InCellBatch(kBatchSize, 1000 + j));
+  }
+  const uint64_t total_updates = kBatches * kBatchSize;
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (const auto& batch : batches) {
+      const auto result = set.ApplyBatchUpdate(batch);
+      ASSERT_EQ(result.applied, batch.size());  // in-cell by construction
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      size_t rounds = 0;
+      do {
+        for (size_t i = 0; i < coverings.size(); ++i) {
+          const uint64_t count = set.CountCovering(coverings[i]);
+          ASSERT_GE(count, pre_count[i]) << "reader " << t;
+          ASSERT_LE(count, pre_count[i] + total_updates) << "reader " << t;
+          const QueryResult got =
+              set.SelectCoveringCached(coverings[i], req);
+          ASSERT_GE(got.count, pre_count[i]) << "reader " << t;
+          ASSERT_LE(got.count, pre_count[i] + total_updates)
+              << "reader " << t;
+        }
+        ++rounds;
+      } while (!writer_done.load(std::memory_order_acquire) || rounds < 3);
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  // Post-commit oracle: the same batches applied serially to an identical
+  // set must answer bit-identically (per-shard commit order is batch
+  // order in both executions).
+  BlockSet oracle = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  for (const auto& batch : batches) {
+    oracle.ApplyBatchUpdate(batch);
+  }
+  for (size_t i = 0; i < coverings.size(); ++i) {
+    const QueryResult want = oracle.SelectCovering(coverings[i], req);
+    const QueryResult got = set.SelectCovering(coverings[i], req);
+    ASSERT_EQ(got.count, want.count) << "covering " << i;
+    ASSERT_EQ(got.values, want.values)
+        << "covering " << i << ": post-commit state != serial oracle";
+    ASSERT_EQ(set.CountCovering(coverings[i]),
+              oracle.CountCovering(coverings[i]));
+  }
+}
+
+TEST_F(UpdatePlaneStressTest, PinnedSnapshotsBitwiseStableDuringCommits) {
+  // A reader that pins per-shard BlockState versions must see bitwise
+  // frozen answers for as long as it holds them, no matter how many
+  // commits publish successors underneath.
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  std::vector<std::shared_ptr<const BlockState>> pinned;
+  for (size_t s = 0; s < set.num_shards(); ++s) {
+    pinned.push_back(set.shard(s).StateSnapshot());
+  }
+  const auto pinned_select = [&](const std::vector<cell::CellId>& covering) {
+    core::Accumulator acc(&req);
+    for (const auto& state : pinned) {
+      state->CombineCovering(covering, &acc);
+    }
+    return acc.Finish();
+  };
+  std::vector<QueryResult> want;
+  std::vector<uint64_t> want_counts;
+  for (const auto& covering : coverings) {
+    want.push_back(pinned_select(covering));
+    uint64_t count = 0;
+    for (const auto& state : pinned) count += state->CountCovering(covering);
+    want_counts.push_back(count);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (size_t i = 0; i < coverings.size(); ++i) {
+          const QueryResult got = pinned_select(coverings[i]);
+          ASSERT_EQ(got.count, want[i].count) << "reader " << t;
+          ASSERT_EQ(got.values, want[i].values)
+              << "reader " << t << ": pinned snapshot drifted";
+          uint64_t count = 0;
+          for (const auto& state : pinned) {
+            count += state->CountCovering(coverings[i]);
+          }
+          ASSERT_EQ(count, want_counts[i]) << "reader " << t;
+        }
+      }
+    });
+  }
+
+  for (size_t j = 0; j < 16; ++j) {
+    set.ApplyBatchUpdate(InCellBatch(128, 2000 + j));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  // The live set moved on; the pinned versions did not.
+  uint64_t live = 0;
+  uint64_t frozen = 0;
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  live = set.CountCovering(all);
+  for (const auto& state : pinned) frozen += state->CountCovering(all);
+  EXPECT_EQ(frozen + 16 * 128, live);
+}
+
+TEST_F(UpdatePlaneStressTest, NewRegionMergesConcurrentWithReaders) {
+  // Writers push batches mixing in-cell and new-region tuples with a low
+  // pending threshold, so merge-rebuilds (new cells, shifting shard hulls)
+  // publish while readers hammer the cached path. Readers assert nothing
+  // about mid-flight values (routing may lag a merge by design) — the pin
+  // is race-freedom plus exact post-quiesce accounting.
+  util::ThreadPool pool(2);
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.10, /*rebuild_interval=*/32});
+  BlockSet::UpdateOptions update_options;
+  update_options.pending_rebuild_threshold = 8;
+  update_options.rebuild_pool = &pool;
+  set.ConfigureUpdates(update_options);
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  constexpr size_t kBatches = 12;
+  std::vector<std::vector<GeoBlock::UpdateTuple>> batches;
+  size_t total = 0;
+  for (size_t j = 0; j < kBatches; ++j) {
+    auto batch = InCellBatch(32, 3000 + j);
+    const auto fresh = NewRegionBatch(set, 8, 4000 + j);
+    batch.insert(batch.end(), fresh.begin(), fresh.end());
+    total += batch.size();
+    batches.push_back(std::move(batch));
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (const auto& batch : batches) {
+      set.ApplyBatchUpdate(batch);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      size_t rounds = 0;
+      do {
+        for (const auto& covering : coverings) {
+          (void)set.SelectCoveringCached(covering, req);
+          (void)set.CountCovering(covering);
+        }
+        ++rounds;
+      } while (!writer_done.load(std::memory_order_acquire) || rounds < 3);
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  // Quiesce: drain background merges, flush what remains, then the total
+  // must account for every tuple exactly once.
+  pool.WaitIdle();
+  set.FlushPendingUpdates();
+  pool.WaitIdle();
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  EXPECT_EQ(set.CountCovering(all), data_->num_rows() + total);
+  EXPECT_EQ(set.PendingUpdateCount(), 0u);
+
+  // And the cache must have stayed consistent with the merged states.
+  for (const auto& covering : coverings) {
+    const QueryResult base = set.SelectCovering(covering, req);
+    const QueryResult cached = set.SelectCoveringCached(covering, req);
+    ASSERT_EQ(cached.count, base.count);
+    for (size_t v = 0; v < base.values.size(); ++v) {
+      ASSERT_NEAR(cached.values[v], base.values[v],
+                  1e-9 * std::abs(base.values[v]) + 1e-6);
+    }
+  }
+}
+
+TEST_F(UpdatePlaneStressTest, StripedWritersCommitConcurrently) {
+  // Several writer threads call ApplyBatchUpdate at once (striped shard
+  // locks, no coordination) while readers keep running. Counts are exact
+  // after quiescing: every applied tuple lands exactly once.
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(GeoBlockQC::Options{0.10, /*rebuild_interval=*/16});
+  const AggregateRequest req = Request();
+  const auto coverings = CoverAll(set);
+
+  constexpr size_t kWriters = 3;
+  constexpr size_t kBatchesPerWriter = 6;
+  constexpr size_t kBatchSize = 64;
+  std::atomic<size_t> writers_done{0};
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t j = 0; j < kBatchesPerWriter; ++j) {
+        const auto batch = InCellBatch(kBatchSize, 5000 + w * 100 + j);
+        const auto result = set.ApplyBatchUpdate(batch);
+        ASSERT_EQ(result.applied, batch.size());
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      size_t rounds = 0;
+      do {
+        for (const auto& covering : coverings) {
+          (void)set.SelectCoveringCached(covering, req);
+        }
+        ++rounds;
+      } while (writers_done.load(std::memory_order_acquire) < kWriters ||
+               rounds < 2);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  for (std::thread& t : readers) t.join();
+
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  EXPECT_EQ(set.CountCovering(all),
+            data_->num_rows() + kWriters * kBatchesPerWriter * kBatchSize);
+  // Cache/base agreement after the dust settles.
+  for (const auto& covering : coverings) {
+    ASSERT_EQ(set.SelectCoveringCached(covering, req).count,
+              set.SelectCovering(covering, req).count);
+  }
 }
 
 }  // namespace
