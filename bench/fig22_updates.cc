@@ -6,7 +6,9 @@
 //
 //   * update throughput (tuples/s) with readers running,
 //   * read throughput and mean latency with the writer running,
-//   * the read-only baseline (no writer) for the interference delta.
+//   * the read-only baseline (no writer) for the interference delta,
+//   * the same contended run with a write-ahead log attached (group
+//     commit, fsync before acknowledge) — the end-to-end durability cost.
 //
 // Every concurrent count is checked against the monotonic range
 // [pre, pre + applied]; after quiescing, totals must account for every
@@ -23,6 +25,7 @@
 
 #include "bench/common.h"
 #include "core/block_set.h"
+#include "io/update_log.h"
 #include "storage/sharded_dataset.h"
 
 namespace geoblocks::bench {
@@ -59,6 +62,8 @@ struct Row {
   double read_mean_us = 0.0;
   double baseline_qps = 0.0;          // reads with no writer
   double baseline_mean_us = 0.0;
+  double durable_tuples_per_s = 0.0;  // writer throughput with WAL attached
+  double durable_read_qps = 0.0;      // reads beside the durable writer
 };
 
 void Run() {
@@ -83,7 +88,8 @@ void Run() {
   std::vector<Row> rows;
   bench_util::TablePrinter table({"readers", "upd tuples/s", "read qps",
                                   "read mean us", "baseline qps",
-                                  "baseline mean us"});
+                                  "baseline mean us", "durable upd/s",
+                                  "durable read qps"});
   for (const size_t readers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
     // A fresh set per thread count so every run starts from the same
     // state and the same warm cache.
@@ -186,13 +192,87 @@ void Run() {
       }
     }
 
+    // Durable: the same contended run, but every batch is persisted through
+    // the write-ahead log before ApplyBatchUpdate acknowledges it (group
+    // commit: one fsync per coalesced group). The gap between this column
+    // and the in-memory one is the price of the acknowledged-write
+    // durability contract.
+    {
+      core::BlockSet dset = core::BlockSet::Build(
+          sharded, core::BlockSetOptions{{kDefaultLevel, {}}});
+      dset.EnableCache(
+          core::GeoBlockQC::Options{0.10, /*rebuild_interval=*/0});
+      for (int round = 0; round < 2; ++round) {
+        for (const auto& covering : coverings) {
+          (void)dset.SelectCoveringCached(covering, req);
+        }
+        dset.RebuildCaches();
+      }
+      const std::string wal_path = "fig22_updates.wal";
+      std::remove(wal_path.c_str());
+      auto log = io::UpdateLog::Open(wal_path);
+      dset.AttachLog(log.get());
+      std::atomic<uint64_t> queries{0};
+      std::atomic<uint64_t> range_errors{0};
+      std::atomic<bool> writer_done{false};
+      double writer_ms = 0.0;
+      bench_util::Timer timer;
+      std::thread writer([&] {
+        bench_util::Timer wt;
+        for (const auto& batch : batches) {
+          (void)dset.ApplyBatchUpdate(batch);
+        }
+        writer_ms = wt.ElapsedMs();
+        writer_done.store(true, std::memory_order_release);
+      });
+      std::vector<std::thread> workers;
+      for (size_t t = 0; t < readers; ++t) {
+        workers.emplace_back([&] {
+          size_t rounds = 0;
+          do {
+            for (size_t i = 0; i < coverings.size(); ++i) {
+              const uint64_t count = dset.CountCovering(coverings[i]);
+              if (count < pre[i] || count > pre[i] + total_updates) {
+                range_errors.fetch_add(1, std::memory_order_relaxed);
+              }
+              (void)dset.SelectCoveringCached(coverings[i], req);
+              queries.fetch_add(1, std::memory_order_relaxed);
+            }
+            ++rounds;
+          } while (!writer_done.load(std::memory_order_acquire) ||
+                   rounds < read_rounds);
+        });
+      }
+      writer.join();
+      for (std::thread& w : workers) w.join();
+      const double ms = timer.ElapsedMs();
+      row.durable_tuples_per_s =
+          static_cast<double>(total_updates) / (writer_ms / 1000.0);
+      row.durable_read_qps =
+          static_cast<double>(queries.load()) / (ms / 1000.0);
+      mismatches += range_errors.load();
+      // Durability accounting: every batch acknowledged, every batch on
+      // disk, every tuple counted exactly once.
+      if (dset.change_number() != batches_per_run) ++mismatches;
+      if (log->durable_change_number() != batches_per_run) ++mismatches;
+      const std::vector<cell::CellId> all{cell::CellId::Root()};
+      if (dset.CountCovering(all) != env.data.num_rows() + total_updates) {
+        ++mismatches;
+      }
+      dset.AttachLog(nullptr);
+      log.reset();
+      std::remove(wal_path.c_str());
+    }
+
     rows.push_back(row);
     table.AddRow({std::to_string(row.readers),
                   bench_util::TablePrinter::Fmt(row.update_tuples_per_s, 0),
                   bench_util::TablePrinter::Fmt(row.read_qps, 0),
                   bench_util::TablePrinter::Fmt(row.read_mean_us, 1),
                   bench_util::TablePrinter::Fmt(row.baseline_qps, 0),
-                  bench_util::TablePrinter::Fmt(row.baseline_mean_us, 1)});
+                  bench_util::TablePrinter::Fmt(row.baseline_mean_us, 1),
+                  bench_util::TablePrinter::Fmt(row.durable_tuples_per_s, 0),
+                  bench_util::TablePrinter::Fmt(row.durable_read_qps, 0)});
   }
   table.Print();
   std::printf("hardware threads: %u, batch size: %zu, batches: %zu\n",
@@ -220,7 +300,9 @@ void Run() {
          << ", \"read_qps\": " << r.read_qps
          << ", \"read_mean_us\": " << r.read_mean_us
          << ", \"baseline_qps\": " << r.baseline_qps
-         << ", \"baseline_mean_us\": " << r.baseline_mean_us << "}"
+         << ", \"baseline_mean_us\": " << r.baseline_mean_us
+         << ", \"durable_update_tuples_per_s\": " << r.durable_tuples_per_s
+         << ", \"durable_read_qps\": " << r.durable_read_qps << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

@@ -25,6 +25,10 @@ struct CacheCounters {
   uint64_t full_hits = 0;     ///< cells answered entirely from the cache
   uint64_t partial_hits = 0;  ///< cells answered from cached direct children
   uint64_t misses = 0;        ///< cells answered by the base algorithm
+  uint64_t stat_drops = 0;    ///< stat recordings lost to a full QueryStats
+                              ///< table (lossy by design; nonzero means the
+                              ///< rankings under-count some cells — raise
+                              ///< Options::stats_capacity if it matters)
 
   /// @return full_hits / probes (0 when nothing was probed).
   double HitRate() const {
@@ -182,8 +186,14 @@ class GeoBlockQC {
   const QueryStats& stats() const { return stats_; }
 
   /// @return A point-in-time-ish snapshot of the cache counters (exact
-  ///     after quiescing; see CacheCounterPlane).
-  CacheCounters counters() const { return counters_.Snapshot(); }
+  ///     after quiescing; see CacheCounterPlane), with `stat_drops` filled
+  ///     from the stats table's lossy-overflow counter so silent drops are
+  ///     observable.
+  CacheCounters counters() const {
+    CacheCounters c = counters_.Snapshot();
+    c.stat_drops = stats_.dropped();
+    return c;
+  }
 
   /// Zeroes the cache counters (safe concurrently with readers).
   void ResetCounters() const { counters_.Reset(); }

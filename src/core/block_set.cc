@@ -1,12 +1,34 @@
 #include "core/block_set.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "io/update_log.h"
 
 namespace geoblocks::core {
 
 BlockSet::~BlockSet() { NeutralizeWriters(); }
+
+BlockSet::BlockSet(BlockSet&& other) noexcept
+    : level_(other.level_),
+      projection_(other.projection_),
+      blocks_(std::move(other.blocks_)),
+      cached_(std::move(other.cached_)),
+      writers_(std::move(other.writers_)),
+      update_options_(other.update_options_),
+      align_level_(other.align_level_),
+      total_rows_(other.total_rows_),
+      boundaries_(std::move(other.boundaries_)),
+      windows_(std::move(other.windows_)),
+      dataset_attached_(other.dataset_attached_),
+      log_(other.log_),
+      change_number_(
+          other.change_number_.load(std::memory_order_relaxed)) {
+  other.log_ = nullptr;
+}
 
 BlockSet& BlockSet::operator=(BlockSet&& other) noexcept {
   if (this == &other) return *this;
@@ -22,6 +44,10 @@ BlockSet& BlockSet::operator=(BlockSet&& other) noexcept {
   boundaries_ = std::move(other.boundaries_);
   windows_ = std::move(other.windows_);
   dataset_attached_ = other.dataset_attached_;
+  log_ = other.log_;
+  other.log_ = nullptr;
+  change_number_.store(other.change_number_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   return *this;
 }
 
@@ -290,11 +316,45 @@ BlockSet::SetUpdateResult BlockSet::ApplyBatchUpdate(
         "BlockSet::ApplyBatchUpdate: set has no manifest metadata (only "
         "sets from Build or ReadFrom can be updated)");
   }
-  SetUpdateResult result;
   if (batch.empty()) {
+    SetUpdateResult result;
     result.pending_after = PendingUpdateCount();
+    result.change_number = change_number();
     return result;
   }
+
+  // Durability first: with a log attached, the batch becomes a fsync'd WAL
+  // record BEFORE it touches memory — Append blocks until the group
+  // commits (or throws, in which case nothing was acknowledged and nothing
+  // committed). Without a log, the change number only orders batches in
+  // memory.
+  uint64_t cn = 0;
+  if (log_ != nullptr) {
+    cn = log_->Append(batch);
+  }
+
+  SetUpdateResult result = CommitRouted(batch, pool);
+  if (cn == 0) {
+    cn = change_number_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  } else {
+    AdoptChangeNumber(cn);
+  }
+  result.change_number = cn;
+  return result;
+}
+
+void BlockSet::AdoptChangeNumber(uint64_t cn) {
+  uint64_t current = change_number_.load(std::memory_order_relaxed);
+  while (current < cn &&
+         !change_number_.compare_exchange_weak(current, cn,
+                                               std::memory_order_acq_rel)) {
+  }
+}
+
+BlockSet::SetUpdateResult BlockSet::CommitRouted(
+    std::span<const GeoBlock::UpdateTuple> batch, util::ThreadPool* pool) {
+  const size_t k = blocks_.size();
+  SetUpdateResult result;
 
   // Phase 1: route every tuple to its shard by Hilbert key against the
   // manifest boundaries — the same rule the partitioner cut the data with,
@@ -421,6 +481,57 @@ size_t BlockSet::PendingUpdateCount() const {
     pending += w->pending_count.load(std::memory_order_relaxed);
   }
   return pending;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: recovery and checkpointing
+// ---------------------------------------------------------------------------
+
+BlockSet BlockSet::OpenLogged(const std::string& manifest_path,
+                              io::UpdateLog* log) {
+  if (log == nullptr) {
+    throw std::invalid_argument("BlockSet::OpenLogged: null log");
+  }
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("BlockSet::OpenLogged: cannot open manifest " +
+                             manifest_path);
+  }
+  BlockSet set = ReadFrom(in);
+  // Replay the tail the checkpoint has not absorbed: records at or below
+  // the manifest's change number are already inside the loaded state and
+  // are skipped (idempotent replay); the rest re-commit in log order, so
+  // the recovered state equals a serial re-execution of every durable
+  // batch.
+  log->Replay(set.change_number(),
+              [&set](uint64_t cn,
+                     std::vector<GeoBlock::UpdateTuple>&& tuples) {
+                set.CommitRouted(tuples, nullptr);
+                set.AdoptChangeNumber(cn);
+              });
+  // A log that sits behind the manifest — a brand-new file, or one whose
+  // header was torn by a crash and re-initialized at base 0 — would hand
+  // out change numbers that a future replay against this manifest must
+  // skip, silently dropping those batches. Rebase it to the manifest's
+  // change number: every record it held was at or below that number (the
+  // replay above skipped them all), so discarding them loses nothing.
+  if (log->last_change_number() < set.change_number()) {
+    log->Truncate(set.change_number());
+  }
+  set.log_ = log;
+  return set;
+}
+
+uint64_t BlockSet::Checkpoint(const std::string& manifest_path) {
+  std::ostringstream out(std::ios::binary);
+  WriteTo(out);
+  // Manifest first, atomically and durably; only then truncate the log.
+  // A crash between the two leaves old records behind, and replay skips
+  // all of them (every cn ≤ the new manifest's change number).
+  io::AtomicWriteFile(manifest_path, out.str());
+  const uint64_t cn = change_number();
+  if (log_ != nullptr) log_->Truncate(cn);
+  return cn;
 }
 
 // ---------------------------------------------------------------------------
@@ -566,6 +677,7 @@ CacheCounters BlockSet::MergedCacheCounters() const {
     total.full_hits += c.full_hits;
     total.partial_hits += c.partial_hits;
     total.misses += c.misses;
+    total.stat_drops += c.stat_drops;
   }
   return total;
 }

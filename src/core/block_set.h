@@ -7,12 +7,17 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/block_qc.h"
 #include "core/geoblock.h"
 #include "storage/sharded_dataset.h"
 #include "util/thread_pool.h"
+
+namespace geoblocks::io {
+class UpdateLog;
+}  // namespace geoblocks::io
 
 namespace geoblocks::core {
 
@@ -108,7 +113,7 @@ class BlockSet {
   /// any rebuild already inside a gate.
   ~BlockSet();
 
-  BlockSet(BlockSet&& other) noexcept = default;
+  BlockSet(BlockSet&& other) noexcept;
   /// Move-assignment neutralizes the target's own writer gates first (as
   /// the destructor would) before adopting the source's shards.
   BlockSet& operator=(BlockSet&& other) noexcept;
@@ -254,6 +259,10 @@ class BlockSet {
     size_t pending_after = 0;  ///< pending tuples across shards afterwards
                                ///< (point-in-time; a background merge may
                                ///< still be draining a buffer)
+    /// The batch's monotone change number. With an attached log it is the
+    /// WAL record's change number and the batch was durable before this
+    /// result was returned; without a log it only orders batches in memory.
+    uint64_t change_number = 0;
   };
 
   /// Sets the pending-buffer policy (threshold, rebuild pool). Call before
@@ -299,15 +308,79 @@ class BlockSet {
   /// @return Total new-region tuples currently buffered across shards.
   size_t PendingUpdateCount() const;
 
+  /// -- Durability (docs/ARCHITECTURE.md "Durability") ----------------------
+
+  /// Attaches a write-ahead log: from now on every ApplyBatchUpdate batch
+  /// is appended to `log` and made durable (group-committed fsync) BEFORE
+  /// it commits to memory and before the call returns — persist first,
+  /// acknowledge second. The log must outlive the set's update activity.
+  /// Call before serving updates; not thread-safe against in-flight
+  /// ApplyBatchUpdate. Pass null to detach.
+  ///
+  /// @param log The open log (borrowed), or null.
+  void AttachLog(io::UpdateLog* log) { log_ = log; }
+
+  /// @return The attached log, or null.
+  io::UpdateLog* attached_log() const { return log_; }
+
+  /// The set's committed change number: the change number of the last
+  /// batch integrated into memory (logged, replayed, or in-memory-only).
+  /// Monotone; persisted in the manifest by WriteTo, restored by ReadFrom.
+  /// Safe to read concurrently with updates.
+  ///
+  /// @return The last committed change number (0 before any update).
+  uint64_t change_number() const {
+    return change_number_.load(std::memory_order_acquire);
+  }
+
+  /// Crash recovery: loads the manifest at `manifest_path`, then replays
+  /// `log` idempotently — records with change number ≤ the manifest's
+  /// persisted change number are skipped (the checkpoint already contains
+  /// them), the rest are re-applied in log order — and attaches the log.
+  /// The result is exactly the state whose batches were acknowledged
+  /// before the crash: the log's group-commit protocol guarantees every
+  /// acknowledged batch is on disk, so none is lost. A log that sits
+  /// behind the manifest (brand-new, or re-initialized after a torn
+  /// header) is rebased to the manifest's change number so future records
+  /// never reuse change numbers a replay would skip.
+  ///
+  /// @param manifest_path Path of a manifest written by Checkpoint (or
+  ///     WriteTo to a file).
+  /// @param log The set's log, freshly Open()ed (torn tail already cut).
+  /// @return The recovered set, detached, with `log` attached.
+  /// @throws std::invalid_argument when `log` is null.
+  /// @throws std::runtime_error on a missing/corrupt manifest or log
+  ///     read failures.
+  static BlockSet OpenLogged(const std::string& manifest_path,
+                             io::UpdateLog* log);
+
+  /// Durably checkpoints the set: serializes the full state (WriteTo —
+  /// including pending buffers and the change number) to `manifest_path`
+  /// atomically (temp file + fsync + rename), then truncates the attached
+  /// log up to the checkpointed change number. Crash-ordering is safe at
+  /// every point: the manifest replace is atomic, and a crash between the
+  /// manifest landing and the log truncating only means replay skips every
+  /// record (all ≤ the new manifest's change number). Requires quiesced
+  /// updates (no in-flight ApplyBatchUpdate) and a drained rebuild pool.
+  ///
+  /// @param manifest_path Destination manifest file.
+  /// @return The checkpointed change number.
+  /// @throws std::logic_error on a set without manifest metadata.
+  /// @throws std::runtime_error on I/O failure.
+  uint64_t Checkpoint(const std::string& manifest_path);
+
   /// -- Persistence ---------------------------------------------------------
 
   /// Persists the whole set: a versioned, CRC-checksummed manifest (magic,
-  /// format version, shard count, alignment level, per-shard Hilbert-key
-  /// boundaries and (offset, num_rows) row windows, per-shard payload byte
-  /// offsets and checksums) followed by each shard's GeoBlock payload.
-  /// The byte-level layout is specified in docs/FORMAT.md. Writing is
-  /// deterministic: the same set always produces identical bytes. The
-  /// optional query cache (EnableCache) is not persisted.
+  /// format version, shard count, alignment level, the committed change
+  /// number, per-shard Hilbert-key boundaries, (offset, num_rows) row
+  /// windows and post-update state row counts, payload byte offsets and
+  /// checksums) followed by each shard's GeoBlock payload and a checksummed
+  /// pending-updates section holding every still-buffered new-region tuple
+  /// — buffered tuples survive save → load verbatim. The byte-level layout
+  /// is specified in docs/FORMAT.md. Writing is deterministic: the same
+  /// set always produces identical bytes. The optional query cache
+  /// (EnableCache) is not persisted.
   ///
   /// @param out Destination stream (open in binary mode).
   /// @throws std::logic_error when the set has no manifest metadata (a
@@ -487,6 +560,17 @@ class BlockSet {
     std::atomic<bool> merge_inflight{false};
   };
 
+  /// The memory half of ApplyBatchUpdate: routes `batch` to shards and
+  /// commits each sub-batch under its shard's writer lock. No logging, no
+  /// change-number assignment — callers (the public update path and WAL
+  /// replay) wrap it with their own durability/ordering step.
+  SetUpdateResult CommitRouted(std::span<const GeoBlock::UpdateTuple> batch,
+                               util::ThreadPool* pool);
+
+  /// Raises change_number_ to `cn` if it is higher (CAS max — concurrent
+  /// batches may adopt log-assigned numbers out of order).
+  void AdoptChangeNumber(uint64_t cn);
+
   /// Commits one routed sub-batch against shard `s` under its writer lock
   /// and handles the pending buffer + threshold trigger. Returns through
   /// the atomics in ApplyBatchUpdate.
@@ -525,6 +609,11 @@ class BlockSet {
   std::vector<uint64_t> boundaries_;
   std::vector<ShardWindow> windows_;
   bool dataset_attached_ = false;
+
+  // Durability: the optional attached WAL and the committed change number
+  // (persisted in the v2 manifest; the idempotency floor for replay).
+  io::UpdateLog* log_ = nullptr;
+  std::atomic<uint64_t> change_number_{0};
 };
 
 }  // namespace geoblocks::core

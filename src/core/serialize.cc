@@ -6,19 +6,26 @@
 //       filter (v2; v1 payloads without the filter are still read).
 //   AggregateTrie stream ("GTRI", v1): root cell, schema width, cached
 //       entry count, node arena.
-//   BlockSet container ("GBST", v1): a CRC-checksummed manifest (shard
-//       boundaries, row windows, payload table) followed by one GeoBlock
-//       payload per shard, each individually checksummed.
+//   BlockSet container ("GBST", v2): a CRC-checksummed manifest (shard
+//       boundaries, row windows, state row counts, payload table, change
+//       number) followed by one GeoBlock payload per shard, each
+//       individually checksummed, then a checksummed pending-updates
+//       section holding still-buffered new-region tuples.
+//
+// The WAL ("GWAL") lives in io/update_log.cc; it shares the update-tuple
+// codec (core/update_codec.h) with the pending section here.
 #include "core/serialize.h"
 
 #include <array>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <string>
 
 #include "core/aggregate_trie.h"
 #include "core/block_set.h"
 #include "core/geoblock.h"
+#include "core/update_codec.h"
 
 namespace geoblocks::core {
 
@@ -217,20 +224,29 @@ AggregateTrie AggregateTrie::ReadFrom(std::istream& in) {
 //
 //   offset            size      field
 //   0                 4         magic "GBST"
-//   4                 4         format version (1)
+//   4                 4         format version (2)
 //   8                 4         flags (reserved, 0)
 //   12                4         align_level (i32)
 //   16                8         shard count K (u64)
 //   24                8         total_rows (u64)
-//   32                (K+1)*8   boundaries[0..K] (u64 leaf keys)
-//   32+(K+1)*8        K*16      shard windows: (row_offset u64, num_rows u64)
+//   32                8         change_number (u64)
+//   40                (K+1)*8   boundaries[0..K] (u64 leaf keys)
+//   40+(K+1)*8        K*16      shard windows: (row_offset u64, num_rows u64)
+//   ...               K*8       state_rows: each shard's post-update global
+//                               tuple count (u64) — the exact cross-check
+//                               target for that shard's payload
 //   ...               K*16      payload table: (byte_offset u64, byte_size
 //                               u64), offsets relative to the end of the
 //                               manifest, contiguous
 //   ...               K*4       payload CRC-32s (u32)
+//   ...               8         pending_bytes (u64): size of the
+//                               pending-updates section after the payloads
+//   ...               4         pending section CRC-32 (u32)
 //   ...               4         manifest CRC-32 over all preceding bytes
 //
-// Manifest size: 44 + 44*K bytes. Shard payloads follow back to back.
+// Manifest size: 64 + 52*K bytes. Shard payloads follow back to back, then
+// the pending-updates section: per shard in order, u64 tuple count followed
+// by that many encoded update tuples (core/update_codec.h).
 
 void BlockSet::WriteTo(std::ostream& out) const {
   serialize::RequireLittleEndianHost();
@@ -242,13 +258,35 @@ void BlockSet::WriteTo(std::ostream& out) const {
   }
 
   // Serialize every shard payload first: the manifest needs their sizes
-  // and checksums.
+  // and checksums. Capture each shard's published row count for the
+  // manifest's exact cross-check; with writers quiesced (the documented
+  // requirement for persisting) it is the same state the payload captured.
   std::vector<std::string> payloads;
+  std::vector<uint64_t> state_rows;
   payloads.reserve(k);
+  state_rows.reserve(k);
   for (const std::unique_ptr<GeoBlock>& b : blocks_) {
     std::ostringstream payload(std::ios::binary);
     b->WriteTo(payload);
     payloads.push_back(std::move(payload).str());
+    state_rows.push_back(b->StateSnapshot()->header.global.count);
+  }
+
+  // The pending-updates section: every still-buffered new-region tuple,
+  // per shard in order, so buffered tuples survive save → load verbatim
+  // instead of silently vanishing below the rebuild threshold.
+  std::string pending_section;
+  for (size_t i = 0; i < k; ++i) {
+    uint64_t count = 0;
+    const size_t count_pos = pending_section.size();
+    pending_section.append(sizeof(uint64_t), '\0');
+    if (i < writers_.size() && writers_[i] != nullptr) {
+      ShardWriter& w = *writers_[i];
+      std::lock_guard<std::mutex> lock(w.mu);
+      count = w.pending.size();
+      serialize::EncodeUpdateTuples(&pending_section, w.pending);
+    }
+    std::memcpy(pending_section.data() + count_pos, &count, sizeof(count));
   }
 
   std::ostringstream manifest(std::ios::binary);
@@ -258,11 +296,13 @@ void BlockSet::WriteTo(std::ostream& out) const {
   WritePod<int32_t>(manifest, align_level_);
   WritePod<uint64_t>(manifest, k);
   WritePod<uint64_t>(manifest, total_rows_);
+  WritePod<uint64_t>(manifest, change_number());
   for (const uint64_t b : boundaries_) WritePod<uint64_t>(manifest, b);
   for (const ShardWindow& w : windows_) {
     WritePod<uint64_t>(manifest, w.offset);
     WritePod<uint64_t>(manifest, w.num_rows);
   }
+  for (const uint64_t rows : state_rows) WritePod<uint64_t>(manifest, rows);
   uint64_t byte_offset = 0;
   for (const std::string& p : payloads) {
     WritePod<uint64_t>(manifest, byte_offset);
@@ -272,6 +312,8 @@ void BlockSet::WriteTo(std::ostream& out) const {
   for (const std::string& p : payloads) {
     WritePod<uint32_t>(manifest, serialize::Crc32(p));
   }
+  WritePod<uint64_t>(manifest, pending_section.size());
+  WritePod<uint32_t>(manifest, serialize::Crc32(pending_section));
   const std::string manifest_bytes = std::move(manifest).str();
   out.write(manifest_bytes.data(),
             static_cast<std::streamsize>(manifest_bytes.size()));
@@ -279,23 +321,26 @@ void BlockSet::WriteTo(std::ostream& out) const {
   for (const std::string& p : payloads) {
     out.write(p.data(), static_cast<std::streamsize>(p.size()));
   }
+  out.write(pending_section.data(),
+            static_cast<std::streamsize>(pending_section.size()));
 }
 
 BlockSet BlockSet::ReadFrom(std::istream& in) {
   serialize::RequireLittleEndianHost();
-  // Fixed 32-byte prefix: enough to learn K and size the rest.
-  char prefix[32];
+  // Fixed 40-byte prefix: enough to learn K and size the rest.
+  char prefix[40];
   in.read(prefix, sizeof(prefix));
   if (!in) throw std::runtime_error("geoblocks: truncated BlockSet manifest");
   uint32_t magic, version, flags;
   int32_t align_level;
-  uint64_t k, total_rows;
+  uint64_t k, total_rows, change_number;
   std::memcpy(&magic, prefix + 0, 4);
   std::memcpy(&version, prefix + 4, 4);
   std::memcpy(&flags, prefix + 8, 4);
   std::memcpy(&align_level, prefix + 12, 4);
   std::memcpy(&k, prefix + 16, 8);
   std::memcpy(&total_rows, prefix + 24, 8);
+  std::memcpy(&change_number, prefix + 32, 8);
   if (magic != serialize::kSetMagic) {
     throw std::runtime_error("geoblocks: not a BlockSet stream");
   }
@@ -313,7 +358,8 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
 
   // Read the rest of the manifest and verify its checksum before trusting
   // any field.
-  const size_t rest_bytes = (k + 1) * 8 + k * 16 + k * 16 + k * 4 + 4;
+  const size_t rest_bytes =
+      (k + 1) * 8 + k * 16 + k * 8 + k * 16 + k * 4 + 8 + 4 + 4;
   std::string manifest(sizeof(prefix) + rest_bytes, '\0');
   std::memcpy(manifest.data(), prefix, sizeof(prefix));
   in.read(manifest.data() + sizeof(prefix),
@@ -340,6 +386,7 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
   BlockSet set;
   set.align_level_ = align_level;
   set.total_rows_ = total_rows;
+  set.change_number_.store(change_number, std::memory_order_relaxed);
   size_t pos = sizeof(prefix);
   set.boundaries_.resize(k + 1);
   for (size_t i = 0; i <= k; ++i, pos += 8) {
@@ -363,6 +410,8 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
     throw std::runtime_error(
         "geoblocks: BlockSet manifest row total does not match the windows");
   }
+  std::vector<uint64_t> state_rows(k);
+  for (size_t i = 0; i < k; ++i, pos += 8) state_rows[i] = read_u64_at(pos);
   std::vector<uint64_t> payload_sizes(k);
   uint64_t next_byte = 0;
   for (size_t i = 0; i < k; ++i, pos += 16) {
@@ -377,6 +426,13 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
   }
   std::vector<uint32_t> payload_crcs(k);
   for (size_t i = 0; i < k; ++i, pos += 4) payload_crcs[i] = read_u32_at(pos);
+  const uint64_t pending_bytes = read_u64_at(pos);
+  pos += 8;
+  const uint32_t pending_crc = read_u32_at(pos);
+  if (pending_bytes > serialize::kMaxPayloadBytes) {
+    throw std::runtime_error(
+        "geoblocks: implausible BlockSet pending section size");
+  }
 
   // Shard payloads: checksum each one, then parse it in isolation so a
   // payload that lies about its length cannot bleed into its neighbor.
@@ -406,18 +462,64 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
       throw std::runtime_error(
           "geoblocks: BlockSet shards disagree on level or schema width");
     }
-    // Without a filter the build aggregates every window row, so the
-    // global count must cover the manifest window — a cheap cross-check
-    // between the manifest and the payloads. Updates only ever add tuples
-    // to the materialized view, so a persisted post-update set may carry
-    // *more* than its window (docs/FORMAT.md, "Updates and
-    // re-serialization"); fewer is always corruption.
-    if (b.filter().IsTrue() &&
-        b.header().global.count < set.windows_[i].num_rows) {
+    // Exact manifest ↔ payload cross-check: the manifest records each
+    // shard's post-update row count (state_rows), so the payload's global
+    // count must equal it — no permissive `>=` (docs/FORMAT.md, "Updates
+    // and re-serialization").
+    if (b.header().global.count != state_rows[i]) {
+      throw std::runtime_error(
+          "geoblocks: BlockSet shard row count does not match its manifest "
+          "state rows");
+    }
+    // And on a never-updated set without a filter, every window row was
+    // aggregated, so the state rows must equal the window exactly.
+    if (change_number == 0 && b.filter().IsTrue() &&
+        state_rows[i] != set.windows_[i].num_rows) {
       throw std::runtime_error(
           "geoblocks: BlockSet shard row count does not match its manifest "
           "window");
     }
+  }
+
+  // Pending-updates section: checksum, then restore each shard's buffered
+  // new-region tuples exactly as they were saved.
+  std::string pending_section(pending_bytes, '\0');
+  in.read(pending_section.data(),
+          static_cast<std::streamsize>(pending_section.size()));
+  if (!in) {
+    throw std::runtime_error(
+        "geoblocks: truncated BlockSet pending section");
+  }
+  if (serialize::Crc32(pending_section) != pending_crc) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet pending section checksum mismatch");
+  }
+  size_t pending_pos = 0;
+  const size_t num_columns = set.blocks_.front()->num_columns();
+  for (size_t i = 0; i < k; ++i) {
+    if (pending_section.size() - pending_pos < 8) {
+      throw std::runtime_error(
+          "geoblocks: truncated BlockSet pending section");
+    }
+    uint64_t count;
+    std::memcpy(&count, pending_section.data() + pending_pos, 8);
+    pending_pos += 8;
+    auto tuples =
+        serialize::DecodeUpdateTuples(pending_section, &pending_pos, count);
+    for (const GeoBlock::UpdateTuple& t : tuples) {
+      if (t.values.size() != num_columns) {
+        throw std::runtime_error(
+            "geoblocks: BlockSet pending tuple width does not match the "
+            "schema");
+      }
+    }
+    ShardWriter& w = *set.writers_[i];
+    w.pending_count.store(tuples.size(), std::memory_order_relaxed);
+    w.pending = std::move(tuples);
+  }
+  if (pending_pos != pending_section.size()) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet pending section has trailing bytes");
   }
   set.level_ = set.blocks_.front()->level();
   set.projection_ = set.blocks_.front()->projection();

@@ -35,6 +35,8 @@ inline constexpr uint32_t kBlockMagic = 0x4B4C4247;
 inline constexpr uint32_t kTrieMagic = 0x49525447;
 /// First four bytes of a BlockSet manifest: "GBST".
 inline constexpr uint32_t kSetMagic = 0x54534247;
+/// First four bytes of an update log (WAL) file: "GWAL".
+inline constexpr uint32_t kWalMagic = 0x4C415747;
 
 /// Current GeoBlock payload version. v2 appends the block's filter
 /// predicates so refinement after BlockSet::AttachDataset re-aggregates
@@ -45,8 +47,21 @@ inline constexpr uint32_t kBlockVersion = 2;
 inline constexpr uint32_t kBlockMinVersion = 1;
 /// Current AggregateTrie stream version.
 inline constexpr uint32_t kTrieVersion = 1;
-/// Current BlockSet manifest version.
-inline constexpr uint32_t kSetVersion = 1;
+/// Current BlockSet manifest version. v2 adds the set's committed change
+/// number, a per-shard state-row array (restoring the exact manifest ↔
+/// payload row cross-check that v1's permissive `>=` had lost), and a
+/// persisted pending-updates section so buffered new-region tuples survive
+/// save → load instead of silently vanishing.
+inline constexpr uint32_t kSetVersion = 2;
+/// Current update-log (WAL) file version.
+inline constexpr uint32_t kWalVersion = 1;
+/// Byte size of the WAL file header (docs/FORMAT.md §Update log).
+inline constexpr uint64_t kWalHeaderBytes = 24;
+/// Byte size of one WAL record header, excluding the payload.
+inline constexpr uint64_t kWalRecordHeaderBytes = 24;
+/// Sanity cap on one WAL record's payload (1 GiB); larger length fields are
+/// treated as corruption (a torn or damaged record), ending replay.
+inline constexpr uint64_t kMaxWalRecordBytes = uint64_t{1} << 30;
 
 /// Sanity cap on the shard count of a BlockSet manifest; larger values are
 /// treated as corruption rather than an allocation request.

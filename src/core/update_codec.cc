@@ -1,0 +1,70 @@
+#include "core/update_codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace geoblocks::core::serialize {
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T TakePod(std::string_view data, size_t* pos) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (data.size() - *pos < sizeof(T)) {
+    throw std::runtime_error("geoblocks: truncated update tuples");
+  }
+  T value;
+  std::memcpy(&value, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void EncodeUpdateTuples(std::string* out,
+                        std::span<const GeoBlock::UpdateTuple> tuples) {
+  for (const GeoBlock::UpdateTuple& t : tuples) {
+    AppendPod(out, t.location.x);
+    AppendPod(out, t.location.y);
+    AppendPod(out, static_cast<uint32_t>(t.values.size()));
+    out->append(reinterpret_cast<const char*>(t.values.data()),
+                t.values.size() * sizeof(double));
+  }
+}
+
+std::vector<GeoBlock::UpdateTuple> DecodeUpdateTuples(std::string_view data,
+                                                      size_t* pos,
+                                                      uint64_t count) {
+  if (*pos > data.size()) {
+    throw std::runtime_error("geoblocks: truncated update tuples");
+  }
+  // `count` itself comes from a checksummed header, but bound it by the
+  // bytes actually present (>= 20 per tuple) before allocating.
+  if (count > (data.size() - *pos) / 20 + 1) {
+    throw std::runtime_error("geoblocks: implausible update tuple count");
+  }
+  std::vector<GeoBlock::UpdateTuple> tuples;
+  tuples.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    GeoBlock::UpdateTuple t;
+    t.location.x = TakePod<double>(data, pos);
+    t.location.y = TakePod<double>(data, pos);
+    const uint32_t values = TakePod<uint32_t>(data, pos);
+    if (data.size() - *pos < values * sizeof(double)) {
+      throw std::runtime_error("geoblocks: truncated update tuples");
+    }
+    t.values.resize(values);
+    std::memcpy(t.values.data(), data.data() + *pos,
+                values * sizeof(double));
+    *pos += values * sizeof(double);
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+}  // namespace geoblocks::core::serialize

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace geoblocks::util {
+
+/// Crash-fault injection for durability code: a byte-granular budget that an
+/// instrumented write path consults before touching the disk, so a test can
+/// "crash" a writer at any offset of its output — mid record header, mid
+/// payload, exactly on a record boundary — without killing the process.
+///
+/// Two triggers model the two interesting crash classes:
+///
+/// - **Byte budget** (`ArmAfterBytes`): the next `n` bytes pass through and
+///   hit the file; everything after is refused. This simulates power loss
+///   mid-write — the file keeps the prefix that was already written (a torn
+///   tail), and the writer observes the failure *before* acknowledging.
+/// - **Sync budget** (`ArmAfterSyncs`): the next `n` fsync calls complete
+///   normally, then the fail point trips *after* the nth sync returns —
+///   the data is durable but the writer dies before acknowledging. This is
+///   the "crash between fsync and ack" window: recovery replays a batch the
+///   client never saw confirmed, which is the at-least-once edge the
+///   recovery suite pins.
+///
+/// Once either trigger fires the fail point stays `triggered()` (and the
+/// instrumented writer stays dead, like a crashed process) until `Disarm`.
+/// All operations are atomic; the instrumented path may be multi-threaded.
+class FailPoint {
+ public:
+  static constexpr uint64_t kUnlimited = ~uint64_t{0};
+
+  /// Allows exactly `n` more bytes through `AdmitBytes`, then trips.
+  void ArmAfterBytes(uint64_t n) {
+    bytes_remaining_.store(n, std::memory_order_relaxed);
+    triggered_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Allows exactly `n` more fsyncs to be acknowledged; the (n+1)th sync
+  /// completes (its bytes ARE durable) but `AdmitSync` returns false, so
+  /// the writer dies between the sync and the acknowledgment.
+  void ArmAfterSyncs(uint64_t n) {
+    syncs_remaining_.store(n, std::memory_order_relaxed);
+    triggered_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Removes both budgets; the fail point admits everything again.
+  void Disarm() {
+    bytes_remaining_.store(kUnlimited, std::memory_order_relaxed);
+    syncs_remaining_.store(kUnlimited, std::memory_order_relaxed);
+    triggered_.store(false, std::memory_order_relaxed);
+  }
+
+  /// @return True once a budget was exhausted (the simulated crash fired).
+  bool triggered() const { return triggered_.load(std::memory_order_relaxed); }
+
+  /// Called by the instrumented write path with the byte count it is about
+  /// to write. Returns how many of those bytes may actually be written
+  /// (the rest of the write "never reached the disk"); a return smaller
+  /// than `want` — including 0 — means the crash fired and the writer must
+  /// fail after persisting only the admitted prefix.
+  ///
+  /// @param want Bytes the caller intends to write.
+  /// @return Bytes admitted, in [0, want].
+  uint64_t AdmitBytes(uint64_t want) {
+    if (triggered()) return 0;
+    uint64_t remaining = bytes_remaining_.load(std::memory_order_relaxed);
+    while (true) {
+      if (remaining == kUnlimited) return want;
+      const uint64_t admit = remaining < want ? remaining : want;
+      if (bytes_remaining_.compare_exchange_weak(remaining, remaining - admit,
+                                                 std::memory_order_relaxed)) {
+        if (admit < want) triggered_.store(true, std::memory_order_relaxed);
+        return admit;
+      }
+    }
+  }
+
+  /// Called by the instrumented path after an fsync *completes*. Returns
+  /// false when the crash fires at this point: the synced bytes are durable
+  /// but the writer must die before acknowledging them.
+  ///
+  /// @return True to continue; false to simulate a crash post-sync.
+  bool AdmitSync() {
+    if (triggered()) return false;
+    uint64_t remaining = syncs_remaining_.load(std::memory_order_relaxed);
+    while (true) {
+      if (remaining == kUnlimited) return true;
+      if (remaining == 0) {
+        triggered_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      if (syncs_remaining_.compare_exchange_weak(remaining, remaining - 1,
+                                                 std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_remaining_{kUnlimited};
+  std::atomic<uint64_t> syncs_remaining_{kUnlimited};
+  std::atomic<bool> triggered_{false};
+};
+
+}  // namespace geoblocks::util

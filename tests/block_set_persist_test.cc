@@ -3,8 +3,10 @@
 // handling, and the AttachDataset/DetachDataset state machine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -290,7 +292,7 @@ TEST_F(BlockSetPersistTest, RejectsWrongVersion) {
 TEST_F(BlockSetPersistTest, RejectsFlippedManifestChecksumByte) {
   const BlockSet set = BuildSet(4);
   std::string bytes = Serialized(set);
-  const size_t manifest_size = 44 + 44 * set.num_shards();
+  const size_t manifest_size = 64 + 52 * set.num_shards();
   // Flip one byte of the stored manifest CRC.
   bytes[manifest_size - 1] ^= 0x01;
   EXPECT_THROW(Deserialized(bytes), std::runtime_error);
@@ -303,7 +305,7 @@ TEST_F(BlockSetPersistTest, RejectsFlippedManifestChecksumByte) {
 TEST_F(BlockSetPersistTest, RejectsCorruptShardPayload) {
   const BlockSet set = BuildSet(4);
   std::string bytes = Serialized(set);
-  const size_t manifest_size = 44 + 44 * set.num_shards();
+  const size_t manifest_size = 64 + 52 * set.num_shards();
   // Flip a byte in the middle of the payload area: the per-shard CRC check
   // must catch it before the payload is parsed.
   bytes[manifest_size + (bytes.size() - manifest_size) / 2] ^= 0x01;
@@ -315,7 +317,7 @@ TEST_F(BlockSetPersistTest, RejectsTruncation) {
   // Truncations everywhere: inside the fixed prefix, inside the manifest
   // arrays, at the payload boundary, and mid-payload.
   for (const size_t keep :
-       {size_t{10}, size_t{40}, size_t{44 + 44 * 4 - 2}, size_t{44 + 44 * 4},
+       {size_t{10}, size_t{40}, size_t{64 + 52 * 4 - 2}, size_t{64 + 52 * 4},
         bytes.size() / 2, bytes.size() - 1}) {
     ASSERT_LT(keep, bytes.size());
     EXPECT_THROW(Deserialized(bytes.substr(0, keep)), std::runtime_error)
@@ -333,6 +335,132 @@ TEST_F(BlockSetPersistTest, RejectsImplausibleShardCount) {
 TEST_F(BlockSetPersistTest, RejectsGarbage) {
   std::istringstream garbage("definitely not a block set", std::ios::binary);
   EXPECT_THROW(BlockSet::ReadFrom(garbage), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// v2 additions: pending buffers, change number, exact state-row cross-check
+// --------------------------------------------------------------------------
+
+/// Tuples located inside cells shard 0 already aggregates.
+std::vector<core::GeoBlock::UpdateTuple> InCellBatchFor(
+    const BlockSet& set, const storage::SortedDataset& data, size_t count,
+    uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::vector<uint64_t>& cells = set.shard(0).cells();
+  std::vector<core::GeoBlock::UpdateTuple> batch;
+  for (size_t i = 0; i < count; ++i) {
+    const geo::Point unit =
+        cell::CellId(cells[rng() % cells.size()]).CenterPoint();
+    core::GeoBlock::UpdateTuple t;
+    t.location = data.projection().FromUnit(unit);
+    t.values.assign(data.num_columns(), 1.5);
+    batch.push_back(std::move(t));
+  }
+  return batch;
+}
+
+/// Tuples in distinct cells no shard aggregates yet (new regions): they
+/// land in pending buffers instead of committing into cell aggregates.
+std::vector<core::GeoBlock::UpdateTuple> NewRegionBatchFor(
+    const BlockSet& set, const storage::SortedDataset& data, size_t count,
+    uint64_t seed) {
+  std::vector<uint64_t> covered;
+  for (size_t s = 0; s < set.num_shards(); ++s) {
+    const std::vector<uint64_t>& cells = set.shard(s).cells();
+    covered.insert(covered.end(), cells.begin(), cells.end());
+  }
+  std::sort(covered.begin(), covered.end());
+  std::mt19937_64 rng(seed);
+  std::vector<core::GeoBlock::UpdateTuple> batch;
+  std::vector<uint64_t> used;
+  while (batch.size() < count) {
+    const double x = (static_cast<double>(rng() % 100000) + 0.5) / 100000.0;
+    const double y = (static_cast<double>(rng() % 100000) + 0.5) / 100000.0;
+    const cell::CellId cell =
+        cell::CellId::FromPoint({x, y}).Parent(set.level());
+    if (std::binary_search(covered.begin(), covered.end(), cell.id())) {
+      continue;
+    }
+    if (std::binary_search(used.begin(), used.end(), cell.id())) continue;
+    used.insert(std::lower_bound(used.begin(), used.end(), cell.id()),
+                cell.id());
+    core::GeoBlock::UpdateTuple t;
+    t.location = data.projection().FromUnit(cell.CenterPoint());
+    t.values.assign(data.num_columns(), 1.0);
+    batch.push_back(std::move(t));
+  }
+  return batch;
+}
+
+TEST_F(BlockSetPersistTest, PendingUpdatesSurviveSaveLoad) {
+  BlockSet set = BuildSet(4);
+  BlockSet::UpdateOptions uopts;
+  uopts.pending_rebuild_threshold = 0;  // keep everything buffered
+  set.ConfigureUpdates(uopts);
+  const auto fresh = NewRegionBatchFor(set, **data_, 24, 5);
+  const auto result = set.ApplyBatchUpdate(fresh);
+  ASSERT_EQ(result.buffered, fresh.size());
+  ASSERT_EQ(set.PendingUpdateCount(), fresh.size());
+
+  const std::string bytes = Serialized(set);
+  BlockSet loaded = Deserialized(bytes);
+  // The regression this pins: buffered tuples below the rebuild threshold
+  // used to vanish on save/load.
+  EXPECT_EQ(loaded.PendingUpdateCount(), fresh.size());
+  // Reserialization determinism holds with pending buffers in play.
+  EXPECT_EQ(Serialized(loaded), bytes);
+
+  // Flushing both sets makes the tuples queryable — and bit-identically.
+  set.FlushPendingUpdates();
+  loaded.FlushPendingUpdates();
+  EXPECT_EQ(loaded.PendingUpdateCount(), 0u);
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  EXPECT_EQ(loaded.CountCovering(all), (*data_)->num_rows() + fresh.size());
+  ExpectBitIdenticalAnswers(loaded, set, "flushed pending");
+}
+
+TEST_F(BlockSetPersistTest, ChangeNumberRoundTripsAndOrdersBatches) {
+  BlockSet set = BuildSet(4);
+  EXPECT_EQ(set.change_number(), 0u);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    const auto result =
+        set.ApplyBatchUpdate(InCellBatchFor(set, **data_, 10, i));
+    EXPECT_EQ(result.change_number, i);
+  }
+  EXPECT_EQ(set.change_number(), 3u);
+  const BlockSet loaded = Deserialized(Serialized(set));
+  EXPECT_EQ(loaded.change_number(), 3u);
+}
+
+TEST_F(BlockSetPersistTest, UpdatedSetRoundTripsBitIdentically) {
+  // The v1 reader relaxed the row cross-check to `>=` to admit post-update
+  // sets; v2 records exact state rows instead, so an updated set must both
+  // load cleanly and reproduce its bytes.
+  BlockSet set = BuildSet(4);
+  set.ApplyBatchUpdate(InCellBatchFor(set, **data_, 200, 17));
+  const std::string bytes = Serialized(set);
+  const BlockSet loaded = Deserialized(bytes);
+  EXPECT_EQ(Serialized(loaded), bytes);
+  ExpectBitIdenticalAnswers(loaded, set, "updated set");
+}
+
+TEST_F(BlockSetPersistTest, RejectsStateRowManifestMismatch) {
+  const BlockSet set = BuildSet(4);
+  std::string bytes = Serialized(set);
+  const size_t k = set.num_shards();
+  // Bump state_rows[0] by one and fix up the manifest CRC, so only the
+  // exact manifest ↔ payload cross-check can catch the inconsistency
+  // (the permissive `>=` of v1 would have let this through).
+  const size_t state_rows_pos = 40 + (k + 1) * 8 + k * 16;
+  uint64_t rows;
+  std::memcpy(&rows, bytes.data() + state_rows_pos, 8);
+  rows += 1;
+  std::memcpy(bytes.data() + state_rows_pos, &rows, 8);
+  const size_t manifest_size = 64 + 52 * k;
+  const uint32_t crc = core::serialize::Crc32(
+      std::string_view(bytes).substr(0, manifest_size - 4));
+  std::memcpy(bytes.data() + manifest_size - 4, &crc, 4);
+  EXPECT_THROW(Deserialized(bytes), std::runtime_error);
 }
 
 // --------------------------------------------------------------------------
@@ -370,14 +498,15 @@ TEST_F(BlockSetPersistTest, ManifestMatchesDocumentedOffsets) {
 
   // Fixed prefix, exactly as documented in docs/FORMAT.md.
   EXPECT_EQ(u32_at(0), 0x54534247u);  // magic "GBST"
-  EXPECT_EQ(u32_at(4), 1u);           // format version
+  EXPECT_EQ(u32_at(4), 2u);           // format version
   EXPECT_EQ(u32_at(8), 0u);           // flags (reserved)
   EXPECT_EQ(i32_at(12), kLevel);      // align_level
   EXPECT_EQ(u64_at(16), kShards);     // shard count
   EXPECT_EQ(u64_at(24), (*data_)->num_rows());  // total rows
+  EXPECT_EQ(u64_at(32), 0u);          // change number (never updated)
 
-  // Boundary array at offset 32: the partition's key boundaries verbatim.
-  size_t pos = 32;
+  // Boundary array at offset 40: the partition's key boundaries verbatim.
+  size_t pos = 40;
   ASSERT_EQ(sharded.boundaries().size(), kShards + 1);
   for (size_t i = 0; i <= kShards; ++i, pos += 8) {
     EXPECT_EQ(u64_at(pos), sharded.boundaries()[i]) << "boundary " << i;
@@ -387,9 +516,15 @@ TEST_F(BlockSetPersistTest, ManifestMatchesDocumentedOffsets) {
     EXPECT_EQ(u64_at(pos), sharded.shard(i).offset()) << "window " << i;
     EXPECT_EQ(u64_at(pos + 8), sharded.shard(i).num_rows()) << "window " << i;
   }
+  // State rows: a never-updated unfiltered build aggregates exactly its
+  // window, so state_rows mirrors the windows.
+  for (size_t i = 0; i < kShards; ++i, pos += 8) {
+    EXPECT_EQ(u64_at(pos), sharded.shard(i).num_rows())
+        << "state rows " << i;
+  }
   // Payload table: contiguous (byte_offset, byte_size) pairs that tile the
   // payload area exactly.
-  const size_t manifest_size = 44 + 44 * kShards;
+  const size_t manifest_size = 64 + 52 * kShards;
   uint64_t expected_offset = 0;
   std::vector<uint64_t> sizes(kShards);
   for (size_t i = 0; i < kShards; ++i, pos += 16) {
@@ -397,8 +532,7 @@ TEST_F(BlockSetPersistTest, ManifestMatchesDocumentedOffsets) {
     sizes[i] = u64_at(pos + 8);
     expected_offset += sizes[i];
   }
-  EXPECT_EQ(manifest_size + expected_offset, bytes.size());
-  // Per-payload CRC-32s, then the manifest CRC-32 over everything before it.
+  // Per-payload CRC-32s.
   uint64_t payload_start = manifest_size;
   for (size_t i = 0; i < kShards; ++i, pos += 4) {
     EXPECT_EQ(u32_at(pos),
@@ -407,6 +541,20 @@ TEST_F(BlockSetPersistTest, ManifestMatchesDocumentedOffsets) {
         << "payload crc " << i;
     payload_start += sizes[i];
   }
+  // Pending section descriptor: with no buffered updates the section is
+  // one u64 zero count per shard, appended after the payload area.
+  const uint64_t pending_bytes = u64_at(pos);
+  pos += 8;
+  EXPECT_EQ(pending_bytes, 8 * kShards);
+  EXPECT_EQ(manifest_size + expected_offset + pending_bytes, bytes.size());
+  const std::string_view pending_section =
+      std::string_view(bytes).substr(payload_start, pending_bytes);
+  EXPECT_EQ(u32_at(pos), core::serialize::Crc32(pending_section));
+  pos += 4;
+  for (size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(u64_at(payload_start + 8 * i), 0u) << "pending count " << i;
+  }
+  // The manifest CRC-32 over everything before it closes the manifest.
   ASSERT_EQ(pos, manifest_size - 4);
   EXPECT_EQ(u32_at(pos), core::serialize::Crc32(
                              std::string_view(bytes).substr(0, pos)));

@@ -259,6 +259,21 @@ TEST_F(QueryBatchTest, SelectCachedWithoutEnableCacheFallsBack) {
   EXPECT_EQ(set.MergedCacheCounters().probes, 0u);
 }
 
+TEST_F(QueryBatchTest, StatDropsSurfaceInMergedCounters) {
+  // An undersized QueryStats table loses recordings silently at the stats
+  // layer; the merged counters must make that loss observable so operators
+  // can tell "cold cache" from "stats table too small".
+  BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
+  set.EnableCache(
+      core::GeoBlockQC::Options{0.05, 0, /*stats_capacity=*/2});
+  const AggregateRequest req = Request();
+  for (const geo::Polygon& poly : *polygons_) {
+    (void)set.SelectCoveringCached(set.Cover(poly), req);
+  }
+  EXPECT_GT(set.MergedCacheCounters().stat_drops, 0u)
+      << "dropped stats recordings must be visible";
+}
+
 TEST_F(QueryBatchTest, CachedResultsMatchUncached) {
   BlockSet set = BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}});
   set.EnableCache(core::GeoBlockQC::Options{0.05, 0});
