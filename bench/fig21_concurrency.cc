@@ -19,7 +19,9 @@
 
 #include "bench/common.h"
 #include "core/block_set.h"
+#include "core/scan_kernels.h"
 #include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
 
 namespace geoblocks::bench {
 namespace {
@@ -168,6 +170,9 @@ void Run() {
   std::printf(
       "hardware threads: %u, cache hit rate at warm-up: %.1f%%\n",
       std::thread::hardware_concurrency(), 100.0 * warm.HitRate());
+  std::printf("kernel dispatch: %s, pool type: %s\n",
+              core::kernels::ToString(core::kernels::ActiveDispatchLevel()),
+              util::ThreadPool::pool_type());
   std::printf("result mismatches: %llu (select) + %llu (count)\n",
               static_cast<unsigned long long>(mismatches.load()),
               static_cast<unsigned long long>(count_mismatches));
@@ -182,6 +187,10 @@ void Run() {
        << "  \"bench\": \"fig21_concurrency\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
+       << "  \"kernel_dispatch\": \""
+       << core::kernels::ToString(core::kernels::ActiveDispatchLevel())
+       << "\",\n"
+       << "  \"pool_type\": \"" << util::ThreadPool::pool_type() << "\",\n"
        << "  \"shards\": " << kShards << ",\n"
        << "  \"queries_per_round\": " << coverings.size() << ",\n"
        << "  \"rounds\": " << rounds << ",\n"

@@ -25,8 +25,10 @@
 
 #include "bench/common.h"
 #include "core/block_set.h"
+#include "core/scan_kernels.h"
 #include "io/update_log.h"
 #include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
 
 namespace geoblocks::bench {
 namespace {
@@ -127,9 +129,12 @@ void Run() {
       std::vector<std::thread> workers;
       for (size_t t = 0; t < readers; ++t) {
         workers.emplace_back([&] {
+          // Allocation-free serving loop: one reused result per reader, the
+          // Into variant reuses its capacity every query.
+          core::QueryResult result;
           for (size_t r = 0; r < read_rounds; ++r) {
             for (const auto& covering : coverings) {
-              (void)set.SelectCoveringCached(covering, req);
+              set.SelectCoveringCachedInto(covering, req, &result);
               queries.fetch_add(1, std::memory_order_relaxed);
             }
           }
@@ -160,6 +165,7 @@ void Run() {
       std::vector<std::thread> workers;
       for (size_t t = 0; t < readers; ++t) {
         workers.emplace_back([&] {
+          core::QueryResult result;
           size_t rounds = 0;
           do {
             for (size_t i = 0; i < coverings.size(); ++i) {
@@ -167,7 +173,7 @@ void Run() {
               if (count < pre[i] || count > pre[i] + total_updates) {
                 range_errors.fetch_add(1, std::memory_order_relaxed);
               }
-              (void)set.SelectCoveringCached(coverings[i], req);
+              set.SelectCoveringCachedInto(coverings[i], req, &result);
               queries.fetch_add(1, std::memory_order_relaxed);
             }
             ++rounds;
@@ -228,6 +234,7 @@ void Run() {
       std::vector<std::thread> workers;
       for (size_t t = 0; t < readers; ++t) {
         workers.emplace_back([&] {
+          core::QueryResult result;
           size_t rounds = 0;
           do {
             for (size_t i = 0; i < coverings.size(); ++i) {
@@ -235,7 +242,7 @@ void Run() {
               if (count < pre[i] || count > pre[i] + total_updates) {
                 range_errors.fetch_add(1, std::memory_order_relaxed);
               }
-              (void)dset.SelectCoveringCached(coverings[i], req);
+              dset.SelectCoveringCachedInto(coverings[i], req, &result);
               queries.fetch_add(1, std::memory_order_relaxed);
             }
             ++rounds;
@@ -278,6 +285,9 @@ void Run() {
   std::printf("hardware threads: %u, batch size: %zu, batches: %zu\n",
               std::thread::hardware_concurrency(), kBatchSize,
               batches_per_run);
+  std::printf("kernel dispatch: %s, pool type: %s\n",
+              core::kernels::ToString(core::kernels::ActiveDispatchLevel()),
+              util::ThreadPool::pool_type());
   std::printf("mismatches: %llu\n",
               static_cast<unsigned long long>(mismatches));
 
@@ -287,6 +297,10 @@ void Run() {
        << "  \"bench\": \"fig22_updates\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
+       << "  \"kernel_dispatch\": \""
+       << core::kernels::ToString(core::kernels::ActiveDispatchLevel())
+       << "\",\n"
+       << "  \"pool_type\": \"" << util::ThreadPool::pool_type() << "\",\n"
        << "  \"shards\": " << kShards << ",\n"
        << "  \"batch_size\": " << kBatchSize << ",\n"
        << "  \"batches\": " << batches_per_run << ",\n"

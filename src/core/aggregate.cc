@@ -1,6 +1,46 @@
 #include "core/aggregate.h"
 
+#include "core/scan_kernels.h"
+
 namespace geoblocks::core {
+
+void Accumulator::AddCellRange(const uint32_t* counts,
+                               const ColumnAggregate* cols, size_t n,
+                               size_t num_columns) {
+  count_ += kernels::Kernels().sum_counts(counts, n);
+  double* v = values();
+  for (size_t s = 0; s < num_specs_; ++s) {
+    const AggSpec& spec = request_->specs()[s];
+    const ColumnAggregate* a = cols + spec.column;
+    switch (spec.fn) {
+      case AggFn::kCount:
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg: {
+        double acc = v[s];
+        for (size_t i = 0; i < n; ++i, a += num_columns) acc += a->sum;
+        v[s] = acc;
+        break;
+      }
+      case AggFn::kMin: {
+        double m = v[s];
+        for (size_t i = 0; i < n; ++i, a += num_columns) {
+          if (a->min < m) m = a->min;
+        }
+        v[s] = m;
+        break;
+      }
+      case AggFn::kMax: {
+        double m = v[s];
+        for (size_t i = 0; i < n; ++i, a += num_columns) {
+          if (a->max > m) m = a->max;
+        }
+        v[s] = m;
+        break;
+      }
+    }
+  }
+}
 
 std::string ToString(AggFn fn) {
   switch (fn) {

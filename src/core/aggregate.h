@@ -93,10 +93,17 @@ struct QueryResult {
 /// Figure 10 measures.
 class Accumulator {
  public:
+  /// Requests of up to this many aggregates accumulate in inline storage —
+  /// constructing an Accumulator for them performs no heap allocation
+  /// (query hot paths construct one per query).
+  static constexpr size_t kInlineSpecs = 8;
+
   explicit Accumulator(const AggregateRequest* request)
-      : request_(request), values_(request->size()) {
-    for (size_t s = 0; s < request_->size(); ++s) {
-      values_[s] = InitialValue(request_->specs()[s].fn);
+      : request_(request), num_specs_(request->size()) {
+    if (num_specs_ > kInlineSpecs) overflow_values_.resize(num_specs_);
+    double* v = values();
+    for (size_t s = 0; s < num_specs_; ++s) {
+      v[s] = InitialValue(request_->specs()[s].fn);
     }
   }
 
@@ -104,41 +111,53 @@ class Accumulator {
   /// aggregates are `cols[column]`.
   void AddAggregate(uint64_t count, const ColumnAggregate* cols) {
     count_ += count;
-    for (size_t s = 0; s < request_->size(); ++s) {
+    double* v = values();
+    for (size_t s = 0; s < num_specs_; ++s) {
       const AggSpec& spec = request_->specs()[s];
       const ColumnAggregate& a = cols[spec.column];
       switch (spec.fn) {
         case AggFn::kCount: break;
         case AggFn::kSum:
-        case AggFn::kAvg: values_[s] += a.sum; break;
+        case AggFn::kAvg: v[s] += a.sum; break;
         case AggFn::kMin:
-          if (a.min < values_[s]) values_[s] = a.min;
+          if (a.min < v[s]) v[s] = a.min;
           break;
         case AggFn::kMax:
-          if (a.max > values_[s]) values_[s] = a.max;
+          if (a.max > v[s]) v[s] = a.max;
           break;
       }
     }
   }
 
+  /// Folds in `n` consecutive pre-computed cell aggregates in cell order:
+  /// counts[i] tuples with per-column aggregates at cols[i * num_columns].
+  /// Equivalent to calling AddAggregate for each cell — bit-identically so,
+  /// since SELECT results must not depend on how a covering's cell run is
+  /// decomposed (single block vs shards). Counts sum through the vectorized
+  /// kernel (exact integers); double folds stay strictly sequential.
+  /// Defined in aggregate.cc to keep scan_kernels.h out of this header.
+  void AddCellRange(const uint32_t* counts, const ColumnAggregate* cols,
+                    size_t n, size_t num_columns);
+
   /// Folds in one raw tuple; `value_of(column)` reads its attributes.
   template <typename ValueFn>
   void AddRow(const ValueFn& value_of) {
     ++count_;
-    for (size_t s = 0; s < request_->size(); ++s) {
+    double* vals = values();
+    for (size_t s = 0; s < num_specs_; ++s) {
       const AggSpec& spec = request_->specs()[s];
       switch (spec.fn) {
         case AggFn::kCount: break;
         case AggFn::kSum:
-        case AggFn::kAvg: values_[s] += value_of(spec.column); break;
+        case AggFn::kAvg: vals[s] += value_of(spec.column); break;
         case AggFn::kMin: {
           const double v = value_of(spec.column);
-          if (v < values_[s]) values_[s] = v;
+          if (v < vals[s]) vals[s] = v;
           break;
         }
         case AggFn::kMax: {
           const double v = value_of(spec.column);
-          if (v > values_[s]) values_[s] = v;
+          if (v > vals[s]) vals[s] = v;
           break;
         }
       }
@@ -150,34 +169,46 @@ class Accumulator {
   /// holds the running sum), so merging commutes with Finish().
   void Merge(const Accumulator& o) {
     count_ += o.count_;
-    for (size_t s = 0; s < request_->size(); ++s) {
+    double* v = values();
+    const double* ov = o.values();
+    for (size_t s = 0; s < num_specs_; ++s) {
       switch (request_->specs()[s].fn) {
         case AggFn::kCount: break;
         case AggFn::kSum:
-        case AggFn::kAvg: values_[s] += o.values_[s]; break;
+        case AggFn::kAvg: v[s] += ov[s]; break;
         case AggFn::kMin:
-          if (o.values_[s] < values_[s]) values_[s] = o.values_[s];
+          if (ov[s] < v[s]) v[s] = ov[s];
           break;
         case AggFn::kMax:
-          if (o.values_[s] > values_[s]) values_[s] = o.values_[s];
+          if (ov[s] > v[s]) v[s] = ov[s];
           break;
+      }
+    }
+  }
+
+  /// Finalizes into a caller-owned result, reusing `out->values`' capacity:
+  /// a warmed result object makes finishing allocation-free (the reason the
+  /// *Into query variants exist). Bit-identical to Finish().
+  void FinishInto(QueryResult* out) const {
+    out->count = count_;
+    const double* v = values();
+    out->values.assign(v, v + num_specs_);
+    for (size_t s = 0; s < num_specs_; ++s) {
+      switch (request_->specs()[s].fn) {
+        case AggFn::kCount:
+          out->values[s] = static_cast<double>(count_);
+          break;
+        case AggFn::kAvg:
+          out->values[s] = count_ == 0 ? 0.0 : out->values[s] / count_;
+          break;
+        default: break;
       }
     }
   }
 
   QueryResult Finish() const {
     QueryResult r;
-    r.count = count_;
-    r.values = values_;
-    for (size_t s = 0; s < request_->size(); ++s) {
-      switch (request_->specs()[s].fn) {
-        case AggFn::kCount: r.values[s] = static_cast<double>(count_); break;
-        case AggFn::kAvg:
-          r.values[s] = count_ == 0 ? 0.0 : r.values[s] / count_;
-          break;
-        default: break;
-      }
-    }
+    FinishInto(&r);
     return r;
   }
 
@@ -190,9 +221,24 @@ class Accumulator {
     }
   }
 
+  /// The running values: inline for requests of up to kInlineSpecs
+  /// aggregates, heap-backed beyond. Recomputed on access (no stored
+  /// pointer), so the implicitly defined copy/move members stay correct —
+  /// ExecuteBatch fill-constructs vectors of partial accumulators.
+  double* values() {
+    return num_specs_ <= kInlineSpecs ? inline_values_
+                                      : overflow_values_.data();
+  }
+  const double* values() const {
+    return num_specs_ <= kInlineSpecs ? inline_values_
+                                      : overflow_values_.data();
+  }
+
   const AggregateRequest* request_;
   uint64_t count_ = 0;
-  std::vector<double> values_;
+  size_t num_specs_ = 0;
+  double inline_values_[kInlineSpecs];
+  std::vector<double> overflow_values_;
 };
 
 }  // namespace geoblocks::core

@@ -150,16 +150,33 @@ void GeoBlockQC::RebuildCache() const {
 }
 
 void GeoBlockQC::PatchTrieLocked(std::span<const GeoBlock::UpdateTuple> batch,
+                                 std::span<const uint32_t> subset,
                                  const std::vector<size_t>& rejected) {
   // An empty trie (cache enabled but nothing cached yet) makes every
   // tuple walk a no-op: skip the clone, epoch flip, and grace period —
   // the published snapshot would be bit-identical.
   if (trie_.WriterPeek()->empty()) return;
   // Copy-on-write: patch a private clone, then publish it atomically so
-  // readers see the whole batch or none of it.
-  auto patched = std::make_shared<AggregateTrie>(*trie_.WriterPeek());
+  // readers see the whole batch or none of it. The clone lands in the
+  // snapshot retired by the previous commit when that spare is sole-owned —
+  // copy-assignment reuses its arena buffer, so the steady-state commit
+  // allocates no trie storage.
+  std::shared_ptr<AggregateTrie> patched;
+  if (spare_trie_ != nullptr && spare_trie_.use_count() == 1) {
+    patched = std::move(spare_trie_);
+    *patched = *trie_.WriterPeek();
+  } else {
+    patched = std::make_shared<AggregateTrie>(*trie_.WriterPeek());
+  }
+  spare_trie_.reset();
+  // Iterate the effective tuples: the routed subset (ascending batch
+  // indices) when one is given, the whole batch otherwise. `rejected`
+  // holds ascending batch indices in the same order, so one cursor skips
+  // them.
+  const size_t m = subset.empty() ? batch.size() : subset.size();
   size_t next_rejected = 0;
-  for (size_t b = 0; b < batch.size(); ++b) {
+  for (size_t j = 0; j < m; ++j) {
+    const size_t b = subset.empty() ? j : subset[j];
     // Skip tuples the block rejected (new regions require a merge, which
     // patches the cache through CommitNewRegionMerge when it happens).
     if (next_rejected < rejected.size() && rejected[next_rejected] == b) {
@@ -174,7 +191,8 @@ void GeoBlockQC::PatchTrieLocked(std::span<const GeoBlock::UpdateTuple> batch,
 }
 
 GeoBlock::UpdateResult GeoBlockQC::CommitBlockBatch(
-    GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch) {
+    GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch,
+    std::span<const uint32_t> subset) {
   if (block != block_) {
     // Patching this cache with another block's batch would silently
     // diverge cache answers from block answers; fail loudly instead.
@@ -185,8 +203,8 @@ GeoBlock::UpdateResult GeoBlockQC::CommitBlockBatch(
   // one writer critical section, so a rebuild serializes against it as a
   // unit. Readers are never blocked: both publishes are epoch swaps.
   std::lock_guard<std::mutex> lock(writer_mu_);
-  const GeoBlock::UpdateResult result = block->ApplyBatchUpdate(batch);
-  if (result.applied > 0) PatchTrieLocked(batch, result.rejected);
+  const GeoBlock::UpdateResult result = block->ApplyBatchUpdate(batch, subset);
+  if (result.applied > 0) PatchTrieLocked(batch, subset, result.rejected);
   return result;
 }
 
@@ -201,7 +219,7 @@ size_t GeoBlockQC::CommitNewRegionMerge(
   const size_t new_cells = block->MergeNewRegionTuples(batch);
   // Every tuple is applied by a merge; cached ancestor aggregates of the
   // new cells absorb them one ApplyTupleUpdate walk each.
-  PatchTrieLocked(batch, {});
+  PatchTrieLocked(batch, {}, {});
   return new_cells;
 }
 

@@ -158,7 +158,18 @@ class GeoBlockQC {
       : block_(block),
         options_(options),
         stats_(options.stats_capacity),
-        trie_(std::make_shared<AggregateTrie>()) {}
+        trie_(std::make_shared<AggregateTrie>()) {
+    // Recycle retired trie snapshots: the hook runs inside Publish, which
+    // every writer calls under writer_mu_, so spare_trie_ (also guarded by
+    // writer_mu_) is safe to touch here. A sole-owned retiree keeps its
+    // arena buffer alive for the next clone-patch — the steady-state commit
+    // path stops allocating trie storage.
+    trie_.SetRetireHook([this](std::shared_ptr<const AggregateTrie> old) {
+      if (old.use_count() == 1) {
+        spare_trie_ = std::const_pointer_cast<AggregateTrie>(std::move(old));
+      }
+    });
+  }
 
   // The cache planes are atomics and a slot table: pin the address.
   GeoBlockQC(const GeoBlockQC&) = delete;
@@ -257,12 +268,16 @@ class GeoBlockQC {
   /// outside the critical section would let a racing rebuild bake the
   /// batch into its fresh trie before the cache patch applied it again.
   ///
-  /// @param block The wrapped block (non-const: the commit publishes).
-  /// @param batch The arriving tuples.
+  /// @param block  The wrapped block (non-const: the commit publishes).
+  /// @param batch  The arriving tuples.
+  /// @param subset Optional ascending indices into `batch` selecting the
+  ///     tuples to commit (a shard's routed slice); empty means the whole
+  ///     batch. Rejected indices in the result are batch indices either way.
   /// @return The block's UpdateResult for the batch.
   /// @throws std::invalid_argument when `block` is not the wrapped block.
   GeoBlock::UpdateResult CommitBlockBatch(
-      GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch);
+      GeoBlock* block, std::span<const GeoBlock::UpdateTuple> batch,
+      std::span<const uint32_t> subset = {});
 
   /// One-shot MVCC commit of a new-region merge (the batched rebuild for
   /// tuples ApplyBatchUpdate rejected): merges `batch` into a fresh block
@@ -291,10 +306,13 @@ class GeoBlockQC {
   }
 
  private:
-  /// Clones the published trie, patches it with the batch (skipping the
-  /// rejected indices), and publishes the patched snapshot. Must hold
+  /// Clones the published trie (into the recycled spare when one is
+  /// available), patches it with the batch's effective tuples — `subset`
+  /// order when non-empty, whole batch otherwise — skipping the rejected
+  /// batch indices, and publishes the patched snapshot. Must hold
   /// writer_mu_.
   void PatchTrieLocked(std::span<const GeoBlock::UpdateTuple> batch,
+                       std::span<const uint32_t> subset,
                        const std::vector<size_t>& rejected);
 
   /// Interval trigger: bumps the per-query epoch counter and, when it
@@ -327,6 +345,10 @@ class GeoBlockQC {
   /// Writer-side only (rebuilds and update propagation); the read path
   /// never acquires it.
   mutable std::mutex writer_mu_;
+  /// Retired trie snapshot kept for reuse by the next clone-patch commit
+  /// (set by the retire hook, consumed by PatchTrieLocked). Guarded by
+  /// writer_mu_ — the hook only runs inside a writer's Publish.
+  mutable std::shared_ptr<AggregateTrie> spare_trie_;
 };
 
 }  // namespace geoblocks::core

@@ -359,33 +359,47 @@ BlockSet::SetUpdateResult BlockSet::CommitRouted(
   // Phase 1: route every tuple to its shard by Hilbert key against the
   // manifest boundaries — the same rule the partitioner cut the data with,
   // so a tuple lands in the shard whose block covers (or will cover) its
-  // cell. Routing reads only immutable fields; no locks.
-  std::vector<std::vector<GeoBlock::UpdateTuple>> routed(k);
-  for (const GeoBlock::UpdateTuple& tuple : batch) {
+  // cell. Routing reads only immutable fields; no locks. Tuples are routed
+  // by *index*, not copied — copying an UpdateTuple allocates (its values
+  // vector), so copies happen only on the rejection slow path. The scratch
+  // is thread-local: its capacity survives across batches, making the
+  // steady-state route allocation-free.
+  struct RouteScratch {
+    std::vector<std::vector<uint32_t>> per_shard;  ///< batch indices
+    std::vector<size_t> busy;                      ///< shards with tuples
+  };
+  thread_local RouteScratch scratch;
+  if (scratch.per_shard.size() < k) scratch.per_shard.resize(k);
+  for (size_t s = 0; s < k; ++s) scratch.per_shard[s].clear();
+  scratch.busy.clear();
+  for (size_t b = 0; b < batch.size(); ++b) {
     const uint64_t key =
-        cell::CellId::FromPoint(projection_.ToUnit(tuple.location)).id();
-    routed[storage::ShardForKey(boundaries_, key)].push_back(tuple);
+        cell::CellId::FromPoint(projection_.ToUnit(batch[b].location)).id();
+    const size_t s = storage::ShardForKey(boundaries_, key);
+    if (scratch.per_shard[s].empty()) scratch.busy.push_back(s);
+    scratch.per_shard[s].push_back(static_cast<uint32_t>(b));
   }
+  // Deterministic commit order on the inline path (parallel commits are
+  // unordered anyway; shards are disjoint, so results never depend on it).
+  std::sort(scratch.busy.begin(), scratch.busy.end());
 
-  // Phase 2: commit each non-empty shard sub-batch under that shard's
+  // Phase 2: commit each busy shard's index slice under that shard's
   // commit lock — striped writers, parallel across shards on the pool.
-  // Readers never block: each commit is an epoch-swap publish.
-  std::vector<size_t> busy;
-  busy.reserve(k);
-  for (size_t s = 0; s < k; ++s) {
-    if (!routed[s].empty()) busy.push_back(s);
-  }
+  // Readers never block: each commit is an epoch-swap publish. The lambda
+  // captures references into the submitting thread's scratch; ParallelFor
+  // completes before returning, so they stay stable for the fan-out.
   std::atomic<size_t> applied{0};
   std::atomic<size_t> buffered{0};
   std::atomic<size_t> rebuilds{0};
   const auto commit_one = [&](size_t i) {
-    const size_t s = busy[i];
-    CommitShardBatch(s, std::move(routed[s]), &applied, &buffered, &rebuilds);
+    const size_t s = scratch.busy[i];
+    CommitShardBatch(s, batch, scratch.per_shard[s], &applied, &buffered,
+                     &rebuilds);
   };
-  if (pool != nullptr && busy.size() > 1) {
-    pool->ParallelFor(busy.size(), commit_one);
+  if (pool != nullptr && scratch.busy.size() > 1) {
+    pool->ParallelFor(scratch.busy.size(), commit_one);
   } else {
-    for (size_t i = 0; i < busy.size(); ++i) commit_one(i);
+    for (size_t i = 0; i < scratch.busy.size(); ++i) commit_one(i);
   }
 
   result.applied = applied.load(std::memory_order_relaxed);
@@ -396,7 +410,8 @@ BlockSet::SetUpdateResult BlockSet::CommitRouted(
 }
 
 void BlockSet::CommitShardBatch(size_t s,
-                                std::vector<GeoBlock::UpdateTuple> batch,
+                                std::span<const GeoBlock::UpdateTuple> batch,
+                                std::span<const uint32_t> subset,
                                 std::atomic<size_t>* applied,
                                 std::atomic<size_t>* buffered,
                                 std::atomic<size_t>* rebuilds) {
@@ -407,13 +422,17 @@ void BlockSet::CommitShardBatch(size_t s,
   // The commit proper: with a cache, block-state publish and trie patch
   // run as one writer critical section (GeoBlockQC::CommitBlockBatch), so
   // an interval-triggered trie rebuild can never interleave half a commit.
+  // The shard reads its tuples straight out of the caller's batch through
+  // the subset indices; rejected indices come back as batch indices.
   const GeoBlock::UpdateResult r =
-      qc != nullptr ? qc->CommitBlockBatch(block, batch)
-                    : block->ApplyBatchUpdate(batch);
+      qc != nullptr ? qc->CommitBlockBatch(block, batch, subset)
+                    : block->ApplyBatchUpdate(batch, subset);
   applied->fetch_add(r.applied, std::memory_order_relaxed);
   buffered->fetch_add(r.rejected.size(), std::memory_order_relaxed);
   for (const size_t idx : r.rejected) {
-    w.pending.push_back(std::move(batch[idx]));
+    // The one place a tuple is copied (allocating its values vector): the
+    // new-region slow path, off the steady-state commit.
+    w.pending.push_back(batch[idx]);
   }
   w.pending_count.store(w.pending.size(), std::memory_order_relaxed);
 
@@ -643,7 +662,14 @@ QueryResult BlockSet::SelectCached(const geo::Polygon& polygon,
 QueryResult BlockSet::SelectCoveringCached(
     std::span<const cell::CellId> covering,
     const AggregateRequest& request) const {
-  if (!cache_enabled()) return SelectCovering(covering, request);
+  QueryResult result;
+  SelectCoveringCachedInto(covering, request, &result);
+  return result;
+}
+
+void BlockSet::SelectCoveringCachedInto(std::span<const cell::CellId> covering,
+                                        const AggregateRequest& request,
+                                        QueryResult* out) const {
   thread_local std::vector<size_t> shards;
   OverlappingShards(covering, &shards);
   Accumulator acc(&request);
@@ -651,11 +677,18 @@ QueryResult BlockSet::SelectCoveringCached(
   // snapshot and block-state version once and probes them without any
   // mutex (GeoBlockQC concurrency model). Shards are visited in ascending
   // order, so the fold stays bit-identical to a serialized execution over
-  // the same snapshots.
-  for (const size_t s : shards) {
-    cached_[s]->CombineCovering(covering, &acc);
+  // the same snapshots. With the cache disabled the same fold runs against
+  // the raw blocks (identical to SelectCovering).
+  if (cache_enabled()) {
+    for (const size_t s : shards) {
+      cached_[s]->CombineCovering(covering, &acc);
+    }
+  } else {
+    for (const size_t s : shards) {
+      blocks_[s]->CombineCovering(covering, &acc);
+    }
   }
-  return acc.Finish();
+  acc.FinishInto(out);
 }
 
 void BlockSet::RebuildCaches(util::ThreadPool* pool) {

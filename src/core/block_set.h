@@ -485,6 +485,19 @@ class BlockSet {
   /// @return Same result SelectCovering would produce.
   QueryResult SelectCoveringCached(std::span<const cell::CellId> covering,
                                    const AggregateRequest& request) const;
+  /// Allocation-free variant of SelectCoveringCached: folds into a
+  /// caller-owned result whose `values` capacity is reused. With a warmed
+  /// result object, a pre-computed covering, and a request of at most
+  /// Accumulator::kInlineSpecs aggregates, the steady state performs zero
+  /// heap allocations (the serving hot path; tests/allocation_test.cc
+  /// asserts this with a counting allocator).
+  ///
+  /// @param covering Covering cells, ascending and disjoint.
+  /// @param request  Aggregates to extract.
+  /// @param out      Receives the result (count + one value per aggregate).
+  void SelectCoveringCachedInto(std::span<const cell::CellId> covering,
+                                const AggregateRequest& request,
+                                QueryResult* out) const;
 
   /// Re-ranks and refills every shard trie from its recorded statistics,
   /// publishing each shard's new snapshot with one atomic pointer swap.
@@ -571,10 +584,13 @@ class BlockSet {
   /// batches may adopt log-assigned numbers out of order).
   void AdoptChangeNumber(uint64_t cn);
 
-  /// Commits one routed sub-batch against shard `s` under its writer lock
-  /// and handles the pending buffer + threshold trigger. Returns through
-  /// the atomics in ApplyBatchUpdate.
-  void CommitShardBatch(size_t s, std::vector<GeoBlock::UpdateTuple> batch,
+  /// Commits shard `s`'s slice of the batch — the tuples at the (ascending)
+  /// `subset` indices into `batch` — under its writer lock and handles the
+  /// pending buffer + threshold trigger. Tuples are passed by index, not
+  /// copied: only rejected (new-region) tuples are copied, into the pending
+  /// buffer. Returns through the atomics in ApplyBatchUpdate.
+  void CommitShardBatch(size_t s, std::span<const GeoBlock::UpdateTuple> batch,
+                        std::span<const uint32_t> subset,
                         std::atomic<size_t>* applied,
                         std::atomic<size_t>* buffered,
                         std::atomic<size_t>* rebuilds);

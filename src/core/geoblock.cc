@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/scan_kernels.h"
+
 namespace geoblocks::core {
 
 namespace {
@@ -65,6 +67,7 @@ size_t BlockState::SeekFirst(uint64_t key, size_t last_idx) const {
   const std::vector<uint64_t>& ids = *cells;
   // Listing 1: after a match, first try the successor of the last combined
   // aggregate before falling back to binary search.
+  const kernels::KernelTable& kern = kernels::Kernels();
   if (last_idx != GeoBlock::kNoLastAgg) {
     const size_t next = last_idx + 1;
     if (next >= ids.size()) return ids.size();
@@ -74,11 +77,9 @@ size_t BlockState::SeekFirst(uint64_t key, size_t last_idx) const {
       // and last_idx was consumed, ids[last_idx] < key always holds.
       return next;
     }
-    return static_cast<size_t>(
-        std::lower_bound(ids.begin() + next, ids.end(), key) - ids.begin());
+    return next + kern.lower_bound_u64(ids.data() + next, ids.size() - next, key);
   }
-  return static_cast<size_t>(std::lower_bound(ids.begin(), ids.end(), key) -
-                             ids.begin());
+  return kern.lower_bound_u64(ids.data(), ids.size(), key);
 }
 
 void BlockState::CombineCell(cell::CellId qcell, Accumulator* acc,
@@ -90,12 +91,16 @@ void BlockState::CombineCell(cell::CellId qcell, Accumulator* acc,
   const std::vector<uint64_t>& ids = *cells;
   const uint64_t first_child = qcell.ChildBegin(header.level).id();
   const uint64_t last_child = qcell.ChildLast(header.level).id();
-  size_t idx = SeekFirst(first_child, *last_idx);
-  // Contiguous scan over the sorted cell aggregates (Listing 1, 25-28).
-  while (idx < ids.size() && ids[idx] <= last_child) {
-    acc->AddAggregate((*counts)[idx], cell_columns(idx));
-    *last_idx = idx;
-    ++idx;
+  const size_t idx = SeekFirst(first_child, *last_idx);
+  // Contiguous range over the sorted cell aggregates (Listing 1, 25-28),
+  // folded as one batched strided scan instead of per-cell calls.
+  const size_t end = idx + kernels::Kernels().upper_bound_u64(
+                               ids.data() + idx, ids.size() - idx, last_child);
+  if (end > idx) {
+    acc->AddCellRange(counts->data() + idx,
+                      column_aggs->data() + idx * num_columns, end - idx,
+                      num_columns);
+    *last_idx = end - 1;
   }
 }
 
@@ -127,12 +132,13 @@ uint64_t BlockState::CountCovering(
     // Locate the first and last contained aggregate (Listing 2, lines 8-9);
     // the second search starts from the first, and both reuse the position
     // of the previous query cell as a hint (query cells ascend).
-    const size_t first = static_cast<size_t>(
-        std::lower_bound(ids.begin() + hint, ids.end(), f_child) -
-        ids.begin());
-    const size_t last_plus_one = static_cast<size_t>(
-        std::upper_bound(ids.begin() + first, ids.end(), l_child) -
-        ids.begin());
+    const kernels::KernelTable& kern = kernels::Kernels();
+    const size_t first =
+        hint + kern.lower_bound_u64(ids.data() + hint, ids.size() - hint,
+                                    f_child);
+    const size_t last_plus_one =
+        first + kern.upper_bound_u64(ids.data() + first, ids.size() - first,
+                                     l_child);
     hint = first;
     if (last_plus_one <= first) continue;
     const size_t last = last_plus_one - 1;
@@ -172,15 +178,18 @@ size_t BlockState::CellAggregateBytes() const {
 
 namespace {
 
-/// One cell with the retirement-counting hook attached — shared by the
-/// default constructor and InstallState.
+/// One cell with the retirement hook attached — shared by the default
+/// constructor and InstallState. The hook counts the retirement and hands
+/// the version to the arena so the next commit reuses its allocations.
 std::unique_ptr<util::SnapshotCell<BlockState>> MakeStateCell(
     std::shared_ptr<const BlockState> initial,
-    const std::shared_ptr<std::atomic<uint64_t>>& counter) {
+    const std::shared_ptr<std::atomic<uint64_t>>& counter,
+    const std::shared_ptr<StateArena>& arena) {
   auto cell =
       std::make_unique<util::SnapshotCell<BlockState>>(std::move(initial));
-  cell->SetRetireHook([counter](std::shared_ptr<const BlockState>) {
+  cell->SetRetireHook([counter, arena](std::shared_ptr<const BlockState> old) {
     counter->fetch_add(1, std::memory_order_relaxed);
+    arena->Recycle(std::move(old));
   });
   return cell;
 }
@@ -188,8 +197,10 @@ std::unique_ptr<util::SnapshotCell<BlockState>> MakeStateCell(
 }  // namespace
 
 GeoBlock::GeoBlock()
-    : retired_(std::make_shared<std::atomic<uint64_t>>(0)) {
-  state_ = MakeStateCell(std::make_shared<const BlockState>(), retired_);
+    : retired_(std::make_shared<std::atomic<uint64_t>>(0)),
+      arena_(std::make_shared<StateArena>()) {
+  state_ =
+      MakeStateCell(std::make_shared<const BlockState>(), retired_, arena_);
 }
 
 GeoBlock::GeoBlock(const GeoBlock& other) : GeoBlock() {
@@ -217,7 +228,8 @@ GeoBlock::GeoBlock(GeoBlock&& other) noexcept
       level_(other.level_),
       num_columns_(other.num_columns_),
       state_(std::move(other.state_)),
-      retired_(std::move(other.retired_)) {
+      retired_(std::move(other.retired_)),
+      arena_(std::move(other.arena_)) {
   route_cells_.store(other.route_cells_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   route_min_.store(other.route_min_.load(std::memory_order_relaxed),
@@ -235,6 +247,7 @@ GeoBlock& GeoBlock::operator=(GeoBlock&& other) noexcept {
   num_columns_ = other.num_columns_;
   state_ = std::move(other.state_);
   retired_ = std::move(other.retired_);
+  arena_ = std::move(other.arena_);
   route_cells_.store(other.route_cells_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   route_min_.store(other.route_min_.load(std::memory_order_relaxed),
@@ -248,7 +261,7 @@ void GeoBlock::InstallState(std::shared_ptr<const BlockState> state) {
   // Pre-publication (build/load/copy): no readers exist yet, so the cell is
   // replaced outright instead of epoch-swapped — the empty initial state is
   // not counted as a retirement.
-  state_ = MakeStateCell(state, retired_);
+  state_ = MakeStateCell(state, retired_, arena_);
   route_cells_.store(state->num_cells(), std::memory_order_relaxed);
   route_min_.store(state->header.min_cell, std::memory_order_relaxed);
   route_max_.store(state->header.max_cell, std::memory_order_relaxed);
@@ -291,38 +304,83 @@ GeoBlock GeoBlock::Build(storage::DatasetView data,
 
   const uint64_t lsb = cell::CellId::LsbForLevel(options.level);
   const storage::Filter& filter = options.filter;
-  const auto value_of = [&](size_t row) {
-    return [&, row](int col) { return view.Value(row, col); };
-  };
+  const kernels::KernelTable& kern = kernels::Kernels();
 
   const std::span<const uint64_t> keys = view.keys();
-  uint64_t current_cell = 0;
-  uint32_t matched_so_far = 0;  // offset into the filtered tuple sequence
   const size_t n = view.num_rows();
-  for (size_t row = 0; row < n; ++row) {
-    if (!filter.IsTrue() && !filter.Matches(value_of(row))) continue;
-    const uint64_t key = keys[row];
-    const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
-    if (cell_id != current_cell) {
-      b.cells.push_back(cell_id);
-      b.offsets.push_back(matched_so_far);
-      b.counts.push_back(0);
-      b.min_keys.push_back(key);
-      b.max_keys.push_back(key);
-      b.column_aggs.resize(b.column_aggs.size() + b.num_columns);
-      current_cell = cell_id;
+  std::vector<const double*> col_ptrs(b.num_columns);
+  for (size_t c = 0; c < b.num_columns; ++c) col_ptrs[c] = view.column(c).data();
+
+  // Evaluate the filter once over the whole window as a byte mask: one
+  // vectorized pass per predicate over the contiguous column arrays (same
+  // conjunction as the old short-circuiting per-row evaluation).
+  std::vector<uint8_t> mask;
+  const bool filtered = !filter.IsTrue();
+  if (filtered && n > 0) {
+    const std::vector<storage::Predicate>& preds = filter.predicates();
+    mask.resize(n);
+    std::vector<const double*> pred_cols(preds.size());
+    for (size_t p = 0; p < preds.size(); ++p) {
+      pred_cols[p] = view.column(static_cast<size_t>(preds[p].column)).data();
     }
-    const size_t idx = b.cells.size() - 1;
-    ++b.counts[idx];
-    ++matched_so_far;
-    b.max_keys[idx] = key;
-    ColumnAggregate* cols = b.column_aggs.data() + idx * b.num_columns;
-    ++b.header.global.count;
+    kern.filter_mask(preds.data(), preds.size(), pred_cols.data(), n,
+                     mask.data());
+  }
+
+  uint32_t matched_so_far = 0;  // offset into the filtered tuple sequence
+  size_t row = 0;
+  while (row < n) {
+    const uint64_t cell_id = (keys[row] & (~lsb + 1)) | lsb;
+    // Keys ascend, so one grid cell's rows are exactly the contiguous run up
+    // to the cell's maximal leaf key.
+    const size_t run_end = row + kern.upper_bound_u64(keys.data() + row,
+                                                      n - row,
+                                                      cell_id + lsb - 1);
+    const size_t run_len = run_end - row;
+    uint32_t matched = 0;
+    uint64_t min_key = 0;
+    uint64_t max_key = 0;
+    if (filtered) {
+      size_t lo = run_end;
+      size_t hi = row;
+      for (size_t i = row; i < run_end; ++i) {
+        if (mask[i]) {
+          ++matched;
+          hi = i;
+          if (lo == run_end) lo = i;
+        }
+      }
+      if (matched == 0) {  // fully filtered-out cell: no aggregate at all
+        row = run_end;
+        continue;
+      }
+      min_key = keys[lo];
+      max_key = keys[hi];
+    } else {
+      matched = static_cast<uint32_t>(run_len);
+      min_key = keys[row];
+      max_key = keys[run_end - 1];
+    }
+    b.cells.push_back(cell_id);
+    b.offsets.push_back(matched_so_far);
+    b.counts.push_back(matched);
+    b.min_keys.push_back(min_key);
+    b.max_keys.push_back(max_key);
+    const size_t agg_base = b.column_aggs.size();
+    b.column_aggs.resize(agg_base + b.num_columns);
     for (size_t c = 0; c < b.num_columns; ++c) {
-      const double v = view.Value(row, c);
-      cols[c].Add(v);
-      b.header.global.columns[c].Add(v);
+      ColumnAggregate* agg = &b.column_aggs[agg_base + c];
+      if (filtered) {
+        kern.aggregate_column_masked(col_ptrs[c] + row, mask.data() + row,
+                                     run_len, agg);
+      } else {
+        kern.aggregate_column(col_ptrs[c] + row, run_len, agg);
+      }
+      b.header.global.columns[c].Merge(*agg);
     }
+    b.header.global.count += matched;
+    matched_so_far += matched;
+    row = run_end;
   }
 
   block.InstallState(b.Finish());
@@ -465,8 +523,36 @@ AggregateVector GeoBlock::AggregateForCell(cell::CellId cell) const {
 // The MVCC write plane: clone-patch-publish
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// One classified in-cell tuple of an update batch.
+struct UpdateHit {
+  size_t idx;  ///< cell-aggregate index the tuple lands in
+  size_t b;    ///< batch index
+  uint64_t key;
+};
+
+/// Clones `src` into the shared_ptr sitting in `*slot` when that array is
+/// sole-owned (a recycled version's private clone — its heap buffer and
+/// control block are reused), else into a fresh allocation. Clears `*slot`.
+template <typename T>
+std::shared_ptr<std::vector<T>> CloneReusing(
+    std::shared_ptr<const std::vector<T>>* slot, const std::vector<T>& src) {
+  std::shared_ptr<std::vector<T>> out;
+  if (*slot != nullptr && slot->use_count() == 1) {
+    out = std::const_pointer_cast<std::vector<T>>(std::move(*slot));
+    *out = src;  // copy-assign: reuses capacity when it suffices
+  } else {
+    out = std::make_shared<std::vector<T>>(src);
+  }
+  slot->reset();
+  return out;
+}
+
+}  // namespace
+
 GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
-    std::span<const UpdateTuple> batch) {
+    std::span<const UpdateTuple> batch, std::span<const uint32_t> subset) {
   UpdateResult result;
   // Writers are externally serialized, so the raw current version is
   // stable for the whole commit.
@@ -474,27 +560,28 @@ GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
   const std::vector<uint64_t>& ids = *cur->cells;
   const uint64_t lsb = cell::CellId::LsbForLevel(level_);
 
-  // Pass 1: classify the batch against the (frozen) cell layout.
-  struct Hit {
-    size_t idx;  ///< cell-aggregate index the tuple lands in
-    size_t b;    ///< batch index
-    uint64_t key;
-  };
-  std::vector<Hit> hits;
-  hits.reserve(batch.size());
-  for (size_t b = 0; b < batch.size(); ++b) {
+  // Pass 1: classify the batch against the (frozen) cell layout. The
+  // scratch is thread-local — its capacity survives across commits, so the
+  // steady state never allocates here (writers to different blocks on one
+  // thread share the scratch; its contents are per-call).
+  thread_local std::vector<UpdateHit> hits;
+  hits.clear();
+  const size_t m = subset.empty() ? batch.size() : subset.size();
+  for (size_t j = 0; j < m; ++j) {
+    const size_t b = subset.empty() ? j : subset[j];
     const uint64_t key =
         cell::CellId::FromPoint(projection_.ToUnit(batch[b].location)).id();
     const uint64_t cell_id = (key & (~lsb + 1)) | lsb;
-    const auto it = std::lower_bound(ids.begin(), ids.end(), cell_id);
-    if (it == ids.end() || *it != cell_id) {
+    const size_t pos =
+        kernels::Kernels().lower_bound_u64(ids.data(), ids.size(), cell_id);
+    if (pos == ids.size() || ids[pos] != cell_id) {
       // New, previously unaggregated region: the sorted layout has no slot
       // for it (Section 5 — requires a rebuild, ideally batched; see
       // MergeNewRegionTuples and BlockSet's pending buffer).
       result.rejected.push_back(b);
       continue;
     }
-    hits.push_back({static_cast<size_t>(it - ids.begin()), b, key});
+    hits.push_back({pos, b, key});
   }
   // Early exit: an all-rejected (or empty) batch publishes nothing — not
   // even the offsets prefix-sum is recomputed, and the state pointer is
@@ -504,17 +591,19 @@ GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
 
   // Pass 2: clone only the touched arrays. The cell-id array is never
   // touched by an in-place patch and is shared with the predecessor; the
-  // base-data view is not part of the state at all.
-  auto next = std::make_shared<BlockState>();
+  // base-data view is not part of the state at all. The successor node and
+  // its clones come out of the arena — in the steady state this whole pass
+  // reuses the allocations of the version retired two commits ago.
+  std::shared_ptr<BlockState> next = arena_->Acquire();
   next->header = cur->header;
   next->num_columns = num_columns_;
+  auto counts = CloneReusing(&next->counts, *cur->counts);
+  auto min_keys = CloneReusing(&next->min_keys, *cur->min_keys);
+  auto max_keys = CloneReusing(&next->max_keys, *cur->max_keys);
+  auto column_aggs = CloneReusing(&next->column_aggs, *cur->column_aggs);
+  auto offsets = CloneReusing(&next->offsets, *cur->offsets);
   next->cells = cur->cells;
-  auto counts = std::make_shared<std::vector<uint32_t>>(*cur->counts);
-  auto min_keys = std::make_shared<std::vector<uint64_t>>(*cur->min_keys);
-  auto max_keys = std::make_shared<std::vector<uint64_t>>(*cur->max_keys);
-  auto column_aggs =
-      std::make_shared<std::vector<ColumnAggregate>>(*cur->column_aggs);
-  for (const Hit& h : hits) {
+  for (const UpdateHit& h : hits) {
     const UpdateTuple& tuple = batch[h.b];
     ++(*counts)[h.idx];
     (*min_keys)[h.idx] = std::min((*min_keys)[h.idx], h.key);
@@ -527,7 +616,7 @@ GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
     }
   }
   // Restore the prefix-sum invariant of the offsets in one pass.
-  auto offsets = std::make_shared<std::vector<uint32_t>>(ids.size());
+  offsets->resize(ids.size());
   uint32_t running = 0;
   for (size_t i = 0; i < ids.size(); ++i) {
     (*offsets)[i] = running;

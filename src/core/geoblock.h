@@ -136,6 +136,49 @@ struct BlockState {
   size_t CellAggregateBytes() const;
 };
 
+/// Writer-side recycling pool for retired BlockState versions. Every update
+/// commit clones the touched aggregate arrays; without reuse the steady
+/// state allocates (and frees) one BlockState plus four or five large
+/// vectors per commit. The block's SnapshotCell retire hook hands each
+/// retired version here once its grace period has drained; the next commit
+/// takes it back — control block, state node, and the member arrays' heap
+/// buffers included — via const_pointer_cast, which is sound because a
+/// use_count()==1 reference is provably the only one (nobody else can copy
+/// a shared_ptr they don't hold).
+///
+/// All entry points are writer-side (commits to one block are externally
+/// serialized, and the retire hook runs inside the writer's Publish), so no
+/// internal locking is needed.
+class StateArena {
+ public:
+  StateArena() { spares_.reserve(kMaxSpares); }
+
+  /// Offers a retired version for reuse. Versions still pinned by a
+  /// StateSnapshot holder (use_count > 1) are dropped, not recycled.
+  void Recycle(std::shared_ptr<const BlockState> state) {
+    if (state.use_count() == 1 && spares_.size() < kMaxSpares) {
+      spares_.push_back(std::move(state));
+    }
+  }
+
+  /// A mutable state node for the next commit: a recycled version when one
+  /// is free (its member arrays keep their heap buffers), else a fresh one.
+  std::shared_ptr<BlockState> Acquire() {
+    while (!spares_.empty()) {
+      std::shared_ptr<const BlockState> s = std::move(spares_.back());
+      spares_.pop_back();
+      if (s.use_count() == 1) {
+        return std::const_pointer_cast<BlockState>(std::move(s));
+      }
+    }
+    return std::make_shared<BlockState>();
+  }
+
+ private:
+  static constexpr size_t kMaxSpares = 4;
+  std::vector<std::shared_ptr<const BlockState>> spares_;
+};
+
 /// A GeoBlock: a materialized view over geospatial point data that stores
 /// one *cell aggregate* per non-empty grid cell, sorted by spatial key
 /// (Section 3.4), and answers spatial aggregation queries over arbitrary
@@ -412,9 +455,11 @@ class GeoBlock {
   /// Outcome of a batch update.
   struct UpdateResult {
     size_t applied = 0;                 ///< tuples merged into existing cells
-    std::vector<size_t> rejected;       ///< batch indices for new, previously
-                                        ///< unaggregated regions (the caller
-                                        ///< must rebuild to cover them)
+    std::vector<size_t> rejected;       ///< batch indices (into the full
+                                        ///< batch span, even under a subset)
+                                        ///< for new, previously unaggregated
+                                        ///< regions (the caller must rebuild
+                                        ///< to cover them)
   };
 
   /// Integrates newly arriving tuples (Section 5): a tuple whose grid cell
@@ -436,9 +481,19 @@ class GeoBlock {
   /// intentionally diverges from its (historical) base data, mirroring the
   /// paper's design where updates patch the aggregate layout.
   ///
-  /// @param batch The arriving tuples.
+  /// The commit fast path is allocation-free in the steady state: the
+  /// classification scratch is thread-local, and the successor state —
+  /// node, control block, and cloned arrays — is recycled from retired
+  /// versions through the block's StateArena.
+  ///
+  /// @param batch  The arriving tuples.
+  /// @param subset Optional ascending indices into `batch` selecting the
+  ///     tuples this block should commit (a sharded caller routes one batch
+  ///     to many blocks without copying tuples). Empty means the whole
+  ///     batch. Rejected indices are always indices into `batch`.
   /// @return Count of applied tuples plus the rejected batch indices.
-  UpdateResult ApplyBatchUpdate(std::span<const UpdateTuple> batch);
+  UpdateResult ApplyBatchUpdate(std::span<const UpdateTuple> batch,
+                                std::span<const uint32_t> subset = {});
 
   /// The batched rebuild for new regions (Section 5: new cells "require a
   /// rebuild, ideally batched"): merges `batch` into a fresh state version,
@@ -530,6 +585,9 @@ class GeoBlock {
   /// it); the retire counter is shared with the cell's retire hook.
   std::unique_ptr<util::SnapshotCell<BlockState>> state_;
   std::shared_ptr<std::atomic<uint64_t>> retired_;
+  /// Recycles retired state versions into the next commit (shared with the
+  /// cell's retire hook, which outlives any single cell instance).
+  std::shared_ptr<StateArena> arena_;
   std::atomic<size_t> route_cells_{0};
   std::atomic<uint64_t> route_min_{0};
   std::atomic<uint64_t> route_max_{0};

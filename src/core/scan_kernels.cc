@@ -1,0 +1,741 @@
+#include "core/scan_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#if (defined(__x86_64__) || defined(_M_X64)) && !defined(GEOBLOCKS_NO_SIMD)
+#define GEOBLOCKS_SCAN_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace geoblocks::core::kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Mirrors geo::Projection::Clamp01 exactly (strictly below 1.0).
+inline double ClampUnit(double v) {
+  if (v < 0.0) return 0.0;
+  if (v >= 1.0) return 0.9999999999999999;
+  return v;
+}
+
+// Lane reduction shared by every variant so the final combine is bit-identical
+// by construction: min/max fold lane 0..3 in order, sums reduce as
+// (l0 + l1) + (l2 + l3).
+inline void FoldLanes(const double mn[4], const double mx[4],
+                      const double sm[4], ColumnAggregate* out) {
+  double lo = mn[0];
+  if (mn[1] < lo) lo = mn[1];
+  if (mn[2] < lo) lo = mn[2];
+  if (mn[3] < lo) lo = mn[3];
+  if (lo < out->min) out->min = lo;
+  double hi = mx[0];
+  if (mx[1] > hi) hi = mx[1];
+  if (mx[2] > hi) hi = mx[2];
+  if (mx[3] > hi) hi = mx[3];
+  if (hi > out->max) out->max = hi;
+  out->sum += (sm[0] + sm[1]) + (sm[2] + sm[3]);
+}
+
+// Per-point containment identical to
+// polygon.Contains(projection.ToUnit(point)): same clamped projection, same
+// bounds test, same OnSegment and ray-crossing arithmetic. Continuing past a
+// boundary edge instead of early-returning cannot change the answer — extra
+// parity flips are ORed away by the boundary flag.
+inline bool PointInPolygonScalar(double x, double y, const UnitTransform& t,
+                                 const PreparedPolygon& poly) {
+  const double px = ClampUnit((x - t.min_x) / t.width);
+  const double py = ClampUnit((y - t.min_y) / t.height);
+  if (!(px >= poly.bounds.min.x && px <= poly.bounds.max.x &&
+        py >= poly.bounds.min.y && py <= poly.bounds.max.y)) {
+    return false;
+  }
+  bool boundary = false;
+  bool inside = false;
+  const size_t num_edges = poly.ax.size();
+  for (size_t e = 0; e < num_edges; ++e) {
+    const double ax = poly.ax[e], ay = poly.ay[e];
+    const double bx = poly.bx[e], by = poly.by[e];
+    const double cross = (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+    if (cross == 0.0 && px >= poly.lox[e] && px <= poly.hix[e] &&
+        py >= poly.loy[e] && py <= poly.hiy[e]) {
+      boundary = true;
+    }
+    if ((by > py) != (ay > py)) {
+      const double x_cross = bx + (py - by) * (ax - bx) / (ay - by);
+      if (x_cross > px) inside = !inside;
+    }
+  }
+  return boundary || inside;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+
+void FilterMaskScalar(const storage::Predicate* predicates,
+                      size_t num_predicates, const double* const* columns,
+                      size_t n, uint8_t* mask) {
+  for (size_t i = 0; i < n; ++i) mask[i] = 1;
+  for (size_t p = 0; p < num_predicates; ++p) {
+    const double* c = columns[p];
+    const double v = predicates[p].value;
+    switch (predicates[p].op) {
+      case storage::CompareOp::kLt:
+        for (size_t i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] < v);
+        break;
+      case storage::CompareOp::kLe:
+        for (size_t i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] <= v);
+        break;
+      case storage::CompareOp::kGt:
+        for (size_t i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] > v);
+        break;
+      case storage::CompareOp::kGe:
+        for (size_t i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] >= v);
+        break;
+      case storage::CompareOp::kEq:
+        for (size_t i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] == v);
+        break;
+      case storage::CompareOp::kNe:
+        for (size_t i = 0; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] != v);
+        break;
+    }
+  }
+}
+
+void AggregateColumnScalar(const double* values, size_t n,
+                           ColumnAggregate* out) {
+  if (n == 0) return;
+  double mn[4] = {kInf, kInf, kInf, kInf};
+  double mx[4] = {-kInf, -kInf, -kInf, -kInf};
+  double sm[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const double x = values[i];
+    const size_t k = i & 3;
+    if (x < mn[k]) mn[k] = x;
+    if (x > mx[k]) mx[k] = x;
+    sm[k] += x;
+  }
+  FoldLanes(mn, mx, sm, out);
+}
+
+void AggregateColumnMaskedScalar(const double* values, const uint8_t* mask,
+                                 size_t n, ColumnAggregate* out) {
+  if (n == 0) return;
+  double mn[4] = {kInf, kInf, kInf, kInf};
+  double mx[4] = {-kInf, -kInf, -kInf, -kInf};
+  double sm[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const bool keep = mask[i] != 0;
+    const size_t k = i & 3;
+    const double lo = keep ? values[i] : kInf;
+    const double hi = keep ? values[i] : -kInf;
+    if (lo < mn[k]) mn[k] = lo;
+    if (hi > mx[k]) mx[k] = hi;
+    sm[k] += keep ? values[i] : 0.0;
+  }
+  FoldLanes(mn, mx, sm, out);
+}
+
+uint64_t CountPolygonHitsScalar(const double* xs, const double* ys, size_t n,
+                                const UnitTransform& transform,
+                                const PreparedPolygon& polygon) {
+  if (polygon.empty()) return 0;
+  uint64_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    hits += PointInPolygonScalar(xs[i], ys[i], transform, polygon) ? 1 : 0;
+  }
+  return hits;
+}
+
+uint64_t SumCountsScalar(const uint32_t* counts, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += counts[i];
+  return sum;
+}
+
+// Branchless binary search: the comparison feeds conditional moves, never a
+// branch, so the probe's shape is identical at every dispatch level (the
+// sorted-key probes are shared by all tables).
+size_t LowerBoundU64(const uint64_t* keys, size_t n, uint64_t key) {
+  size_t lo = 0;
+  size_t len = n;
+  while (len > 0) {
+    const size_t half = len >> 1;
+    const bool pred = keys[lo + half] < key;
+    lo = pred ? lo + half + 1 : lo;
+    len = pred ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+size_t UpperBoundU64(const uint64_t* keys, size_t n, uint64_t key) {
+  size_t lo = 0;
+  size_t len = n;
+  while (len > 0) {
+    const size_t half = len >> 1;
+    const bool pred = keys[lo + half] <= key;
+    lo = pred ? lo + half + 1 : lo;
+    len = pred ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+constexpr KernelTable kScalarTable = {
+    FilterMaskScalar,       AggregateColumnScalar, AggregateColumnMaskedScalar,
+    CountPolygonHitsScalar, SumCountsScalar,       LowerBoundU64,
+    UpperBoundU64,
+};
+
+#if defined(GEOBLOCKS_SCAN_SIMD)
+
+// ---------------------------------------------------------------------------
+// SSE2 kernels (x86-64 baseline; lanes {0,1} and {2,3} in two __m128d)
+// ---------------------------------------------------------------------------
+
+// mask ? b : a for SSE2 (no blendv before SSE4.1).
+inline __m128d Sse2Blend(__m128d a, __m128d b, __m128d mask) {
+  return _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a));
+}
+
+#define GEOBLOCKS_SSE2_PRED_LOOP(VCMP, SCMP)                                \
+  do {                                                                      \
+    size_t i = 0;                                                           \
+    for (; i + 4 <= n; i += 4) {                                            \
+      const __m128d c01 = _mm_loadu_pd(c + i);                              \
+      const __m128d c23 = _mm_loadu_pd(c + i + 2);                          \
+      const int m01 = _mm_movemask_pd(VCMP(c01, vv));                       \
+      const int m23 = _mm_movemask_pd(VCMP(c23, vv));                       \
+      mask[i] &= static_cast<uint8_t>(m01 & 1);                             \
+      mask[i + 1] &= static_cast<uint8_t>((m01 >> 1) & 1);                  \
+      mask[i + 2] &= static_cast<uint8_t>(m23 & 1);                         \
+      mask[i + 3] &= static_cast<uint8_t>((m23 >> 1) & 1);                  \
+    }                                                                       \
+    for (; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] SCMP v);        \
+  } while (0)
+
+void FilterMaskSse2(const storage::Predicate* predicates,
+                    size_t num_predicates, const double* const* columns,
+                    size_t n, uint8_t* mask) {
+  for (size_t i = 0; i < n; ++i) mask[i] = 1;
+  for (size_t p = 0; p < num_predicates; ++p) {
+    const double* c = columns[p];
+    const double v = predicates[p].value;
+    const __m128d vv = _mm_set1_pd(v);
+    switch (predicates[p].op) {
+      case storage::CompareOp::kLt: GEOBLOCKS_SSE2_PRED_LOOP(_mm_cmplt_pd, <); break;
+      case storage::CompareOp::kLe: GEOBLOCKS_SSE2_PRED_LOOP(_mm_cmple_pd, <=); break;
+      case storage::CompareOp::kGt: GEOBLOCKS_SSE2_PRED_LOOP(_mm_cmpgt_pd, >); break;
+      case storage::CompareOp::kGe: GEOBLOCKS_SSE2_PRED_LOOP(_mm_cmpge_pd, >=); break;
+      case storage::CompareOp::kEq: GEOBLOCKS_SSE2_PRED_LOOP(_mm_cmpeq_pd, ==); break;
+      case storage::CompareOp::kNe: GEOBLOCKS_SSE2_PRED_LOOP(_mm_cmpneq_pd, !=); break;
+    }
+  }
+}
+
+#undef GEOBLOCKS_SSE2_PRED_LOOP
+
+void AggregateColumnSse2(const double* values, size_t n, ColumnAggregate* out) {
+  if (n == 0) return;
+  double mn[4] = {kInf, kInf, kInf, kInf};
+  double mx[4] = {-kInf, -kInf, -kInf, -kInf};
+  double sm[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  if (n >= 4) {
+    __m128d mn01 = _mm_set1_pd(kInf), mn23 = _mm_set1_pd(kInf);
+    __m128d mx01 = _mm_set1_pd(-kInf), mx23 = _mm_set1_pd(-kInf);
+    __m128d sm01 = _mm_setzero_pd(), sm23 = _mm_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+      const __m128d x01 = _mm_loadu_pd(values + i);
+      const __m128d x23 = _mm_loadu_pd(values + i + 2);
+      mn01 = _mm_min_pd(x01, mn01);
+      mn23 = _mm_min_pd(x23, mn23);
+      mx01 = _mm_max_pd(x01, mx01);
+      mx23 = _mm_max_pd(x23, mx23);
+      sm01 = _mm_add_pd(sm01, x01);
+      sm23 = _mm_add_pd(sm23, x23);
+    }
+    _mm_storeu_pd(mn, mn01);
+    _mm_storeu_pd(mn + 2, mn23);
+    _mm_storeu_pd(mx, mx01);
+    _mm_storeu_pd(mx + 2, mx23);
+    _mm_storeu_pd(sm, sm01);
+    _mm_storeu_pd(sm + 2, sm23);
+  }
+  for (; i < n; ++i) {
+    const double x = values[i];
+    const size_t k = i & 3;
+    if (x < mn[k]) mn[k] = x;
+    if (x > mx[k]) mx[k] = x;
+    sm[k] += x;
+  }
+  FoldLanes(mn, mx, sm, out);
+}
+
+void AggregateColumnMaskedSse2(const double* values, const uint8_t* mask,
+                               size_t n, ColumnAggregate* out) {
+  if (n == 0) return;
+  double mn[4] = {kInf, kInf, kInf, kInf};
+  double mx[4] = {-kInf, -kInf, -kInf, -kInf};
+  double sm[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  if (n >= 4) {
+    const __m128d vinf = _mm_set1_pd(kInf);
+    const __m128d vninf = _mm_set1_pd(-kInf);
+    __m128d mn01 = vinf, mn23 = vinf;
+    __m128d mx01 = vninf, mx23 = vninf;
+    __m128d sm01 = _mm_setzero_pd(), sm23 = _mm_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+      const __m128d x01 = _mm_loadu_pd(values + i);
+      const __m128d x23 = _mm_loadu_pd(values + i + 2);
+      const __m128d drop01 = _mm_castsi128_pd(_mm_set_epi64x(
+          mask[i + 1] ? 0 : -1, mask[i] ? 0 : -1));
+      const __m128d drop23 = _mm_castsi128_pd(_mm_set_epi64x(
+          mask[i + 3] ? 0 : -1, mask[i + 2] ? 0 : -1));
+      mn01 = _mm_min_pd(Sse2Blend(x01, vinf, drop01), mn01);
+      mn23 = _mm_min_pd(Sse2Blend(x23, vinf, drop23), mn23);
+      mx01 = _mm_max_pd(Sse2Blend(x01, vninf, drop01), mx01);
+      mx23 = _mm_max_pd(Sse2Blend(x23, vninf, drop23), mx23);
+      sm01 = _mm_add_pd(sm01, _mm_andnot_pd(drop01, x01));
+      sm23 = _mm_add_pd(sm23, _mm_andnot_pd(drop23, x23));
+    }
+    _mm_storeu_pd(mn, mn01);
+    _mm_storeu_pd(mn + 2, mn23);
+    _mm_storeu_pd(mx, mx01);
+    _mm_storeu_pd(mx + 2, mx23);
+    _mm_storeu_pd(sm, sm01);
+    _mm_storeu_pd(sm + 2, sm23);
+  }
+  for (; i < n; ++i) {
+    const bool keep = mask[i] != 0;
+    const size_t k = i & 3;
+    const double lo = keep ? values[i] : kInf;
+    const double hi = keep ? values[i] : -kInf;
+    if (lo < mn[k]) mn[k] = lo;
+    if (hi > mx[k]) mx[k] = hi;
+    sm[k] += keep ? values[i] : 0.0;
+  }
+  FoldLanes(mn, mx, sm, out);
+}
+
+uint64_t CountPolygonHitsSse2(const double* xs, const double* ys, size_t n,
+                              const UnitTransform& transform,
+                              const PreparedPolygon& polygon) {
+  if (polygon.empty()) return 0;
+  const size_t num_edges = polygon.ax.size();
+  const __m128d vzero = _mm_setzero_pd();
+  const __m128d vone = _mm_set1_pd(1.0);
+  const __m128d vnear1 = _mm_set1_pd(0.9999999999999999);
+  const __m128d vtminx = _mm_set1_pd(transform.min_x);
+  const __m128d vtminy = _mm_set1_pd(transform.min_y);
+  const __m128d vwx = _mm_set1_pd(transform.width);
+  const __m128d vwy = _mm_set1_pd(transform.height);
+  const __m128d vbminx = _mm_set1_pd(polygon.bounds.min.x);
+  const __m128d vbmaxx = _mm_set1_pd(polygon.bounds.max.x);
+  const __m128d vbminy = _mm_set1_pd(polygon.bounds.min.y);
+  const __m128d vbmaxy = _mm_set1_pd(polygon.bounds.max.y);
+  uint64_t hits = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d px = _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(xs + i), vtminx), vwx);
+    px = Sse2Blend(px, vzero, _mm_cmplt_pd(px, vzero));
+    px = Sse2Blend(px, vnear1, _mm_cmpge_pd(px, vone));
+    __m128d py = _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(ys + i), vtminy), vwy);
+    py = Sse2Blend(py, vzero, _mm_cmplt_pd(py, vzero));
+    py = Sse2Blend(py, vnear1, _mm_cmpge_pd(py, vone));
+    const __m128d inb = _mm_and_pd(
+        _mm_and_pd(_mm_cmpge_pd(px, vbminx), _mm_cmple_pd(px, vbmaxx)),
+        _mm_and_pd(_mm_cmpge_pd(py, vbminy), _mm_cmple_pd(py, vbmaxy)));
+    if (_mm_movemask_pd(inb) == 0) continue;
+    __m128d boundary = _mm_setzero_pd();
+    __m128d inside = _mm_setzero_pd();
+    for (size_t e = 0; e < num_edges; ++e) {
+      const __m128d eax = _mm_set1_pd(polygon.ax[e]);
+      const __m128d eay = _mm_set1_pd(polygon.ay[e]);
+      const __m128d ebx = _mm_set1_pd(polygon.bx[e]);
+      const __m128d eby = _mm_set1_pd(polygon.by[e]);
+      const __m128d cross = _mm_sub_pd(
+          _mm_mul_pd(_mm_sub_pd(ebx, eax), _mm_sub_pd(py, eay)),
+          _mm_mul_pd(_mm_sub_pd(eby, eay), _mm_sub_pd(px, eax)));
+      __m128d onseg = _mm_cmpeq_pd(cross, vzero);
+      onseg = _mm_and_pd(onseg, _mm_cmpge_pd(px, _mm_set1_pd(polygon.lox[e])));
+      onseg = _mm_and_pd(onseg, _mm_cmple_pd(px, _mm_set1_pd(polygon.hix[e])));
+      onseg = _mm_and_pd(onseg, _mm_cmpge_pd(py, _mm_set1_pd(polygon.loy[e])));
+      onseg = _mm_and_pd(onseg, _mm_cmple_pd(py, _mm_set1_pd(polygon.hiy[e])));
+      boundary = _mm_or_pd(boundary, onseg);
+      const __m128d straddle =
+          _mm_xor_pd(_mm_cmpgt_pd(eby, py), _mm_cmpgt_pd(eay, py));
+      const __m128d x_cross = _mm_add_pd(
+          ebx, _mm_div_pd(_mm_mul_pd(_mm_sub_pd(py, eby), _mm_sub_pd(eax, ebx)),
+                          _mm_sub_pd(eay, eby)));
+      inside = _mm_xor_pd(
+          inside, _mm_and_pd(straddle, _mm_cmpgt_pd(x_cross, px)));
+    }
+    const __m128d in = _mm_and_pd(inb, _mm_or_pd(boundary, inside));
+    hits += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_pd(in))));
+  }
+  for (; i < n; ++i) {
+    hits += PointInPolygonScalar(xs[i], ys[i], transform, polygon) ? 1 : 0;
+  }
+  return hits;
+}
+
+uint64_t SumCountsSse2(const uint32_t* counts, size_t n) {
+  uint64_t sum = 0;
+  size_t i = 0;
+  if (n >= 2) {
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc = zero;
+    for (; i + 2 <= n; i += 2) {
+      const __m128i two = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(counts + i));
+      acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(two, zero));
+    }
+    alignas(16) uint64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    sum = lanes[0] + lanes[1];
+  }
+  for (; i < n; ++i) sum += counts[i];
+  return sum;
+}
+
+constexpr KernelTable kSse2Table = {
+    FilterMaskSse2,       AggregateColumnSse2, AggregateColumnMaskedSse2,
+    CountPolygonHitsSse2, SumCountsSse2,       LowerBoundU64,
+    UpperBoundU64,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (one 4-lane __m256d; compiled with a target attribute so the
+// baseline build still runs on SSE2-only machines)
+// ---------------------------------------------------------------------------
+
+#define GEOBLOCKS_AVX2_PRED_LOOP(CMP_IMM, SCMP)                             \
+  do {                                                                      \
+    size_t i = 0;                                                           \
+    for (; i + 4 <= n; i += 4) {                                            \
+      const __m256d c4 = _mm256_loadu_pd(c + i);                            \
+      const int mm = _mm256_movemask_pd(_mm256_cmp_pd(c4, vv, CMP_IMM));    \
+      mask[i] &= static_cast<uint8_t>(mm & 1);                              \
+      mask[i + 1] &= static_cast<uint8_t>((mm >> 1) & 1);                   \
+      mask[i + 2] &= static_cast<uint8_t>((mm >> 2) & 1);                   \
+      mask[i + 3] &= static_cast<uint8_t>((mm >> 3) & 1);                   \
+    }                                                                       \
+    for (; i < n; ++i) mask[i] &= static_cast<uint8_t>(c[i] SCMP v);        \
+  } while (0)
+
+__attribute__((target("avx2"))) void FilterMaskAvx2(
+    const storage::Predicate* predicates, size_t num_predicates,
+    const double* const* columns, size_t n, uint8_t* mask) {
+  for (size_t i = 0; i < n; ++i) mask[i] = 1;
+  for (size_t p = 0; p < num_predicates; ++p) {
+    const double* c = columns[p];
+    const double v = predicates[p].value;
+    const __m256d vv = _mm256_set1_pd(v);
+    switch (predicates[p].op) {
+      case storage::CompareOp::kLt: GEOBLOCKS_AVX2_PRED_LOOP(_CMP_LT_OQ, <); break;
+      case storage::CompareOp::kLe: GEOBLOCKS_AVX2_PRED_LOOP(_CMP_LE_OQ, <=); break;
+      case storage::CompareOp::kGt: GEOBLOCKS_AVX2_PRED_LOOP(_CMP_GT_OQ, >); break;
+      case storage::CompareOp::kGe: GEOBLOCKS_AVX2_PRED_LOOP(_CMP_GE_OQ, >=); break;
+      case storage::CompareOp::kEq: GEOBLOCKS_AVX2_PRED_LOOP(_CMP_EQ_OQ, ==); break;
+      case storage::CompareOp::kNe: GEOBLOCKS_AVX2_PRED_LOOP(_CMP_NEQ_UQ, !=); break;
+    }
+  }
+}
+
+#undef GEOBLOCKS_AVX2_PRED_LOOP
+
+__attribute__((target("avx2"))) void AggregateColumnAvx2(
+    const double* values, size_t n, ColumnAggregate* out) {
+  if (n == 0) return;
+  double mn[4] = {kInf, kInf, kInf, kInf};
+  double mx[4] = {-kInf, -kInf, -kInf, -kInf};
+  double sm[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d vmn = _mm256_set1_pd(kInf);
+    __m256d vmx = _mm256_set1_pd(-kInf);
+    __m256d vsm = _mm256_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_loadu_pd(values + i);
+      vmn = _mm256_min_pd(x, vmn);
+      vmx = _mm256_max_pd(x, vmx);
+      vsm = _mm256_add_pd(vsm, x);
+    }
+    _mm256_storeu_pd(mn, vmn);
+    _mm256_storeu_pd(mx, vmx);
+    _mm256_storeu_pd(sm, vsm);
+  }
+  for (; i < n; ++i) {
+    const double x = values[i];
+    const size_t k = i & 3;
+    if (x < mn[k]) mn[k] = x;
+    if (x > mx[k]) mx[k] = x;
+    sm[k] += x;
+  }
+  FoldLanes(mn, mx, sm, out);
+}
+
+__attribute__((target("avx2"))) void AggregateColumnMaskedAvx2(
+    const double* values, const uint8_t* mask, size_t n, ColumnAggregate* out) {
+  if (n == 0) return;
+  double mn[4] = {kInf, kInf, kInf, kInf};
+  double mx[4] = {-kInf, -kInf, -kInf, -kInf};
+  double sm[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  if (n >= 4) {
+    const __m256d vinf = _mm256_set1_pd(kInf);
+    const __m256d vninf = _mm256_set1_pd(-kInf);
+    const __m256i izero = _mm256_setzero_si256();
+    __m256d vmn = vinf;
+    __m256d vmx = vninf;
+    __m256d vsm = _mm256_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_loadu_pd(values + i);
+      uint32_t m4;
+      std::memcpy(&m4, mask + i, sizeof(m4));
+      const __m256i mb =
+          _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(m4)));
+      const __m256d drop = _mm256_castsi256_pd(_mm256_cmpeq_epi64(mb, izero));
+      vmn = _mm256_min_pd(_mm256_blendv_pd(x, vinf, drop), vmn);
+      vmx = _mm256_max_pd(_mm256_blendv_pd(x, vninf, drop), vmx);
+      vsm = _mm256_add_pd(vsm, _mm256_andnot_pd(drop, x));
+    }
+    _mm256_storeu_pd(mn, vmn);
+    _mm256_storeu_pd(mx, vmx);
+    _mm256_storeu_pd(sm, vsm);
+  }
+  for (; i < n; ++i) {
+    const bool keep = mask[i] != 0;
+    const size_t k = i & 3;
+    const double lo = keep ? values[i] : kInf;
+    const double hi = keep ? values[i] : -kInf;
+    if (lo < mn[k]) mn[k] = lo;
+    if (hi > mx[k]) mx[k] = hi;
+    sm[k] += keep ? values[i] : 0.0;
+  }
+  FoldLanes(mn, mx, sm, out);
+}
+
+__attribute__((target("avx2"))) uint64_t CountPolygonHitsAvx2(
+    const double* xs, const double* ys, size_t n,
+    const UnitTransform& transform, const PreparedPolygon& polygon) {
+  if (polygon.empty()) return 0;
+  const size_t num_edges = polygon.ax.size();
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vnear1 = _mm256_set1_pd(0.9999999999999999);
+  const __m256d vtminx = _mm256_set1_pd(transform.min_x);
+  const __m256d vtminy = _mm256_set1_pd(transform.min_y);
+  const __m256d vwx = _mm256_set1_pd(transform.width);
+  const __m256d vwy = _mm256_set1_pd(transform.height);
+  const __m256d vbminx = _mm256_set1_pd(polygon.bounds.min.x);
+  const __m256d vbmaxx = _mm256_set1_pd(polygon.bounds.max.x);
+  const __m256d vbminy = _mm256_set1_pd(polygon.bounds.min.y);
+  const __m256d vbmaxy = _mm256_set1_pd(polygon.bounds.max.y);
+  uint64_t hits = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // px alone rejects most blocks (neighborhood bounds are narrow in x),
+    // saving the second division on the reject path.
+    __m256d px = _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(xs + i), vtminx), vwx);
+    px = _mm256_blendv_pd(px, vzero, _mm256_cmp_pd(px, vzero, _CMP_LT_OQ));
+    px = _mm256_blendv_pd(px, vnear1, _mm256_cmp_pd(px, vone, _CMP_GE_OQ));
+    const __m256d inx =
+        _mm256_and_pd(_mm256_cmp_pd(px, vbminx, _CMP_GE_OQ),
+                      _mm256_cmp_pd(px, vbmaxx, _CMP_LE_OQ));
+    if (_mm256_movemask_pd(inx) == 0) continue;
+    __m256d py = _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(ys + i), vtminy), vwy);
+    py = _mm256_blendv_pd(py, vzero, _mm256_cmp_pd(py, vzero, _CMP_LT_OQ));
+    py = _mm256_blendv_pd(py, vnear1, _mm256_cmp_pd(py, vone, _CMP_GE_OQ));
+    const __m256d inb = _mm256_and_pd(
+        inx, _mm256_and_pd(_mm256_cmp_pd(py, vbminy, _CMP_GE_OQ),
+                           _mm256_cmp_pd(py, vbmaxy, _CMP_LE_OQ)));
+    if (_mm256_movemask_pd(inb) == 0) continue;
+    __m256d boundary = _mm256_setzero_pd();
+    __m256d inside = _mm256_setzero_pd();
+    for (size_t e = 0; e < num_edges; ++e) {
+      // An edge whose y-interval no lane's py touches contributes neither a
+      // boundary hit (needs loy <= py <= hiy) nor a crossing-parity flip
+      // (straddle needs min(ay,by) <= py < max(ay,by)), so skipping it
+      // cannot change any lane's answer.
+      const __m256d eloy = _mm256_set1_pd(polygon.loy[e]);
+      const __m256d ehiy = _mm256_set1_pd(polygon.hiy[e]);
+      const __m256d touches =
+          _mm256_and_pd(_mm256_cmp_pd(py, eloy, _CMP_GE_OQ),
+                        _mm256_cmp_pd(py, ehiy, _CMP_LE_OQ));
+      if (_mm256_movemask_pd(touches) == 0) continue;
+      const __m256d eax = _mm256_set1_pd(polygon.ax[e]);
+      const __m256d eay = _mm256_set1_pd(polygon.ay[e]);
+      const __m256d ebx = _mm256_set1_pd(polygon.bx[e]);
+      const __m256d eby = _mm256_set1_pd(polygon.by[e]);
+      const __m256d cross = _mm256_sub_pd(
+          _mm256_mul_pd(_mm256_sub_pd(ebx, eax), _mm256_sub_pd(py, eay)),
+          _mm256_mul_pd(_mm256_sub_pd(eby, eay), _mm256_sub_pd(px, eax)));
+      __m256d onseg = _mm256_cmp_pd(cross, vzero, _CMP_EQ_OQ);
+      onseg = _mm256_and_pd(
+          onseg, _mm256_cmp_pd(px, _mm256_set1_pd(polygon.lox[e]), _CMP_GE_OQ));
+      onseg = _mm256_and_pd(
+          onseg, _mm256_cmp_pd(px, _mm256_set1_pd(polygon.hix[e]), _CMP_LE_OQ));
+      onseg = _mm256_and_pd(onseg, touches);
+      boundary = _mm256_or_pd(boundary, onseg);
+      const __m256d straddle = _mm256_xor_pd(
+          _mm256_cmp_pd(eby, py, _CMP_GT_OQ), _mm256_cmp_pd(eay, py, _CMP_GT_OQ));
+      const __m256d x_cross = _mm256_add_pd(
+          ebx,
+          _mm256_div_pd(_mm256_mul_pd(_mm256_sub_pd(py, eby),
+                                      _mm256_sub_pd(eax, ebx)),
+                        _mm256_sub_pd(eay, eby)));
+      inside = _mm256_xor_pd(
+          inside,
+          _mm256_and_pd(straddle, _mm256_cmp_pd(x_cross, px, _CMP_GT_OQ)));
+    }
+    const __m256d in = _mm256_and_pd(inb, _mm256_or_pd(boundary, inside));
+    hits += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(in))));
+  }
+  for (; i < n; ++i) {
+    hits += PointInPolygonScalar(xs[i], ys[i], transform, polygon) ? 1 : 0;
+  }
+  return hits;
+}
+
+__attribute__((target("avx2"))) uint64_t SumCountsAvx2(const uint32_t* counts,
+                                                       size_t n) {
+  uint64_t sum = 0;
+  size_t i = 0;
+  if (n >= 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+      const __m128i four = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(counts + i));
+      const __m128i four_hi = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(counts + i + 2));
+      acc = _mm256_add_epi64(
+          acc, _mm256_cvtepu32_epi64(_mm_unpacklo_epi64(four, four_hi)));
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  }
+  for (; i < n; ++i) sum += counts[i];
+  return sum;
+}
+
+constexpr KernelTable kAvx2Table = {
+    FilterMaskAvx2,       AggregateColumnAvx2, AggregateColumnMaskedAvx2,
+    CountPolygonHitsAvx2, SumCountsAvx2,       LowerBoundU64,
+    UpperBoundU64,
+};
+
+#endif  // GEOBLOCKS_SCAN_SIMD
+
+DispatchLevel DetectBestLevel() {
+#if defined(GEOBLOCKS_SCAN_SIMD)
+  if (__builtin_cpu_supports("avx2")) return DispatchLevel::kAVX2;
+  return DispatchLevel::kSSE2;
+#else
+  return DispatchLevel::kScalar;
+#endif
+}
+
+}  // namespace
+
+const char* ToString(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar: return "scalar";
+    case DispatchLevel::kSSE2: return "sse2";
+    case DispatchLevel::kAVX2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool Supported(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return true;
+    case DispatchLevel::kSSE2:
+#if defined(GEOBLOCKS_SCAN_SIMD)
+      return true;
+#else
+      return false;
+#endif
+    case DispatchLevel::kAVX2:
+#if defined(GEOBLOCKS_SCAN_SIMD)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+DispatchLevel ActiveDispatchLevel() {
+  static const DispatchLevel level = DetectBestLevel();
+  return level;
+}
+
+const KernelTable& KernelsAt(DispatchLevel level) {
+  if (!Supported(level)) return kScalarTable;
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return kScalarTable;
+#if defined(GEOBLOCKS_SCAN_SIMD)
+    case DispatchLevel::kSSE2:
+      return kSse2Table;
+    case DispatchLevel::kAVX2:
+      return kAvx2Table;
+#else
+    default:
+      return kScalarTable;
+#endif
+  }
+  return kScalarTable;
+}
+
+const KernelTable& Kernels() {
+  static const KernelTable& table = KernelsAt(ActiveDispatchLevel());
+  return table;
+}
+
+UnitTransform UnitTransform::From(const geo::Projection& projection) {
+  const geo::Rect& domain = projection.domain();
+  return {domain.min.x, domain.min.y, domain.Width(), domain.Height()};
+}
+
+PreparedPolygon PreparedPolygon::From(const geo::Polygon& polygon) {
+  PreparedPolygon out;
+  out.bounds = polygon.Bounds();
+  size_t total = 0;
+  for (const geo::Ring& ring : polygon.rings()) total += ring.size();
+  out.ax.reserve(total);
+  out.ay.reserve(total);
+  out.bx.reserve(total);
+  out.by.reserve(total);
+  out.lox.reserve(total);
+  out.hix.reserve(total);
+  out.loy.reserve(total);
+  out.hiy.reserve(total);
+  // Same edge enumeration as Polygon::Contains: a = ring[j] trails b = ring[i].
+  for (const geo::Ring& ring : polygon.rings()) {
+    const size_t m = ring.size();
+    for (size_t i = 0, j = m - 1; i < m; j = i++) {
+      const geo::Point& a = ring[j];
+      const geo::Point& b = ring[i];
+      out.ax.push_back(a.x);
+      out.ay.push_back(a.y);
+      out.bx.push_back(b.x);
+      out.by.push_back(b.y);
+      out.lox.push_back(std::min(a.x, b.x));
+      out.hix.push_back(std::max(a.x, b.x));
+      out.loy.push_back(std::min(a.y, b.y));
+      out.hiy.push_back(std::max(a.y, b.y));
+    }
+  }
+  return out;
+}
+
+}  // namespace geoblocks::core::kernels

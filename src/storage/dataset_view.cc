@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/scan_kernels.h"
+
 namespace geoblocks::storage {
 
 namespace {
@@ -46,14 +48,12 @@ DatasetView DatasetView::UnownedWindow(const SortedDataset& data, size_t first,
 
 size_t DatasetView::LowerBound(uint64_t k) const {
   const std::span<const uint64_t> s = keys();
-  return static_cast<size_t>(std::lower_bound(s.begin(), s.end(), k) -
-                             s.begin());
+  return core::kernels::Kernels().lower_bound_u64(s.data(), s.size(), k);
 }
 
 size_t DatasetView::UpperBound(uint64_t k) const {
   const std::span<const uint64_t> s = keys();
-  return static_cast<size_t>(std::upper_bound(s.begin(), s.end(), k) -
-                             s.begin());
+  return core::kernels::Kernels().upper_bound_u64(s.data(), s.size(), k);
 }
 
 std::pair<size_t, size_t> DatasetView::EqualRangeForCell(

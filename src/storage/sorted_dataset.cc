@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/scan_kernels.h"
+
 namespace geoblocks::storage {
 
 SortedDataset SortedDataset::Extract(const PointTable& raw,
@@ -90,13 +92,13 @@ SortedDataset SortedDataset::Slice(size_t first, size_t last) const {
 }
 
 size_t SortedDataset::LowerBound(uint64_t k) const {
-  return static_cast<size_t>(
-      std::lower_bound(keys_.begin(), keys_.end(), k) - keys_.begin());
+  return core::kernels::Kernels().lower_bound_u64(keys_.data(), keys_.size(),
+                                                  k);
 }
 
 size_t SortedDataset::UpperBound(uint64_t k) const {
-  return static_cast<size_t>(
-      std::upper_bound(keys_.begin(), keys_.end(), k) - keys_.begin());
+  return core::kernels::Kernels().upper_bound_u64(keys_.data(), keys_.size(),
+                                                  k);
 }
 
 std::pair<size_t, size_t> SortedDataset::EqualRangeForCell(

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cell/coverer.h"
+#include "core/scan_kernels.h"
 
 namespace geoblocks::workload {
 
@@ -15,6 +16,14 @@ uint64_t ExactCount(const storage::SortedDataset& data,
   const std::vector<cell::CoveringCell> covering =
       cell::GetCovering(region, options);
 
+  // Boundary cells refine through the batched point-in-polygon kernel over
+  // the contiguous x/y arrays (bit-identical to Polygon::Contains per row).
+  const core::kernels::UnitTransform transform =
+      core::kernels::UnitTransform::From(data.projection());
+  const core::kernels::PreparedPolygon prepared =
+      core::kernels::PreparedPolygon::From(unit);
+  const core::kernels::KernelTable& kern = core::kernels::Kernels();
+
   uint64_t count = 0;
   for (const cell::CoveringCell& cc : covering) {
     const auto [first, last] = data.EqualRangeForCell(cc.cell);
@@ -22,10 +31,9 @@ uint64_t ExactCount(const storage::SortedDataset& data,
       count += last - first;
       continue;
     }
-    for (size_t row = first; row < last; ++row) {
-      const geo::Point p = data.projection().ToUnit(data.Location(row));
-      if (unit.Contains(p)) ++count;
-    }
+    count += kern.count_polygon_hits(data.xs().data() + first,
+                                     data.ys().data() + first, last - first,
+                                     transform, prepared);
   }
   return count;
 }

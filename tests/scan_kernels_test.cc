@@ -1,0 +1,287 @@
+// Parity matrix for the vectorized scan kernels: every SIMD dispatch level
+// must match the scalar reference bit-identically (including min/max/sum
+// aggregate ordering) over adversarial inputs — empty spans, lengths
+// 1..(vector_width*3+1) to cover tails, all-pass/all-fail filters, duplicate
+// keys at chunk boundaries.
+
+#include "core/scan_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/polygon.h"
+#include "geo/projection.h"
+
+namespace geoblocks::core::kernels {
+namespace {
+
+constexpr size_t kMaxLen = 13;  // vector_width(4) * 3 + 1
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void ExpectBitEqual(const ColumnAggregate& got, const ColumnAggregate& want,
+                    const char* what) {
+  EXPECT_EQ(Bits(got.min), Bits(want.min)) << what << " min";
+  EXPECT_EQ(Bits(got.max), Bits(want.max)) << what << " max";
+  EXPECT_EQ(Bits(got.sum), Bits(want.sum)) << what << " sum";
+}
+
+std::vector<DispatchLevel> SimdLevels() {
+  std::vector<DispatchLevel> levels;
+  for (DispatchLevel level : {DispatchLevel::kSSE2, DispatchLevel::kAVX2}) {
+    if (Supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+std::vector<double> AdversarialValues(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng() % 8) {
+      case 0: v[i] = 0.0; break;
+      case 1: v[i] = -0.0; break;
+      case 2: v[i] = 1e-300; break;
+      case 3: v[i] = -1e300; break;
+      case 4: v[i] = i > 0 ? v[i - 1] : 42.0; break;  // duplicates
+      default: v[i] = dist(rng); break;
+    }
+  }
+  return v;
+}
+
+TEST(ScanKernelsTest, DispatchLevelIsCoherent) {
+  const DispatchLevel active = ActiveDispatchLevel();
+  EXPECT_TRUE(Supported(active));
+  EXPECT_EQ(&Kernels(), &KernelsAt(active));
+  EXPECT_TRUE(Supported(DispatchLevel::kScalar));
+  EXPECT_STREQ(ToString(DispatchLevel::kScalar), "scalar");
+  EXPECT_STREQ(ToString(DispatchLevel::kSSE2), "sse2");
+  EXPECT_STREQ(ToString(DispatchLevel::kAVX2), "avx2");
+#if defined(__x86_64__)
+  // On x86-64 the SSE2 table is compiled in unless GEOBLOCKS_NO_SIMD.
+  if (Supported(DispatchLevel::kSSE2)) {
+    EXPECT_NE(ActiveDispatchLevel(), DispatchLevel::kScalar);
+  }
+#endif
+  // An unsupported level must fall back to the scalar table.
+  for (DispatchLevel level : {DispatchLevel::kSSE2, DispatchLevel::kAVX2}) {
+    if (!Supported(level)) {
+      EXPECT_EQ(&KernelsAt(level), &KernelsAt(DispatchLevel::kScalar));
+    }
+  }
+}
+
+TEST(ScanKernelsTest, AggregateColumnParity) {
+  const KernelTable& ref = KernelsAt(DispatchLevel::kScalar);
+  for (DispatchLevel level : SimdLevels()) {
+    const KernelTable& simd = KernelsAt(level);
+    for (size_t n = 0; n <= kMaxLen; ++n) {
+      const std::vector<double> v = AdversarialValues(n, 1000 + n);
+      ColumnAggregate want, got;
+      ref.aggregate_column(v.data(), n, &want);
+      simd.aggregate_column(v.data(), n, &got);
+      ExpectBitEqual(got, want, ToString(level));
+
+      // Fold-in semantics: results must also match when combining into an
+      // accumulator that already holds state.
+      ColumnAggregate want_seeded, got_seeded;
+      want_seeded.Add(3.25);
+      got_seeded.Add(3.25);
+      ref.aggregate_column(v.data(), n, &want_seeded);
+      simd.aggregate_column(v.data(), n, &got_seeded);
+      ExpectBitEqual(got_seeded, want_seeded, ToString(level));
+    }
+  }
+}
+
+TEST(ScanKernelsTest, AggregateColumnMaskedParity) {
+  const KernelTable& ref = KernelsAt(DispatchLevel::kScalar);
+  for (DispatchLevel level : SimdLevels()) {
+    const KernelTable& simd = KernelsAt(level);
+    for (size_t n = 0; n <= kMaxLen; ++n) {
+      const std::vector<double> v = AdversarialValues(n, 2000 + n);
+      std::mt19937 rng(77 + n);
+      std::vector<uint8_t> random_mask(n), ones(n, 1), zeros(n, 0);
+      for (size_t i = 0; i < n; ++i) random_mask[i] = rng() % 2;
+      for (const std::vector<uint8_t>& mask : {random_mask, ones, zeros}) {
+        ColumnAggregate want, got;
+        ref.aggregate_column_masked(v.data(), mask.data(), n, &want);
+        simd.aggregate_column_masked(v.data(), mask.data(), n, &got);
+        ExpectBitEqual(got, want, ToString(level));
+      }
+      // An all-ones mask is bit-identical to the unmasked kernel at every
+      // level (the masked path adds no extra zeros).
+      ColumnAggregate unmasked, all_pass;
+      simd.aggregate_column(v.data(), n, &unmasked);
+      simd.aggregate_column_masked(v.data(), ones.data(), n, &all_pass);
+      ExpectBitEqual(all_pass, unmasked, "masked-vs-unmasked");
+    }
+  }
+}
+
+TEST(ScanKernelsTest, FilterMaskParity) {
+  const KernelTable& ref = KernelsAt(DispatchLevel::kScalar);
+  const storage::CompareOp ops[] = {
+      storage::CompareOp::kLt, storage::CompareOp::kLe, storage::CompareOp::kGt,
+      storage::CompareOp::kGe, storage::CompareOp::kEq, storage::CompareOp::kNe};
+  for (DispatchLevel level : SimdLevels()) {
+    const KernelTable& simd = KernelsAt(level);
+    for (size_t n = 0; n <= kMaxLen; ++n) {
+      std::vector<double> col = AdversarialValues(n, 3000 + n);
+      if (n >= 3) col[n / 2] = std::numeric_limits<double>::quiet_NaN();
+      // Single predicates of every operator, with thresholds that produce
+      // all-pass, all-fail, and mixed outcomes.
+      for (storage::CompareOp op : ops) {
+        for (double threshold : {-1e301, 0.0, 1e301}) {
+          const storage::Predicate pred{0, op, threshold};
+          const double* cols[] = {col.data()};
+          std::vector<uint8_t> want(n, 0xAA), got(n, 0x55);
+          ref.filter_mask(&pred, 1, cols, n, want.data());
+          simd.filter_mask(&pred, 1, cols, n, got.data());
+          EXPECT_EQ(want, got) << ToString(level) << " op "
+                               << static_cast<int>(op) << " thr " << threshold;
+        }
+      }
+      // A conjunction over two columns.
+      std::vector<double> col2 = AdversarialValues(n, 4000 + n);
+      const storage::Predicate preds[] = {
+          {0, storage::CompareOp::kGe, -1e5},
+          {1, storage::CompareOp::kLt, 1e5},
+      };
+      const double* cols[] = {col.data(), col2.data()};
+      std::vector<uint8_t> want(n), got(n);
+      ref.filter_mask(preds, 2, cols, n, want.data());
+      simd.filter_mask(preds, 2, cols, n, got.data());
+      EXPECT_EQ(want, got) << ToString(level) << " conjunction";
+      // Zero predicates: all-pass.
+      ref.filter_mask(nullptr, 0, nullptr, n, want.data());
+      EXPECT_EQ(want, std::vector<uint8_t>(n, 1));
+      simd.filter_mask(nullptr, 0, nullptr, n, got.data());
+      EXPECT_EQ(got, std::vector<uint8_t>(n, 1));
+    }
+  }
+}
+
+TEST(ScanKernelsTest, PolygonHitsMatchPolygonContains) {
+  const geo::Projection projection;  // whole-earth domain
+  const UnitTransform transform = UnitTransform::From(projection);
+  geo::Polygon poly = geo::Polygon::RegularNGon({10.0, 20.0}, 30.0, 8, 0.37);
+  // Punch a hole so multiple rings are exercised.
+  const geo::Polygon hole_gon = geo::Polygon::RegularNGon({10.0, 20.0}, 9.0, 5);
+  poly.AddRing(hole_gon.rings()[0]);
+  const geo::Polygon unit = projection.ToUnit(poly);
+  const PreparedPolygon prepared = PreparedPolygon::From(unit);
+
+  // Adversarial points: ring vertices (boundary), edge midpoints (boundary),
+  // centers, far outside, outside the projection domain (clamped).
+  std::vector<double> xs, ys;
+  for (const geo::Ring& ring : poly.rings()) {
+    const size_t m = ring.size();
+    for (size_t i = 0, j = m - 1; i < m; j = i++) {
+      xs.push_back(ring[i].x);
+      ys.push_back(ring[i].y);
+      xs.push_back((ring[i].x + ring[j].x) / 2);
+      ys.push_back((ring[i].y + ring[j].y) / 2);
+    }
+  }
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> dx(-250.0, 250.0);
+  std::uniform_real_distribution<double> dy(-120.0, 120.0);
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(dx(rng));
+    ys.push_back(dy(rng));
+  }
+  xs.push_back(10.0);
+  ys.push_back(20.0);
+
+  uint64_t oracle = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    oracle += unit.Contains(projection.ToUnit(geo::Point{xs[i], ys[i]})) ? 1 : 0;
+  }
+  EXPECT_GT(oracle, 0u);
+  EXPECT_LT(oracle, xs.size());
+
+  const KernelTable& ref = KernelsAt(DispatchLevel::kScalar);
+  // Every prefix length, so SIMD main-loop and tail splits all occur.
+  for (size_t n = 0; n <= xs.size(); ++n) {
+    uint64_t want = ref.count_polygon_hits(xs.data(), ys.data(), n, transform,
+                                           prepared);
+    for (DispatchLevel level : SimdLevels()) {
+      const uint64_t got = KernelsAt(level).count_polygon_hits(
+          xs.data(), ys.data(), n, transform, prepared);
+      EXPECT_EQ(got, want) << ToString(level) << " n=" << n;
+    }
+    if (n == xs.size()) EXPECT_EQ(want, oracle);
+  }
+
+  // Empty polygon: zero hits at every level.
+  const PreparedPolygon empty = PreparedPolygon::From(geo::Polygon{});
+  EXPECT_TRUE(empty.empty());
+  for (DispatchLevel level : SimdLevels()) {
+    EXPECT_EQ(KernelsAt(level).count_polygon_hits(xs.data(), ys.data(),
+                                                  xs.size(), transform, empty),
+              0u);
+  }
+}
+
+TEST(ScanKernelsTest, SumCountsParity) {
+  const KernelTable& ref = KernelsAt(DispatchLevel::kScalar);
+  for (DispatchLevel level : SimdLevels()) {
+    const KernelTable& simd = KernelsAt(level);
+    for (size_t n = 0; n <= kMaxLen; ++n) {
+      std::mt19937 rng(5000 + n);
+      std::vector<uint32_t> counts(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Near-max values exercise the u32 -> u64 widening.
+        counts[i] = (rng() % 2) ? 0xFFFFFFFFu - (rng() % 5) : rng() % 1000;
+      }
+      EXPECT_EQ(simd.sum_counts(counts.data(), n), ref.sum_counts(counts.data(), n))
+          << ToString(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(ScanKernelsTest, SortedProbesMatchStdBounds) {
+  for (DispatchLevel level :
+       {DispatchLevel::kScalar, DispatchLevel::kSSE2, DispatchLevel::kAVX2}) {
+    const KernelTable& table = KernelsAt(level);
+    for (size_t n = 0; n <= kMaxLen; ++n) {
+      std::mt19937 rng(6000 + n);
+      std::vector<uint64_t> keys(n);
+      for (size_t i = 0; i < n; ++i) keys[i] = rng() % 16;
+      std::sort(keys.begin(), keys.end());
+      // Duplicate runs straddling the binary-search midpoints.
+      if (n >= 4) {
+        keys[n / 2] = keys[n / 2 - 1];
+        std::sort(keys.begin(), keys.end());
+      }
+      for (uint64_t q = 0; q <= 17; ++q) {
+        const size_t lb = table.lower_bound_u64(keys.data(), n, q);
+        const size_t ub = table.upper_bound_u64(keys.data(), n, q);
+        EXPECT_EQ(lb, static_cast<size_t>(
+                          std::lower_bound(keys.begin(), keys.end(), q) -
+                          keys.begin()))
+            << "n=" << n << " q=" << q;
+        EXPECT_EQ(ub, static_cast<size_t>(
+                          std::upper_bound(keys.begin(), keys.end(), q) -
+                          keys.begin()))
+            << "n=" << n << " q=" << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geoblocks::core::kernels

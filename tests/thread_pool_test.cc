@@ -1,9 +1,36 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "util/thread_pool.h"
+
+// Count every global heap allocation in this test binary so the pool's
+// zero-allocation submit path is checkable. Counting is always on; tests
+// read the counter around a measured window.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace geoblocks {
 namespace {
@@ -44,6 +71,87 @@ TEST(ThreadPoolTest, NestedParallelForFromWorkersCompletes) {
     pool.ParallelFor(4, [&](size_t) { ++count; });
   });
   EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, WorkStealingRebalancesSkewedTasks) {
+  // External submission round-robins across the per-worker deques, so with
+  // a stride-of-num_threads skew exactly one deque receives every heavy
+  // task. The other workers must steal from it or the batch serializes.
+  util::ThreadPool pool(4);
+  constexpr size_t kTasks = 400;
+  std::atomic<uint64_t> ran{0};
+  std::atomic<uint64_t> work{0};
+  for (size_t i = 0; i < kTasks; ++i) {
+    const bool heavy = (i % pool.num_threads()) == 0;
+    pool.Submit([&ran, &work, heavy] {
+      uint64_t acc = 0;
+      const uint64_t spins = heavy ? 50000 : 16;
+      for (uint64_t s = 0; s < spins; ++s) acc += s * s + 1;
+      work.fetch_add(acc, std::memory_order_relaxed);
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.WaitIdle();
+  // WaitIdle soundness: every submitted task has fully run by now.
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_GT(work.load(), 0u);
+  EXPECT_GT(pool.steal_count(), 0u);
+}
+
+TEST(ThreadPoolTest, WaitIdleCoversTasksSubmittedWhileDraining) {
+  util::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&count, &pool] {
+        // Tasks submitted from inside a task (land on the worker's own
+        // deque) must still be drained before WaitIdle returns.
+        pool.Submit([&count] { count.fetch_add(1); });
+        count.fetch_add(1);
+      });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(count.load(), 50 * 32 * 2);
+}
+
+TEST(ThreadPoolTest, SubmitDoesNotAllocatePerTask) {
+  util::ThreadPool pool(2);
+  std::atomic<uint64_t> ran{0};
+  const auto burst = [&] {
+    // Bursts stay well under the per-worker ring capacity so nothing
+    // spills; captures (one pointer) fit InlineTask's inline storage.
+    for (int i = 0; i < 128; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.WaitIdle();
+  };
+  // Warm up lazy one-time allocations (thread bring-up, libc internals).
+  burst();
+  burst();
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 8; ++round) burst();
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state Submit must not allocate";
+  EXPECT_EQ(ran.load(), 10u * 128u);
+}
+
+TEST(ThreadPoolTest, OversizedCapturesFallBackToHeap) {
+  // Captures beyond InlineTask::kInlineBytes are boxed (correctness over
+  // allocation-freedom for rare fat tasks).
+  util::ThreadPool pool(2);
+  std::array<uint64_t, 16> payload{};
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = i + 1;
+  std::atomic<uint64_t> sum{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([payload, &sum] {
+      uint64_t s = 0;
+      for (uint64_t v : payload) s += v;
+      sum.fetch_add(s, std::memory_order_relaxed);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(sum.load(), 64u * (16u * 17u / 2u));
 }
 
 }  // namespace
