@@ -386,14 +386,18 @@ BlockSet::SetUpdateResult BlockSet::CommitRouted(
   // Phase 2: commit each busy shard's index slice under that shard's
   // commit lock — striped writers, parallel across shards on the pool.
   // Readers never block: each commit is an epoch-swap publish. The lambda
-  // captures references into the submitting thread's scratch; ParallelFor
-  // completes before returning, so they stay stable for the fan-out.
+  // must reach the *submitting* thread's scratch through ordinary local
+  // references: a thread_local named inside a lambda is re-resolved in the
+  // executing thread, and a pool worker's own scratch is empty. ParallelFor
+  // completes before returning, so the references stay stable.
+  std::vector<std::vector<uint32_t>>& per_shard = scratch.per_shard;
+  std::vector<size_t>& busy = scratch.busy;
   std::atomic<size_t> applied{0};
   std::atomic<size_t> buffered{0};
   std::atomic<size_t> rebuilds{0};
   const auto commit_one = [&](size_t i) {
-    const size_t s = scratch.busy[i];
-    CommitShardBatch(s, batch, scratch.per_shard[s], &applied, &buffered,
+    const size_t s = busy[i];
+    CommitShardBatch(s, batch, per_shard[s], &applied, &buffered,
                      &rebuilds);
   };
   if (pool != nullptr && scratch.busy.size() > 1) {

@@ -1,0 +1,150 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace geoblocks::server {
+
+namespace {
+
+bool ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got > 0) {
+      p += got;
+      n -= static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Client Client::Connect(uint16_t port, const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("geoblocks: client socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("geoblocks: connect() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd, options);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& o) noexcept : fd_(o.fd_), options_(o.options_),
+                                      next_cookie_(o.next_cookie_) {
+  o.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    options_ = o.options_;
+    next_cookie_ = o.next_cookie_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::SendBytes(std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t put = ::send(fd_, bytes.data(), bytes.size(),
+                               MSG_NOSIGNAL);
+    if (put > 0) {
+      bytes.remove_prefix(static_cast<size_t>(put));
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    throw std::runtime_error("geoblocks: client send failed");
+  }
+}
+
+bool Client::ReadResponse(Response* out) {
+  uint32_t frame_len = 0;
+  if (!ReadFull(fd_, &frame_len, sizeof(frame_len))) return false;
+  if (frame_len == 0 || frame_len > options_.max_frame_bytes) {
+    throw std::runtime_error("geoblocks: oversized response frame");
+  }
+  std::string body(frame_len, '\0');
+  if (!ReadFull(fd_, body.data(), frame_len)) {
+    throw std::runtime_error("geoblocks: torn response frame");
+  }
+  *out = DecodeResponse(body);
+  return true;
+}
+
+void Client::ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+Response Client::Call(const std::string& frame, uint64_t cookie) {
+  SendBytes(frame);
+  Response response;
+  if (!ReadResponse(&response)) {
+    throw std::runtime_error("geoblocks: server closed the connection");
+  }
+  if (response.cookie != cookie) {
+    throw std::runtime_error("geoblocks: response cookie mismatch");
+  }
+  if (response.status != Status::kOk) throw ServerError(response.status);
+  return response;
+}
+
+std::string Client::Ping(std::string_view payload) {
+  const uint64_t cookie = next_cookie_++;
+  return Call(EncodePing(options_.tenant, cookie, payload), cookie).payload;
+}
+
+core::QueryResult Client::Select(const geo::Polygon& polygon,
+                                 const core::AggregateRequest& request) {
+  const uint64_t cookie = next_cookie_++;
+  const Response response =
+      Call(EncodeSelect(options_.tenant, cookie, polygon, request), cookie);
+  const SelectResult wire = DecodeSelectResult(response.payload);
+  core::QueryResult result;
+  result.count = wire.count;
+  result.values = wire.values;
+  return result;
+}
+
+uint64_t Client::Count(const geo::Polygon& polygon) {
+  const uint64_t cookie = next_cookie_++;
+  const Response response =
+      Call(EncodeCount(options_.tenant, cookie, polygon), cookie);
+  return DecodeCountResult(response.payload);
+}
+
+UpdateAck Client::Update(
+    std::span<const core::GeoBlock::UpdateTuple> tuples) {
+  const uint64_t cookie = next_cookie_++;
+  const Response response =
+      Call(EncodeUpdate(options_.tenant, cookie, tuples), cookie);
+  return DecodeUpdateAck(response.payload);
+}
+
+std::vector<std::pair<std::string, uint64_t>> Client::Stats() {
+  const uint64_t cookie = next_cookie_++;
+  const Response response =
+      Call(EncodeStats(options_.tenant, cookie), cookie);
+  return DecodeStatsResult(response.payload);
+}
+
+}  // namespace geoblocks::server

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file client.h
+/// A small blocking client for the query server, used by the test suites
+/// (tests/server_*_test.cc), the serving benchmark (bench/fig23_serving),
+/// and the quickstart (examples/serve.cc). One request in flight at a
+/// time: each typed call encodes a frame, sends it, and blocks for the
+/// matching response (cookies are verified). The raw frame entry points
+/// (SendBytes / ReadResponse) are the protocol-fuzzing surface — they let
+/// a test write arbitrary garbage and observe exactly how the server
+/// answers and closes.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/geoblock.h"
+#include "geo/polygon.h"
+#include "server/protocol.h"
+
+namespace geoblocks::server {
+
+/// Thrown by the typed calls when the server answers a non-OK status
+/// (kBusy, kThrottled, kGreylisted, kInternal, ...).
+struct ServerError : std::runtime_error {
+  explicit ServerError(Status s)
+      : std::runtime_error("geoblocks: server answered " +
+                           std::string(ToString(s))),
+        status(s) {}
+  Status status;
+};
+
+/// A blocking TCP client. Move-only; the socket closes on destruction.
+class Client {
+ public:
+  struct Options {
+    uint32_t tenant = 0;  ///< tenant id stamped on every request
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  /// Connects to 127.0.0.1:`port`.
+  /// @throws std::runtime_error when the connection fails.
+  static Client Connect(uint16_t port, const Options& options);
+  /// Connect with default Options (an overload: a default argument cannot
+  /// use the nested aggregate's member initializers inside the class).
+  static Client Connect(uint16_t port) { return Connect(port, Options()); }
+
+  ~Client();
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Health check; the server echoes `payload`.
+  /// @return The echoed payload.
+  std::string Ping(std::string_view payload = {});
+
+  /// SELECT. Doubles round-trip bit-identically, so the result can be
+  /// compared `==` against a direct BlockSet::Select.
+  /// @throws ServerError on a non-OK status.
+  core::QueryResult Select(const geo::Polygon& polygon,
+                           const core::AggregateRequest& request);
+
+  /// COUNT.
+  /// @throws ServerError on a non-OK status.
+  uint64_t Count(const geo::Polygon& polygon);
+
+  /// UPDATE. An OK return means the batch is durable when the server has
+  /// a WAL attached (persist-first carried through the wire).
+  /// @throws ServerError on a non-OK status — kInternal means the outcome
+  ///     is UNKNOWN (the server's log died); only an OK is an ack.
+  UpdateAck Update(std::span<const core::GeoBlock::UpdateTuple> tuples);
+
+  /// STATS: the server's counters plus per-tenant audit counters.
+  std::vector<std::pair<std::string, uint64_t>> Stats();
+
+  // -- Raw access (protocol tests) -----------------------------------------
+
+  /// Writes raw bytes to the socket (no framing added).
+  /// @throws std::runtime_error on a write error.
+  void SendBytes(std::string_view bytes);
+
+  /// Reads one response frame.
+  /// @param out Receives the decoded response.
+  /// @return False on clean EOF (the server closed the connection).
+  /// @throws std::runtime_error on a torn frame or an oversized length.
+  bool ReadResponse(Response* out);
+
+  /// Half-closes the write side (the server's reader sees EOF).
+  void ShutdownWrite();
+
+  /// @return The socket fd (tests only).
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd, const Options& options)
+      : fd_(fd), options_(options) {}
+
+  /// Sends `frame` and blocks for the response with `cookie`; throws
+  /// ServerError on a non-OK status.
+  Response Call(const std::string& frame, uint64_t cookie);
+
+  int fd_ = -1;
+  Options options_;
+  uint64_t next_cookie_ = 1;
+};
+
+}  // namespace geoblocks::server

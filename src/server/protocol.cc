@@ -1,0 +1,396 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace geoblocks::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian buffer primitives (string-backed mirror of the stream
+// primitives in core/serialize.h; the wire format shares their layout).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void Put(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// A bounds-checked cursor over one frame body. Every read validates the
+/// remaining byte count first, so a hostile length field can never walk the
+/// cursor past the buffer.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data_.size() - pos_ < sizeof(T)) {
+      throw ProtocolError(Status::kMalformed, "geoblocks: truncated frame");
+    }
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string_view GetBytes(size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw ProtocolError(Status::kMalformed, "geoblocks: truncated frame");
+    }
+    std::string_view bytes = data_.substr(pos_, n);
+    pos_ += n;
+    return bytes;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Strict decoders call this last: a well-formed payload consumes the
+  /// whole frame, and trailing bytes mean a framing bug (or an attack).
+  void ExpectEnd() const {
+    if (pos_ != data_.size()) {
+      throw ProtocolError(Status::kMalformed,
+                          "geoblocks: trailing bytes after payload");
+    }
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+double GetCoordinate(Cursor* in) {
+  const double v = in->Get<double>();
+  if (!std::isfinite(v) || v < -kMaxCoordinate || v > kMaxCoordinate) {
+    throw ProtocolError(Status::kMalformed,
+                        "geoblocks: non-finite or out-of-range coordinate");
+  }
+  return v;
+}
+
+void PutPolygon(std::string* out, const geo::Polygon& polygon) {
+  Put<uint16_t>(out, static_cast<uint16_t>(polygon.rings().size()));
+  for (const geo::Ring& ring : polygon.rings()) {
+    Put<uint32_t>(out, static_cast<uint32_t>(ring.size()));
+    for (const geo::Point& p : ring) {
+      Put<double>(out, p.x);
+      Put<double>(out, p.y);
+    }
+  }
+}
+
+geo::Polygon GetPolygon(Cursor* in) {
+  const uint16_t num_rings = in->Get<uint16_t>();
+  if (num_rings == 0 || num_rings > kMaxRings) {
+    throw ProtocolError(Status::kMalformed,
+                        "geoblocks: implausible ring count");
+  }
+  geo::Polygon polygon;
+  for (uint16_t r = 0; r < num_rings; ++r) {
+    const uint32_t num_verts = in->Get<uint32_t>();
+    if (num_verts < 3 || num_verts > kMaxVerticesPerRing ||
+        in->remaining() < size_t{num_verts} * 2 * sizeof(double)) {
+      throw ProtocolError(Status::kMalformed,
+                          "geoblocks: implausible vertex count");
+    }
+    geo::Ring ring;
+    ring.reserve(num_verts);
+    for (uint32_t v = 0; v < num_verts; ++v) {
+      const double x = GetCoordinate(in);
+      const double y = GetCoordinate(in);
+      ring.push_back(geo::Point{x, y});
+    }
+    polygon.AddRing(std::move(ring));
+  }
+  return polygon;
+}
+
+std::string RequestBody(Opcode opcode, uint32_t tenant, uint64_t cookie) {
+  std::string body;
+  Put<uint8_t>(&body, kProtocolVersion);
+  Put<uint8_t>(&body, static_cast<uint8_t>(opcode));
+  Put<uint32_t>(&body, tenant);
+  Put<uint64_t>(&body, cookie);
+  return body;
+}
+
+std::string Framed(std::string_view body) {
+  std::string out;
+  AppendFrame(&out, body);
+  return out;
+}
+
+}  // namespace
+
+std::string_view ToString(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kMalformed: return "malformed";
+    case Status::kBusy: return "busy";
+    case Status::kThrottled: return "throttled";
+    case Status::kGreylisted: return "greylisted";
+    case Status::kTooLarge: return "too_large";
+    case Status::kUnsupported: return "unsupported";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::string* out, std::string_view body) {
+  Put<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  out->append(body);
+}
+
+std::string EncodePing(uint32_t tenant, uint64_t cookie,
+                       std::string_view payload) {
+  std::string body = RequestBody(Opcode::kPing, tenant, cookie);
+  body.append(payload);
+  return Framed(body);
+}
+
+std::string EncodeSelect(uint32_t tenant, uint64_t cookie,
+                         const geo::Polygon& polygon,
+                         const core::AggregateRequest& request) {
+  std::string body = RequestBody(Opcode::kSelect, tenant, cookie);
+  PutPolygon(&body, polygon);
+  Put<uint16_t>(&body, static_cast<uint16_t>(request.size()));
+  for (const core::AggSpec& spec : request.specs()) {
+    Put<uint8_t>(&body, static_cast<uint8_t>(spec.fn));
+    Put<uint32_t>(&body, static_cast<uint32_t>(spec.column));
+  }
+  return Framed(body);
+}
+
+std::string EncodeCount(uint32_t tenant, uint64_t cookie,
+                        const geo::Polygon& polygon) {
+  std::string body = RequestBody(Opcode::kCount, tenant, cookie);
+  PutPolygon(&body, polygon);
+  return Framed(body);
+}
+
+std::string EncodeUpdate(uint32_t tenant, uint64_t cookie,
+                         std::span<const core::GeoBlock::UpdateTuple> tuples) {
+  std::string body = RequestBody(Opcode::kUpdate, tenant, cookie);
+  Put<uint32_t>(&body, static_cast<uint32_t>(tuples.size()));
+  // Same per-tuple layout as core/serialize EncodeUpdateTuples (f64 x,
+  // f64 y, u32 value_count, values), written directly so the client does
+  // not depend on the persistence toolkit.
+  for (const core::GeoBlock::UpdateTuple& t : tuples) {
+    Put<double>(&body, t.location.x);
+    Put<double>(&body, t.location.y);
+    Put<uint32_t>(&body, static_cast<uint32_t>(t.values.size()));
+    for (const double v : t.values) Put<double>(&body, v);
+  }
+  return Framed(body);
+}
+
+std::string EncodeStats(uint32_t tenant, uint64_t cookie) {
+  return Framed(RequestBody(Opcode::kStats, tenant, cookie));
+}
+
+std::string EncodeResponse(Status status, uint64_t cookie,
+                           std::string_view payload) {
+  std::string body;
+  Put<uint8_t>(&body, kProtocolVersion);
+  Put<uint8_t>(&body, static_cast<uint8_t>(status));
+  Put<uint64_t>(&body, cookie);
+  body.append(payload);
+  return Framed(body);
+}
+
+std::string EncodeSelectResult(const SelectResult& result) {
+  std::string payload;
+  Put<uint64_t>(&payload, result.count);
+  Put<uint16_t>(&payload, static_cast<uint16_t>(result.values.size()));
+  for (const double v : result.values) Put<double>(&payload, v);
+  return payload;
+}
+
+std::string EncodeCountResult(uint64_t count) {
+  std::string payload;
+  Put<uint64_t>(&payload, count);
+  return payload;
+}
+
+std::string EncodeUpdateAck(const UpdateAck& ack) {
+  std::string payload;
+  Put<uint64_t>(&payload, ack.accepted);
+  Put<uint64_t>(&payload, ack.change_number);
+  return payload;
+}
+
+std::string EncodeStatsResult(
+    const std::vector<std::pair<std::string, uint64_t>>& entries) {
+  std::string payload;
+  Put<uint32_t>(&payload, static_cast<uint32_t>(entries.size()));
+  for (const auto& [key, value] : entries) {
+    Put<uint16_t>(&payload, static_cast<uint16_t>(key.size()));
+    payload.append(key);
+    Put<uint64_t>(&payload, value);
+  }
+  return payload;
+}
+
+Request DecodeRequest(std::string_view body) {
+  Cursor in(body);
+  Request request;
+  request.header.version = in.Get<uint8_t>();
+  if (request.header.version != kProtocolVersion) {
+    throw ProtocolError(Status::kUnsupported,
+                        "geoblocks: unsupported protocol version");
+  }
+  const uint8_t opcode = in.Get<uint8_t>();
+  request.header.tenant = in.Get<uint32_t>();
+  request.header.cookie = in.Get<uint64_t>();
+  switch (opcode) {
+    case static_cast<uint8_t>(Opcode::kPing):
+      request.header.opcode = Opcode::kPing;
+      request.ping_payload = std::string(in.GetBytes(in.remaining()));
+      break;
+    case static_cast<uint8_t>(Opcode::kSelect): {
+      request.header.opcode = Opcode::kSelect;
+      request.polygon = GetPolygon(&in);
+      const uint16_t num_specs = in.Get<uint16_t>();
+      if (num_specs == 0 || num_specs > kMaxAggSpecs) {
+        throw ProtocolError(Status::kMalformed,
+                            "geoblocks: implausible aggregate count");
+      }
+      std::vector<core::AggSpec> specs;
+      specs.reserve(num_specs);
+      for (uint16_t s = 0; s < num_specs; ++s) {
+        const uint8_t fn = in.Get<uint8_t>();
+        if (fn > static_cast<uint8_t>(core::AggFn::kAvg)) {
+          throw ProtocolError(Status::kMalformed,
+                              "geoblocks: unknown aggregate function");
+        }
+        const uint32_t column = in.Get<uint32_t>();
+        if (column > kMaxTupleValues) {
+          throw ProtocolError(Status::kMalformed,
+                              "geoblocks: implausible aggregate column");
+        }
+        specs.push_back({static_cast<core::AggFn>(fn),
+                         static_cast<int>(column)});
+      }
+      request.aggregates = core::AggregateRequest(std::move(specs));
+      in.ExpectEnd();
+      break;
+    }
+    case static_cast<uint8_t>(Opcode::kCount):
+      request.header.opcode = Opcode::kCount;
+      request.polygon = GetPolygon(&in);
+      in.ExpectEnd();
+      break;
+    case static_cast<uint8_t>(Opcode::kUpdate): {
+      request.header.opcode = Opcode::kUpdate;
+      const uint32_t num_tuples = in.Get<uint32_t>();
+      if (num_tuples == 0 || num_tuples > kMaxUpdateTuples) {
+        throw ProtocolError(Status::kMalformed,
+                            "geoblocks: implausible tuple count");
+      }
+      request.tuples.reserve(num_tuples);
+      for (uint32_t t = 0; t < num_tuples; ++t) {
+        core::GeoBlock::UpdateTuple tuple;
+        tuple.location.x = GetCoordinate(&in);
+        tuple.location.y = GetCoordinate(&in);
+        const uint32_t num_values = in.Get<uint32_t>();
+        if (num_values > kMaxTupleValues ||
+            in.remaining() < size_t{num_values} * sizeof(double)) {
+          throw ProtocolError(Status::kMalformed,
+                              "geoblocks: implausible tuple value count");
+        }
+        tuple.values.reserve(num_values);
+        for (uint32_t v = 0; v < num_values; ++v) {
+          const double value = in.Get<double>();
+          if (!std::isfinite(value)) {
+            throw ProtocolError(Status::kMalformed,
+                                "geoblocks: non-finite tuple value");
+          }
+          tuple.values.push_back(value);
+        }
+        request.tuples.push_back(std::move(tuple));
+      }
+      in.ExpectEnd();
+      break;
+    }
+    case static_cast<uint8_t>(Opcode::kStats):
+      request.header.opcode = Opcode::kStats;
+      in.ExpectEnd();
+      break;
+    default:
+      throw ProtocolError(Status::kUnsupported, "geoblocks: unknown opcode");
+  }
+  return request;
+}
+
+Response DecodeResponse(std::string_view body) {
+  Cursor in(body);
+  const uint8_t version = in.Get<uint8_t>();
+  if (version != kProtocolVersion) {
+    throw ProtocolError(Status::kMalformed,
+                        "geoblocks: unsupported response version");
+  }
+  const uint8_t status = in.Get<uint8_t>();
+  if (status > static_cast<uint8_t>(Status::kInternal)) {
+    throw ProtocolError(Status::kMalformed,
+                        "geoblocks: unknown response status");
+  }
+  Response response;
+  response.status = static_cast<Status>(status);
+  response.cookie = in.Get<uint64_t>();
+  response.payload = std::string(in.GetBytes(in.remaining()));
+  return response;
+}
+
+SelectResult DecodeSelectResult(std::string_view payload) {
+  Cursor in(payload);
+  SelectResult result;
+  result.count = in.Get<uint64_t>();
+  const uint16_t num_values = in.Get<uint16_t>();
+  result.values.reserve(num_values);
+  for (uint16_t v = 0; v < num_values; ++v) {
+    result.values.push_back(in.Get<double>());
+  }
+  in.ExpectEnd();
+  return result;
+}
+
+uint64_t DecodeCountResult(std::string_view payload) {
+  Cursor in(payload);
+  const uint64_t count = in.Get<uint64_t>();
+  in.ExpectEnd();
+  return count;
+}
+
+UpdateAck DecodeUpdateAck(std::string_view payload) {
+  Cursor in(payload);
+  UpdateAck ack;
+  ack.accepted = in.Get<uint64_t>();
+  ack.change_number = in.Get<uint64_t>();
+  in.ExpectEnd();
+  return ack;
+}
+
+std::vector<std::pair<std::string, uint64_t>> DecodeStatsResult(
+    std::string_view payload) {
+  Cursor in(payload);
+  const uint32_t n = in.Get<uint32_t>();
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  if (n > payload.size()) {  // each entry is > 1 byte; cheap sanity cap
+    throw ProtocolError(Status::kMalformed,
+                        "geoblocks: implausible stats entry count");
+  }
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint16_t key_len = in.Get<uint16_t>();
+    std::string key(in.GetBytes(key_len));
+    const uint64_t value = in.Get<uint64_t>();
+    entries.emplace_back(std::move(key), value);
+  }
+  in.ExpectEnd();
+  return entries;
+}
+
+}  // namespace geoblocks::server

@@ -1,0 +1,214 @@
+#pragma once
+
+/// \file protocol.h
+/// The wire format of the stand-alone query server: length-prefixed binary
+/// frames carrying SELECT / COUNT / UPDATE / PING / STATS commands and their
+/// typed responses. The byte-level layout is specified in docs/PROTOCOL.md;
+/// this header owns the constants that document references and the pure
+/// encode/decode functions shared by the server (src/server/server.cc), the
+/// blocking client (src/server/client.cc), and the conformance/fuzz suite
+/// (tests/server_protocol_test.cc — decoding never touches a socket, so
+/// malformed-input behavior is testable in isolation).
+///
+/// Framing: every message is a `u32 body_len` prefix followed by `body_len`
+/// bytes of body, little-endian like every other format in the repo
+/// (core/serialize.h). A request body is
+///
+///   u8 version | u8 opcode | u32 tenant | u64 cookie | payload
+///
+/// and a response body is
+///
+///   u8 version | u8 status | u64 cookie | payload
+///
+/// The cookie is an opaque client-chosen request identifier echoed verbatim
+/// in the response: responses to pipelined requests on one connection may
+/// be written out of request order (a BUSY rejection overtakes an admitted
+/// request still queued), and the cookie is what matches them back up.
+///
+/// Decoding is strict: unknown versions/opcodes, truncated payloads,
+/// implausible element counts, non-finite coordinates, and trailing bytes
+/// after a well-formed payload all raise ProtocolError with the status the
+/// server should answer (and then close the connection) with.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/geoblock.h"
+#include "geo/polygon.h"
+
+namespace geoblocks::server {
+
+/// Current protocol version (the first body byte of every message).
+/// Versioning policy (docs/PROTOCOL.md §Versioning): additions arrive as
+/// new opcodes under the same version — an old server answers them with
+/// kUnsupported, which a client must treat as "feature absent", never as a
+/// transport error; layout changes to existing messages bump the version,
+/// and a server speaks exactly one version.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Default cap on one frame's body. The server refuses larger length
+/// prefixes before allocating (status kTooLarge), so a hostile 4 GiB
+/// prefix costs nothing.
+inline constexpr size_t kDefaultMaxFrameBytes = size_t{4} << 20;
+
+// Structural sanity caps (checked by the decoder; a hostile frame can claim
+// any count it likes, so every count is validated against both its cap and
+// the bytes actually present).
+inline constexpr size_t kMaxRings = 32;            ///< rings per polygon
+inline constexpr size_t kMaxVerticesPerRing = 100'000;
+inline constexpr size_t kMaxAggSpecs = 64;         ///< aggregates per SELECT
+inline constexpr size_t kMaxUpdateTuples = 65'536; ///< tuples per UPDATE
+inline constexpr size_t kMaxTupleValues = 256;     ///< columns per tuple
+/// Coordinates must be finite and within this magnitude — a NaN or 1e300
+/// vertex would otherwise leak into the covering machinery.
+inline constexpr double kMaxCoordinate = 1e6;
+
+/// Request opcodes (the second body byte of a request).
+enum class Opcode : uint8_t {
+  kPing = 1,    ///< health check; payload echoed verbatim
+  kSelect = 2,  ///< polygon + aggregate request -> count + values
+  kCount = 3,   ///< polygon -> count
+  kUpdate = 4,  ///< update tuples -> accepted + change number
+  kStats = 5,   ///< server + per-tenant audit counters
+};
+
+/// Response status codes (the second body byte of a response). Non-OK
+/// responses carry an empty payload.
+enum class Status : uint8_t {
+  kOk = 0,
+  kMalformed = 1,     ///< undecodable request; the connection is closed
+  kBusy = 2,          ///< admission queue full — typed backpressure, retry
+  kThrottled = 3,     ///< tenant over its token-bucket rate
+  kGreylisted = 4,    ///< tenant grey-listed after repeated violations
+  kTooLarge = 5,      ///< frame length prefix over the limit; closed
+  kUnsupported = 6,   ///< unknown version or opcode; closed
+  kShuttingDown = 7,  ///< server draining; no new work admitted
+  kInternal = 8,      ///< execution failed (e.g. dead WAL) — NOT acknowledged
+};
+
+/// @return A stable lower-case name for `s` (logs, tests, error messages).
+std::string_view ToString(Status s);
+
+/// Raised by the decode functions; `status` is the typed error the server
+/// answers before closing the connection.
+struct ProtocolError : std::runtime_error {
+  ProtocolError(Status s, const std::string& what)
+      : std::runtime_error(what), status(s) {}
+  Status status;
+};
+
+/// The fixed 14-byte request header every request body starts with.
+struct RequestHeader {
+  uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kPing;
+  uint32_t tenant = 0;
+  uint64_t cookie = 0;
+};
+
+/// A fully decoded request: the header plus whichever payload fields the
+/// opcode uses (the rest stay empty).
+struct Request {
+  RequestHeader header;
+  geo::Polygon polygon;                              ///< kSelect, kCount
+  core::AggregateRequest aggregates;                 ///< kSelect
+  std::vector<core::GeoBlock::UpdateTuple> tuples;   ///< kUpdate
+  std::string ping_payload;                          ///< kPing
+};
+
+/// A decoded response body.
+struct Response {
+  Status status = Status::kOk;
+  uint64_t cookie = 0;
+  std::string payload;
+};
+
+/// The OK payload of a SELECT: the QueryResult wire image. Doubles travel
+/// as raw little-endian bits, so a round trip is bit-identical.
+struct SelectResult {
+  uint64_t count = 0;
+  std::vector<double> values;
+};
+
+/// The OK payload of an UPDATE. `accepted` is the request's own tuple
+/// count; `change_number` is the durable change number of the (possibly
+/// coalesced) batch that carried those tuples — see docs/PROTOCOL.md.
+struct UpdateAck {
+  uint64_t accepted = 0;
+  uint64_t change_number = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding (client side; the server encodes only responses)
+// ---------------------------------------------------------------------------
+
+/// Appends `u32 body.size() | body` to `*out`.
+void AppendFrame(std::string* out, std::string_view body);
+
+/// @return The framed PING request (payload echoed by the server).
+std::string EncodePing(uint32_t tenant, uint64_t cookie,
+                       std::string_view payload);
+/// @return The framed SELECT request.
+std::string EncodeSelect(uint32_t tenant, uint64_t cookie,
+                         const geo::Polygon& polygon,
+                         const core::AggregateRequest& request);
+/// @return The framed COUNT request.
+std::string EncodeCount(uint32_t tenant, uint64_t cookie,
+                        const geo::Polygon& polygon);
+/// @return The framed UPDATE request.
+std::string EncodeUpdate(uint32_t tenant, uint64_t cookie,
+                         std::span<const core::GeoBlock::UpdateTuple> tuples);
+/// @return The framed STATS request (empty payload).
+std::string EncodeStats(uint32_t tenant, uint64_t cookie);
+
+/// @return The framed response `u8 version | u8 status | u64 cookie |
+///     payload`.
+std::string EncodeResponse(Status status, uint64_t cookie,
+                           std::string_view payload);
+
+/// @return The SELECT OK payload for `result`.
+std::string EncodeSelectResult(const SelectResult& result);
+/// @return The COUNT OK payload (u64).
+std::string EncodeCountResult(uint64_t count);
+/// @return The UPDATE OK payload.
+std::string EncodeUpdateAck(const UpdateAck& ack);
+/// @return The STATS OK payload for sorted (key, value) pairs.
+std::string EncodeStatsResult(
+    const std::vector<std::pair<std::string, uint64_t>>& entries);
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decodes a request body (the bytes after the u32 length prefix).
+///
+/// @param body One frame's body.
+/// @return The decoded request.
+/// @throws ProtocolError with kUnsupported on a version or opcode the
+///     server does not speak, kMalformed on everything else that is wrong
+///     (truncation, bad counts, non-finite coordinates, trailing bytes).
+Request DecodeRequest(std::string_view body);
+
+/// Decodes a response body.
+///
+/// @param body One frame's body.
+/// @return status + cookie + raw payload (decode the payload with the
+///     typed helpers below once the status is kOk).
+/// @throws ProtocolError (kMalformed) on truncation or a bad version.
+Response DecodeResponse(std::string_view body);
+
+/// @throws ProtocolError (kMalformed) on truncation or trailing bytes.
+SelectResult DecodeSelectResult(std::string_view payload);
+/// @throws ProtocolError (kMalformed) on truncation or trailing bytes.
+uint64_t DecodeCountResult(std::string_view payload);
+/// @throws ProtocolError (kMalformed) on truncation or trailing bytes.
+UpdateAck DecodeUpdateAck(std::string_view payload);
+/// @throws ProtocolError (kMalformed) on truncation or trailing bytes.
+std::vector<std::pair<std::string, uint64_t>> DecodeStatsResult(
+    std::string_view payload);
+
+}  // namespace geoblocks::server

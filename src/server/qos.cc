@@ -1,0 +1,98 @@
+#include "server/qos.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace geoblocks::server {
+
+uint64_t TenantGovernor::NowNanos() const {
+  if (options_.clock) return options_.clock();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TenantGovernor::Tenant& TenantGovernor::GetLocked(uint32_t tenant) {
+  Tenant& t = tenants_[tenant];
+  if (!t.initialized) {
+    t.tokens = options_.burst;  // a new tenant starts with a full bucket
+    t.last_refill_nanos = NowNanos();
+    t.initialized = true;
+  }
+  return t;
+}
+
+TenantGovernor::Verdict TenantGovernor::Admit(uint32_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = GetLocked(tenant);
+  ++t.counters.requests;
+  const uint64_t now = NowNanos();
+
+  if (t.greylisted_until_nanos > now) {
+    ++t.counters.greylisted;
+    return Verdict::kGreylist;
+  }
+
+  if (options_.tokens_per_second <= 0.0) {  // rate limiting disabled
+    ++t.counters.admitted;
+    t.violation_streak = 0;
+    return Verdict::kAdmit;
+  }
+
+  // Refill, capped at the burst capacity.
+  const uint64_t elapsed = now - t.last_refill_nanos;
+  t.last_refill_nanos = now;
+  t.tokens = std::min(
+      options_.burst,
+      t.tokens + static_cast<double>(elapsed) * options_.tokens_per_second /
+                     1e9);
+
+  if (t.tokens >= 1.0) {
+    t.tokens -= 1.0;
+    ++t.counters.admitted;
+    t.violation_streak = 0;
+    return Verdict::kAdmit;
+  }
+
+  ++t.counters.throttled;
+  ++t.violation_streak;
+  if (options_.greylist_after != 0 &&
+      t.violation_streak >= options_.greylist_after) {
+    t.greylisted_until_nanos = now + options_.greylist_nanos;
+    t.violation_streak = 0;
+  }
+  return Verdict::kThrottle;
+}
+
+void TenantGovernor::RecordBusyRejected(uint32_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++GetLocked(tenant).counters.busy_rejected;
+}
+
+void TenantGovernor::RecordCompleted(uint32_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++GetLocked(tenant).counters.completed;
+}
+
+bool TenantGovernor::IsGreylisted(uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  return it->second.greylisted_until_nanos > NowNanos();
+}
+
+std::vector<std::pair<uint32_t, TenantCounters>> TenantGovernor::Snapshot()
+    const {
+  std::vector<std::pair<uint32_t, TenantCounters>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) out.emplace_back(id, t.counters);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace geoblocks::server

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file qos.h
+/// Per-tenant admission control for the query server: a token-bucket rate
+/// limiter, grey-listing after repeated violations, and audit counters —
+/// the filter layer between the wire and the admission queue, in the
+/// spirit of gromox's ip_filter/user_filter services (PAPERS.md).
+///
+/// Every SELECT / COUNT / UPDATE request passes through Admit() exactly
+/// once and lands in exactly one of three buckets — admitted, throttled,
+/// or greylisted — and every admitted request later lands in exactly one
+/// of completed or busy_rejected. The audit identities the QoS test suite
+/// pins (tests/server_qos_test.cc):
+///
+///   requests == admitted + throttled + greylisted          (always)
+///   admitted == completed + busy_rejected                  (once quiesced)
+///
+/// The governor is mutex-guarded: admission is a few arithmetic ops per
+/// request, far off the query execution path, and exact counters matter
+/// more here than lock freedom. The clock is injectable so tests drive
+/// refill and grey-list expiry deterministically.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace geoblocks::server {
+
+/// Rate-limit policy shared by every tenant (per-tenant overrides are a
+/// future opcode; the paper-scale serving tests need one class of limits).
+struct QosOptions {
+  /// Steady-state refill rate. <= 0 disables rate limiting entirely
+  /// (every request is admitted; counters still account).
+  double tokens_per_second = 0.0;
+  /// Bucket capacity: the burst a tenant can spend instantly.
+  double burst = 64.0;
+  /// Consecutive throttles that trip the grey-list; 0 disables
+  /// grey-listing. A successful admission resets the violation streak.
+  uint32_t greylist_after = 0;
+  /// How long a tripped tenant stays grey-listed.
+  uint64_t greylist_nanos = 1'000'000'000;
+  /// Monotonic nanosecond clock; null uses std::chrono::steady_clock.
+  /// Tests inject a manual clock.
+  std::function<uint64_t()> clock;
+};
+
+/// One tenant's audit counters. All monotone; snapshot via
+/// TenantGovernor::Snapshot.
+struct TenantCounters {
+  uint64_t requests = 0;       ///< Admit() calls (SELECT/COUNT/UPDATE only)
+  uint64_t admitted = 0;       ///< passed the bucket and the grey-list
+  uint64_t throttled = 0;      ///< bucket empty -> Status::kThrottled
+  uint64_t greylisted = 0;     ///< rejected while grey-listed
+  uint64_t busy_rejected = 0;  ///< admitted, then admission queue full
+  uint64_t completed = 0;      ///< admitted, executed, response written
+};
+
+/// The per-tenant admission governor. Thread-safe.
+class TenantGovernor {
+ public:
+  enum class Verdict : uint8_t { kAdmit, kThrottle, kGreylist };
+
+  explicit TenantGovernor(QosOptions options)
+      : options_(std::move(options)) {}
+
+  /// Charges `tenant` one token. Exactly one counter among
+  /// admitted/throttled/greylisted advances per call.
+  ///
+  /// @param tenant The request's tenant id.
+  /// @return The admission verdict (maps 1:1 to a response status).
+  Verdict Admit(uint32_t tenant);
+
+  /// Records that an admitted request bounced off the full admission
+  /// queue (the caller answers Status::kBusy).
+  void RecordBusyRejected(uint32_t tenant);
+
+  /// Records that an admitted request executed and its response was
+  /// written.
+  void RecordCompleted(uint32_t tenant);
+
+  /// @param tenant The tenant to inspect.
+  /// @return True while `tenant` is inside a grey-list window.
+  bool IsGreylisted(uint32_t tenant) const;
+
+  /// @return Every tenant's counters, sorted by tenant id (a stable order
+  ///     for STATS encoding and tests).
+  std::vector<std::pair<uint32_t, TenantCounters>> Snapshot() const;
+
+  /// @return The governor's policy.
+  const QosOptions& options() const { return options_; }
+
+ private:
+  struct Tenant {
+    TenantCounters counters;
+    double tokens = 0.0;
+    uint64_t last_refill_nanos = 0;
+    uint32_t violation_streak = 0;
+    uint64_t greylisted_until_nanos = 0;
+    bool initialized = false;
+  };
+
+  uint64_t NowNanos() const;
+  Tenant& GetLocked(uint32_t tenant);
+
+  QosOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, Tenant> tenants_;
+};
+
+}  // namespace geoblocks::server

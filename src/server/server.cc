@@ -1,0 +1,490 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace geoblocks::server {
+
+namespace {
+
+/// Reads exactly `n` bytes. False on EOF, a read error, or a shutdown —
+/// all of which mean "this connection is done".
+bool ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got > 0) {
+      p += got;
+      n -= static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Writes all of `data`; false on error (peer gone). MSG_NOSIGNAL keeps a
+/// dead peer from killing the process with SIGPIPE.
+bool WriteFull(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t put = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (put > 0) {
+      data.remove_prefix(static_cast<size_t>(put));
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One accepted connection. The fd stays open until the last reference
+/// (reader thread, queued requests) drops; Shutdown() only unblocks I/O.
+struct QueryServer::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Unblocks the reader and fails future writes; idempotent.
+  void Shutdown() {
+    bool expected = false;
+    if (shut.compare_exchange_strong(expected, true)) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+
+  /// An RAII marker for a request admitted from this connection but not
+  /// yet answered. The deleter runs wherever the PendingRequest dies —
+  /// after its epoch executed, or discarded by Abort — so WaitQuiesced
+  /// never deadlocks on a crash-path backlog.
+  static std::shared_ptr<void> InflightToken(
+      const std::shared_ptr<Connection>& self) {
+    {
+      std::lock_guard<std::mutex> lock(self->inflight_mu);
+      ++self->inflight;
+    }
+    return std::shared_ptr<void>(
+        reinterpret_cast<void*>(1), [self](void*) {
+          std::lock_guard<std::mutex> lock(self->inflight_mu);
+          if (--self->inflight == 0) self->inflight_cv.notify_all();
+        });
+  }
+
+  /// Blocks until every admitted request from this connection has been
+  /// answered (or discarded). Called by the reader before Shutdown() so a
+  /// half-closing pipelined client still receives its queued responses.
+  void WaitQuiesced() {
+    std::unique_lock<std::mutex> lock(inflight_mu);
+    inflight_cv.wait(lock, [this] { return inflight == 0; });
+  }
+
+  const int fd;
+  std::mutex write_mu;  ///< reader (errors, PING/STATS) vs batcher writes
+  std::atomic<bool> shut{false};
+  std::mutex inflight_mu;
+  std::condition_variable inflight_cv;
+  int inflight = 0;
+};
+
+QueryServer::QueryServer(core::BlockSet* set, ServerOptions options)
+    : set_(set),
+      options_(std::move(options)),
+      governor_(options_.qos),
+      queue_(options_.queue_capacity) {
+  if (set_ == nullptr || set_->num_shards() == 0) {
+    throw std::invalid_argument("geoblocks: QueryServer needs a built set");
+  }
+  num_columns_ = set_->shard(0).num_columns();
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::Start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("geoblocks: QueryServer started twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("geoblocks: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("geoblocks: bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+void QueryServer::Stop() { StopInternal(/*discard=*/false); }
+void QueryServer::Abort() { StopInternal(/*discard=*/true); }
+
+void QueryServer::StopInternal(bool discard) {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  draining_.store(true);
+  // Unblock accept(); on Linux shutdown() on a listening socket makes
+  // pending and future accepts fail immediately.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+
+  if (discard) {
+    queue_.CloseAndDiscard();  // crash semantics: backlog dies unanswered
+  } else {
+    queue_.Close();  // graceful: batcher drains the admitted backlog
+  }
+  if (batcher_.joinable()) batcher_.join();
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(connections_);
+    readers.swap(readers_);
+  }
+  for (const auto& conn : conns) conn->Shutdown();
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop/Abort) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (draining_.load()) {
+      conn->Shutdown();
+      continue;
+    }
+    connections_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReadLoop(conn); });
+  }
+}
+
+void QueryServer::ReadLoop(std::shared_ptr<Connection> conn) {
+  std::string body;
+  for (;;) {
+    uint32_t frame_len = 0;
+    if (!ReadFull(conn->fd, &frame_len, sizeof(frame_len))) break;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    if (frame_len == 0 || frame_len > options_.max_frame_bytes) {
+      // Refuse before allocating or reading — a hostile 4 GiB prefix is
+      // answered and the connection closed without buying it any memory.
+      oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, Status::kTooLarge, 0, {});
+      break;
+    }
+    body.resize(frame_len);
+    if (!ReadFull(conn->fd, body.data(), frame_len)) break;  // torn frame
+
+    Request request;
+    try {
+      request = DecodeRequest(body);
+    } catch (const ProtocolError& e) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      // Best-effort cookie so the client can match the error to its
+      // request: the cookie field sits at a fixed header offset.
+      uint64_t cookie = 0;
+      if (body.size() >= 14) std::memcpy(&cookie, body.data() + 6, 8);
+      WriteResponse(conn, e.status, cookie, {});
+      break;
+    }
+    if (!Dispatch(conn, std::move(request))) break;
+  }
+  // Deliver queued responses for already-admitted requests, then close our
+  // side so the peer sees EOF (the fd itself stays alive until the last
+  // shared_ptr drops).
+  conn->WaitQuiesced();
+  conn->Shutdown();
+}
+
+bool QueryServer::ValidateSchema(const Request& request) const {
+  if (request.header.opcode == Opcode::kSelect) {
+    for (const core::AggSpec& spec : request.aggregates.specs()) {
+      if (spec.fn != core::AggFn::kCount &&
+          static_cast<size_t>(spec.column) >= num_columns_) {
+        return false;
+      }
+    }
+  }
+  if (request.header.opcode == Opcode::kUpdate) {
+    for (const core::GeoBlock::UpdateTuple& t : request.tuples) {
+      if (t.values.size() != num_columns_) return false;
+    }
+  }
+  return true;
+}
+
+bool QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
+                           Request&& request) {
+  const uint32_t tenant = request.header.tenant;
+  const uint64_t cookie = request.header.cookie;
+  switch (request.header.opcode) {
+    case Opcode::kPing:
+      WriteResponse(conn, Status::kOk, cookie, request.ping_payload);
+      return true;
+    case Opcode::kStats:
+      WriteResponse(conn, Status::kOk, cookie,
+                    EncodeStatsResult(BuildStats()));
+      return true;
+    default:
+      break;
+  }
+
+  if (!ValidateSchema(request)) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, Status::kMalformed, cookie, {});
+    return false;  // schema-invalid requests close the connection
+  }
+  if (draining_.load()) {
+    WriteResponse(conn, Status::kShuttingDown, cookie, {});
+    return true;
+  }
+  switch (governor_.Admit(tenant)) {
+    case TenantGovernor::Verdict::kThrottle:
+      WriteResponse(conn, Status::kThrottled, cookie, {});
+      return true;
+    case TenantGovernor::Verdict::kGreylist:
+      WriteResponse(conn, Status::kGreylisted, cookie, {});
+      return true;
+    case TenantGovernor::Verdict::kAdmit:
+      break;
+  }
+
+  PendingRequest pending;
+  pending.opcode = request.header.opcode;
+  pending.tenant = tenant;
+  pending.cookie = cookie;
+  pending.conn = conn;
+  pending.polygon = std::move(request.polygon);
+  pending.aggregates = std::move(request.aggregates);
+  pending.tuples = std::move(request.tuples);
+  pending.inflight_token = Connection::InflightToken(conn);
+  if (!queue_.TryPush(std::move(pending))) {
+    // Typed backpressure: the request was NOT admitted (never a silent
+    // drop) and the connection stays open — the client may retry.
+    governor_.RecordBusyRejected(tenant);
+    WriteResponse(conn,
+                  draining_.load() ? Status::kShuttingDown : Status::kBusy,
+                  cookie, {});
+  }
+  return true;
+}
+
+void QueryServer::BatchLoop() {
+  std::vector<PendingRequest> batch;
+  while (queue_.DrainBatch(&batch, options_.max_batch)) {
+    if (options_.batch_hook) options_.batch_hook();
+    ExecuteEpoch(batch);
+    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryServer::ExecuteEpoch(std::vector<PendingRequest>& batch) {
+  std::vector<size_t> count_idx;
+  std::vector<size_t> update_idx;
+  // SELECTs coalesce per aggregate-request signature: QueryBatch shares
+  // one AggregateRequest across its polygons, so only requests asking for
+  // the same aggregates can ride one batch.
+  std::map<std::string, std::vector<size_t>> select_groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    switch (batch[i].opcode) {
+      case Opcode::kCount:
+        count_idx.push_back(i);
+        break;
+      case Opcode::kUpdate:
+        update_idx.push_back(i);
+        break;
+      case Opcode::kSelect: {
+        std::string key;
+        for (const core::AggSpec& spec : batch[i].aggregates.specs()) {
+          key.push_back(static_cast<char>(spec.fn));
+          key.append(reinterpret_cast<const char*>(&spec.column),
+                     sizeof(spec.column));
+        }
+        select_groups[key].push_back(i);
+        break;
+      }
+      default:
+        break;  // unreachable: only query/update opcodes are admitted
+    }
+  }
+
+  // Counters first, response second: a client that has received all its
+  // responses must observe fully reconciled audit counters via STATS.
+  const auto finish = [&](const PendingRequest& p, Status status,
+                          std::string_view payload) {
+    governor_.RecordCompleted(p.tenant);
+    WriteResponse(p.conn, status, p.cookie, payload);
+  };
+
+  if (!count_idx.empty()) {
+    std::vector<const geo::Polygon*> polygons;
+    polygons.reserve(count_idx.size());
+    for (const size_t i : count_idx) polygons.push_back(&batch[i].polygon);
+    try {
+      const std::vector<uint64_t> counts =
+          set_->CountBatch(polygons, options_.pool);
+      counts_executed_.fetch_add(count_idx.size(),
+                                 std::memory_order_relaxed);
+      for (size_t j = 0; j < count_idx.size(); ++j) {
+        finish(batch[count_idx[j]], Status::kOk,
+               EncodeCountResult(counts[j]));
+      }
+    } catch (const std::exception&) {
+      for (const size_t i : count_idx) {
+        finish(batch[i], Status::kInternal, {});
+      }
+    }
+  }
+
+  for (const auto& [key, idx] : select_groups) {
+    core::QueryBatch qb;
+    qb.polygons.reserve(idx.size());
+    for (const size_t i : idx) qb.polygons.push_back(&batch[i].polygon);
+    qb.request = &batch[idx.front()].aggregates;
+    try {
+      const std::vector<core::QueryResult> results =
+          set_->ExecuteBatch(qb, options_.pool);
+      selects_executed_.fetch_add(idx.size(), std::memory_order_relaxed);
+      select_groups_.fetch_add(1, std::memory_order_relaxed);
+      for (size_t j = 0; j < idx.size(); ++j) {
+        SelectResult r;
+        r.count = results[j].count;
+        r.values = results[j].values;
+        finish(batch[idx[j]], Status::kOk, EncodeSelectResult(r));
+      }
+    } catch (const std::exception&) {
+      for (const size_t i : idx) finish(batch[i], Status::kInternal, {});
+    }
+  }
+
+  if (!update_idx.empty()) {
+    // All UPDATE requests of the epoch coalesce into ONE ApplyBatchUpdate
+    // — one WAL record, one group-commit fsync, one change number shared
+    // by every acknowledgment (docs/PROTOCOL.md §UPDATE).
+    std::vector<core::GeoBlock::UpdateTuple> tuples;
+    size_t total = 0;
+    for (const size_t i : update_idx) total += batch[i].tuples.size();
+    tuples.reserve(total);
+    for (const size_t i : update_idx) {
+      for (core::GeoBlock::UpdateTuple& t : batch[i].tuples) {
+        tuples.push_back(std::move(t));
+      }
+    }
+    try {
+      const core::BlockSet::SetUpdateResult result =
+          set_->ApplyBatchUpdate(tuples, options_.pool);
+      updates_executed_.fetch_add(update_idx.size(),
+                                  std::memory_order_relaxed);
+      update_tuples_.fetch_add(total, std::memory_order_relaxed);
+      for (const size_t i : update_idx) {
+        UpdateAck ack;
+        ack.accepted = batch[i].tuples.size();
+        ack.change_number = result.change_number;
+        finish(batch[i], Status::kOk, EncodeUpdateAck(ack));
+      }
+    } catch (const std::exception&) {
+      // Persist-first failed (e.g. the WAL died): the batch is NOT
+      // acknowledged. Clients must treat kInternal as "unknown outcome";
+      // recovery restores exactly the acknowledged prefix.
+      for (const size_t i : update_idx) {
+        finish(batch[i], Status::kInternal, {});
+      }
+    }
+  }
+}
+
+void QueryServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                                Status status, uint64_t cookie,
+                                std::string_view payload) {
+  const std::string frame = EncodeResponse(status, cookie, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  (void)WriteFull(conn->fd, frame);  // peer gone == nothing to do
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.frames_received = frames_received_.load();
+  s.malformed_frames = malformed_frames_.load();
+  s.oversized_frames = oversized_frames_.load();
+  s.queue_rejected = queue_.rejected_full();
+  s.batches_executed = batches_executed_.load();
+  s.selects_executed = selects_executed_.load();
+  s.counts_executed = counts_executed_.load();
+  s.updates_executed = updates_executed_.load();
+  s.update_tuples = update_tuples_.load();
+  s.select_groups = select_groups_.load();
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+std::vector<std::pair<std::string, uint64_t>> QueryServer::BuildStats()
+    const {
+  const ServerStats s = stats();
+  std::vector<std::pair<std::string, uint64_t>> entries = {
+      {"server.connections", s.connections_accepted},
+      {"server.frames", s.frames_received},
+      {"server.malformed", s.malformed_frames},
+      {"server.oversized", s.oversized_frames},
+      {"server.queue_rejected", s.queue_rejected},
+      {"server.queue_depth", s.queue_depth},
+      {"server.batches", s.batches_executed},
+      {"server.selects", s.selects_executed},
+      {"server.counts", s.counts_executed},
+      {"server.updates", s.updates_executed},
+      {"server.update_tuples", s.update_tuples},
+      {"server.select_groups", s.select_groups},
+      {"server.change_number", set_->change_number()},
+  };
+  for (const auto& [tenant, c] : governor_.Snapshot()) {
+    const std::string prefix = "tenant." + std::to_string(tenant) + ".";
+    entries.emplace_back(prefix + "requests", c.requests);
+    entries.emplace_back(prefix + "admitted", c.admitted);
+    entries.emplace_back(prefix + "throttled", c.throttled);
+    entries.emplace_back(prefix + "greylisted", c.greylisted);
+    entries.emplace_back(prefix + "busy", c.busy_rejected);
+    entries.emplace_back(prefix + "completed", c.completed);
+  }
+  return entries;
+}
+
+}  // namespace geoblocks::server

@@ -1,0 +1,448 @@
+// Per-tenant QoS, end to end: token-bucket unit tests with a manual
+// clock, server-level throttling and grey-listing over real sockets,
+// queue-full backpressure (typed BUSY, never a silent drop), and the
+// audit identities the governor promises:
+//
+//   requests == admitted + throttled + greylisted          (always)
+//   admitted == completed + busy_rejected                  (once quiesced)
+//
+// The server's batch_hook test seam parks the batcher on a latch so the
+// bounded admission queue can be filled deterministically.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/block_set.h"
+#include "server/client.h"
+#include "server/qos.h"
+#include "server/server.h"
+#include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::BlockSet;
+using core::BlockSetOptions;
+using server::Client;
+using server::QosOptions;
+using server::QueryServer;
+using server::ServerError;
+using server::ServerOptions;
+using server::Status;
+using server::TenantCounters;
+using server::TenantGovernor;
+
+/// A hand-cranked nanosecond clock for deterministic refill and expiry.
+struct ManualClock {
+  uint64_t nanos = 0;
+  std::function<uint64_t()> fn() {
+    return [this] { return nanos; };
+  }
+  void AdvanceSeconds(double s) {
+    nanos += static_cast<uint64_t>(s * 1e9);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TenantGovernor unit tests (no sockets)
+// ---------------------------------------------------------------------------
+
+TEST(TenantGovernorTest, BurstThenThrottleThenRefill) {
+  ManualClock clock;
+  QosOptions options;
+  options.tokens_per_second = 2.0;
+  options.burst = 4.0;
+  options.clock = clock.fn();
+  TenantGovernor governor(options);
+
+  // A new tenant starts with a full bucket: exactly `burst` admissions.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kAdmit) << i;
+  }
+  EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kThrottle);
+
+  // 1.5 s at 2 tokens/s refills 3 tokens.
+  clock.AdvanceSeconds(1.5);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kAdmit) << i;
+  }
+  EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kThrottle);
+
+  // Refill caps at burst no matter how long the tenant is idle.
+  clock.AdvanceSeconds(3600.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kAdmit) << i;
+  }
+  EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kThrottle);
+}
+
+TEST(TenantGovernorTest, TenantsAreIsolated) {
+  ManualClock clock;
+  QosOptions options;
+  options.tokens_per_second = 1.0;
+  options.burst = 2.0;
+  options.clock = clock.fn();
+  TenantGovernor governor(options);
+
+  EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.Admit(1), TenantGovernor::Verdict::kThrottle);
+  // Tenant 2's bucket is untouched by tenant 1's exhaustion.
+  EXPECT_EQ(governor.Admit(2), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.Admit(2), TenantGovernor::Verdict::kAdmit);
+}
+
+TEST(TenantGovernorTest, GreylistTripsAfterConsecutiveViolationsAndExpires) {
+  ManualClock clock;
+  QosOptions options;
+  options.tokens_per_second = 0.001;  // effectively no refill at test scale
+  options.burst = 1.0;
+  options.greylist_after = 3;
+  options.greylist_nanos = 5'000'000'000;  // 5 s
+  options.clock = clock.fn();
+  TenantGovernor governor(options);
+
+  EXPECT_EQ(governor.Admit(9), TenantGovernor::Verdict::kAdmit);
+  // Three consecutive throttles trip the grey-list...
+  EXPECT_EQ(governor.Admit(9), TenantGovernor::Verdict::kThrottle);
+  EXPECT_EQ(governor.Admit(9), TenantGovernor::Verdict::kThrottle);
+  EXPECT_EQ(governor.Admit(9), TenantGovernor::Verdict::kThrottle);
+  EXPECT_TRUE(governor.IsGreylisted(9));
+  // ...and while listed, requests are rejected as greylisted, not
+  // throttled.
+  EXPECT_EQ(governor.Admit(9), TenantGovernor::Verdict::kGreylist);
+  EXPECT_EQ(governor.Admit(9), TenantGovernor::Verdict::kGreylist);
+
+  // The window expires; the tenant is back to plain rate limiting.
+  clock.AdvanceSeconds(6.0);
+  EXPECT_FALSE(governor.IsGreylisted(9));
+  EXPECT_NE(governor.Admit(9), TenantGovernor::Verdict::kGreylist);
+
+  // Counters: every Admit() landed in exactly one bucket.
+  const auto snapshot = governor.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const TenantCounters& c = snapshot.front().second;
+  EXPECT_EQ(c.requests, 7u);
+  EXPECT_EQ(c.requests, c.admitted + c.throttled + c.greylisted);
+  EXPECT_EQ(c.greylisted, 2u);
+}
+
+TEST(TenantGovernorTest, SuccessfulAdmitResetsViolationStreak) {
+  ManualClock clock;
+  QosOptions options;
+  options.tokens_per_second = 1.0;
+  options.burst = 1.0;
+  options.greylist_after = 3;
+  options.clock = clock.fn();
+  TenantGovernor governor(options);
+
+  EXPECT_EQ(governor.Admit(4), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.Admit(4), TenantGovernor::Verdict::kThrottle);
+  EXPECT_EQ(governor.Admit(4), TenantGovernor::Verdict::kThrottle);
+  clock.AdvanceSeconds(1.0);  // one token back; admit resets the streak
+  EXPECT_EQ(governor.Admit(4), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.Admit(4), TenantGovernor::Verdict::kThrottle);
+  EXPECT_EQ(governor.Admit(4), TenantGovernor::Verdict::kThrottle);
+  // Only 2 consecutive violations since the reset: still not grey-listed.
+  EXPECT_FALSE(governor.IsGreylisted(4));
+}
+
+TEST(TenantGovernorTest, DisabledLimiterAdmitsEverythingButStillCounts) {
+  TenantGovernor governor(QosOptions{});  // tokens_per_second == 0
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(governor.Admit(3), TenantGovernor::Verdict::kAdmit);
+  }
+  const auto snapshot = governor.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot.front().second.requests, 100u);
+  EXPECT_EQ(snapshot.front().second.admitted, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Server-level QoS over real sockets
+// ---------------------------------------------------------------------------
+
+class ServerQosTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+
+  static void SetUpTestSuite() {
+    const storage::PointTable raw = workload::GenTaxi(8000, 29);
+    storage::ExtractOptions extract;
+    extract.clean_bounds = workload::NycBounds();
+    data_ = new storage::SortedDataset(
+        storage::SortedDataset::Extract(raw, extract));
+    storage::ShardOptions shard_options;
+    shard_options.num_shards = 2;
+    shard_options.align_level = kLevel;
+    sharded_ = new storage::ShardedDataset(
+        storage::ShardedDataset::Partition(*data_, shard_options));
+    pool_ = new util::ThreadPool(2);
+    polygons_ = new std::vector<geo::Polygon>(
+        workload::Neighborhoods(raw, 4, 29));
+  }
+
+  static void TearDownTestSuite() {
+    delete polygons_;
+    delete pool_;
+    delete sharded_;
+    delete data_;
+    polygons_ = nullptr;
+    pool_ = nullptr;
+    sharded_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static BlockSet BuildSet() {
+    return BlockSet::Build(*sharded_, BlockSetOptions{{kLevel, {}}}, pool_);
+  }
+
+  /// Issues one COUNT and classifies the outcome.
+  static Status CountStatus(Client& client) {
+    try {
+      (void)client.Count(polygons_->front());
+      return Status::kOk;
+    } catch (const ServerError& e) {
+      return e.status;
+    }
+  }
+
+  static storage::SortedDataset* data_;
+  static storage::ShardedDataset* sharded_;
+  static util::ThreadPool* pool_;
+  static std::vector<geo::Polygon>* polygons_;
+};
+
+storage::SortedDataset* ServerQosTest::data_ = nullptr;
+storage::ShardedDataset* ServerQosTest::sharded_ = nullptr;
+util::ThreadPool* ServerQosTest::pool_ = nullptr;
+std::vector<geo::Polygon>* ServerQosTest::polygons_ = nullptr;
+
+TEST_F(ServerQosTest, ThrottledTenantGetsTypedErrorWhileOthersProceed) {
+  ManualClock clock;
+  BlockSet set = BuildSet();
+  ServerOptions options;
+  options.pool = pool_;
+  options.qos.tokens_per_second = 1e-6;  // no meaningful refill
+  options.qos.burst = 5.0;
+  options.qos.clock = clock.fn();
+  QueryServer server(&set, options);
+  server.Start();
+
+  Client::Options a_opts;
+  a_opts.tenant = 1;
+  Client a = Client::Connect(server.port(), a_opts);
+  Client::Options b_opts;
+  b_opts.tenant = 2;
+  Client b = Client::Connect(server.port(), b_opts);
+
+  int a_ok = 0;
+  int a_throttled = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Status s = CountStatus(a);
+    if (s == Status::kOk) ++a_ok;
+    if (s == Status::kThrottled) ++a_throttled;
+  }
+  EXPECT_EQ(a_ok, 5);         // exactly the burst
+  EXPECT_EQ(a_throttled, 5);  // typed throttle, connection stays open
+  // Tenant B is unaffected by A's exhaustion.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(CountStatus(b), Status::kOk) << i;
+  }
+  // PING and STATS bypass QoS: the throttled tenant can still health-check
+  // and audit itself.
+  EXPECT_EQ(a.Ping("still-here"), "still-here");
+  EXPECT_FALSE(a.Stats().empty());
+  server.Stop();
+}
+
+TEST_F(ServerQosTest, GreylistTripsOverTheWireAndExpires) {
+  ManualClock clock;
+  BlockSet set = BuildSet();
+  ServerOptions options;
+  options.pool = pool_;
+  options.qos.tokens_per_second = 1e-6;
+  options.qos.burst = 1.0;
+  options.qos.greylist_after = 3;
+  options.qos.greylist_nanos = 2'000'000'000;
+  options.qos.clock = clock.fn();
+  QueryServer server(&set, options);
+  server.Start();
+
+  Client::Options copts;
+  copts.tenant = 7;
+  Client client = Client::Connect(server.port(), copts);
+  EXPECT_EQ(CountStatus(client), Status::kOk);
+  EXPECT_EQ(CountStatus(client), Status::kThrottled);
+  EXPECT_EQ(CountStatus(client), Status::kThrottled);
+  EXPECT_EQ(CountStatus(client), Status::kThrottled);  // trips the list
+  EXPECT_EQ(CountStatus(client), Status::kGreylisted);
+  EXPECT_EQ(CountStatus(client), Status::kGreylisted);
+  EXPECT_TRUE(server.governor().IsGreylisted(7));
+
+  clock.AdvanceSeconds(3.0);  // window expires (and refills ~nothing)
+  EXPECT_FALSE(server.governor().IsGreylisted(7));
+  EXPECT_EQ(CountStatus(client), Status::kThrottled);
+  server.Stop();
+}
+
+TEST_F(ServerQosTest, QueueFullIsTypedBusyNeverASilentDrop) {
+  BlockSet set = BuildSet();
+
+  // Park the batcher inside its first drain so the bounded queue can be
+  // filled deterministically: capacity 2, one request held by the hook.
+  std::mutex hook_mu;
+  std::condition_variable hook_cv;
+  bool entered = false;
+  bool release = false;
+  ServerOptions options;
+  options.pool = pool_;
+  options.queue_capacity = 2;
+  options.max_batch = 1;
+  options.batch_hook = [&] {
+    std::unique_lock<std::mutex> lock(hook_mu);
+    entered = true;
+    hook_cv.notify_all();
+    hook_cv.wait(lock, [&] { return release; });
+  };
+  QueryServer server(&set, options);
+  server.Start();
+
+  // One request pulls the batcher into the hook.
+  std::thread first([&] {
+    Client c = Client::Connect(server.port());
+    EXPECT_EQ(CountStatus(c), Status::kOk);
+  });
+  {
+    std::unique_lock<std::mutex> lock(hook_mu);
+    hook_cv.wait(lock, [&] { return entered; });
+  }
+
+  // With the batcher parked, exactly `queue_capacity` more requests fit;
+  // the rest must get typed BUSY (and keep their connections).
+  constexpr int kProbes = 5;
+  std::vector<std::thread> probes;
+  std::atomic<int> ok{0};
+  std::atomic<int> busy{0};
+  std::atomic<int> other{0};
+  for (int i = 0; i < kProbes; ++i) {
+    probes.emplace_back([&] {
+      Client c = Client::Connect(server.port());
+      switch (CountStatus(c)) {
+        case Status::kOk:
+          ok.fetch_add(1);
+          break;
+        case Status::kBusy:
+          busy.fetch_add(1);
+          // The connection survives a BUSY: a retry on the same socket
+          // still works once capacity frees up.
+          break;
+        default:
+          other.fetch_add(1);
+          break;
+      }
+    });
+  }
+  // BUSY responses are written by reader threads immediately; wait until
+  // every probe beyond capacity has been answered, then release.
+  for (;;) {
+    if (busy.load() >= kProbes - 2) break;
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(hook_mu);
+    release = true;
+  }
+  hook_cv.notify_all();
+  for (std::thread& p : probes) p.join();
+  first.join();
+
+  EXPECT_EQ(ok.load(), 2) << "exactly queue_capacity requests admitted";
+  EXPECT_EQ(busy.load(), 3) << "the rest got typed BUSY";
+  EXPECT_EQ(other.load(), 0);
+  server.Stop();
+
+  // Audit: nothing dropped silently. 6 requests total; every admitted one
+  // either completed or was busy-rejected.
+  const auto snapshot = server.governor().Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const TenantCounters& c = snapshot.front().second;
+  EXPECT_EQ(c.requests, 6u);
+  EXPECT_EQ(c.requests, c.admitted + c.throttled + c.greylisted);
+  EXPECT_EQ(c.admitted, c.completed + c.busy_rejected);
+  EXPECT_EQ(c.busy_rejected, 3u);
+  EXPECT_EQ(c.completed, 3u);
+}
+
+TEST_F(ServerQosTest, StatsCommandReconcilesExactlyWithClientOutcomes) {
+  ManualClock clock;
+  BlockSet set = BuildSet();
+  ServerOptions options;
+  options.pool = pool_;
+  options.qos.tokens_per_second = 1e-6;
+  options.qos.burst = 8.0;
+  options.qos.clock = clock.fn();
+  QueryServer server(&set, options);
+  server.Start();
+
+  // Three tenants issue traffic concurrently; each records its own
+  // outcomes client-side.
+  struct Outcome {
+    uint64_t ok = 0;
+    uint64_t throttled = 0;
+    uint64_t sent = 0;
+  };
+  std::vector<Outcome> outcomes(3);
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      Client::Options copts;
+      copts.tenant = 100 + t;
+      Client client = Client::Connect(server.port(), copts);
+      for (int i = 0; i < 12; ++i) {
+        ++outcomes[t].sent;
+        const Status s = CountStatus(client);
+        if (s == Status::kOk) ++outcomes[t].ok;
+        if (s == Status::kThrottled) ++outcomes[t].throttled;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Every client has its responses in hand, so STATS must already be
+  // fully reconciled (counters land before responses are written).
+  Client auditor = Client::Connect(server.port());
+  std::map<std::string, uint64_t> stats;
+  for (const auto& [key, value] : auditor.Stats()) stats[key] = value;
+  for (uint32_t t = 0; t < 3; ++t) {
+    const std::string prefix = "tenant." + std::to_string(100 + t) + ".";
+    EXPECT_EQ(stats[prefix + "requests"], outcomes[t].sent);
+    EXPECT_EQ(stats[prefix + "admitted"], outcomes[t].ok);
+    EXPECT_EQ(stats[prefix + "completed"], outcomes[t].ok);
+    EXPECT_EQ(stats[prefix + "throttled"], outcomes[t].throttled);
+    EXPECT_EQ(stats[prefix + "requests"],
+              stats[prefix + "admitted"] + stats[prefix + "throttled"] +
+                  stats[prefix + "greylisted"]);
+    EXPECT_EQ(stats[prefix + "admitted"],
+              stats[prefix + "completed"] + stats[prefix + "busy"]);
+    EXPECT_EQ(outcomes[t].ok, 8u) << "burst of 8, no refill";
+    EXPECT_EQ(outcomes[t].throttled, 4u);
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace geoblocks
