@@ -17,12 +17,21 @@
 //     quiescing the total count must account for every acknowledged
 //     update tuple exactly once.
 //
+// A final fault-injection phase attaches the set to a WAL whose fsync is
+// failed through util::FaultShim: the server flips into degraded
+// read-only mode and the phase measures sustained *degraded* read QPS
+// (every response still oracle-checked, updates must be answered
+// kReadOnly) — the number that matters when the disk dies under load.
+//
 // Any divergence increments `mismatches`; CI smoke-gates on the
 // "mismatches: 0" line (never on a speedup — containers may be one core).
 // Emits machine-readable BENCH_serving.json with hardware provenance.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -34,9 +43,11 @@
 #include "bench/common.h"
 #include "core/block_set.h"
 #include "core/scan_kernels.h"
+#include "io/update_log.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "storage/sharded_dataset.h"
+#include "util/io_shim.h"
 #include "util/thread_pool.h"
 
 namespace geoblocks::bench {
@@ -298,6 +309,116 @@ void Run() {
                   bench_util::TablePrinter::Fmt(row.update_tuples_per_s, 0)});
   }
   table.Print();
+
+  // Phase 3: fault injection. The WAL's fsync starts failing after a few
+  // commits; the server enters degraded read-only mode and must keep
+  // serving oracle-checked reads at speed while refusing updates with the
+  // typed kReadOnly status.
+  PhaseResult degraded;
+  uint64_t degraded_acked = 0;
+  {
+    const size_t clients = 4;
+    core::BlockSet set = core::BlockSet::Build(
+        sharded, core::BlockSetOptions{{kDefaultLevel, {}}});
+    util::FaultShim shim;
+    io::UpdateLog::Options log_options;
+    log_options.shim = &shim;
+    const std::string wal_path = "bench_fig23_fault.wal";
+    ::unlink(wal_path.c_str());
+    auto log = io::UpdateLog::Open(wal_path, log_options);
+    set.AttachLog(log.get());
+    server::ServerOptions options;
+    options.pool = &pool;
+    server::QueryServer server(&set, options);
+    server.Start();
+
+    // A few updates land, then the device dies mid-run.
+    {
+      server::Client writer = server::Client::Connect(server.port());
+      for (uint64_t b = 0; b < 3; ++b) {
+        const auto batch = MakeInCellBatch(env.data, kDefaultLevel,
+                                           kUpdateTuples, 9'000'017 + b);
+        degraded_acked += writer.Update(batch).accepted;
+      }
+      shim.ArmFsync(/*after_calls=*/0, EIO);
+      try {
+        (void)writer.Update(MakeInCellBatch(env.data, kDefaultLevel,
+                                            kUpdateTuples, 9'100'000));
+        ++mismatches;  // the dead WAL must surface, never a silent ack
+      } catch (const server::ServerError&) {
+      }
+      if (writer.PingHealth().health != server::kHealthDegraded) {
+        ++mismatches;
+      }
+    }
+
+    // Oracle for the degraded state: singleton batches over the frozen set.
+    std::vector<core::QueryResult> expected;
+    std::vector<uint64_t> expected_counts;
+    for (const geo::Polygon& poly : env.neighborhoods) {
+      core::QueryBatch qb;
+      qb.polygons = {&poly};
+      qb.request = &req;
+      expected.push_back(set.ExecuteBatch(qb, nullptr).front());
+      expected_counts.push_back(set.Count(poly));
+    }
+
+    // Closed-loop warmup on the degraded server, then offer ~70% of it.
+    uint64_t interval_ns = 0;
+    {
+      const size_t warm = std::max<size_t>(20, per_client / 10);
+      std::atomic<uint64_t> done{0};
+      const uint64_t w0 = NowNanos();
+      std::vector<std::thread> workers;
+      for (size_t t = 0; t < clients; ++t) {
+        workers.emplace_back([&, t] {
+          server::Client client = server::Client::Connect(server.port());
+          std::mt19937_64 rng(23 + t);
+          for (size_t i = 0; i < warm; ++i) {
+            const size_t p = rng() % env.neighborhoods.size();
+            (void)client.Select(env.neighborhoods[p], req);
+            done.fetch_add(1);
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      const double warm_qps = static_cast<double>(done.load()) * 1e9 /
+                              static_cast<double>(NowNanos() - w0);
+      const double per_thread_qps =
+          std::max(1.0, 0.70 * warm_qps / static_cast<double>(clients));
+      interval_ns = static_cast<uint64_t>(1e9 / per_thread_qps);
+    }
+    degraded = OpenLoopPhase(
+        server.port(), clients, per_client, interval_ns, &mismatches,
+        [&](size_t t, size_t i, server::Client& client) {
+          std::mt19937_64 rng(t * 3'000'017 + i);
+          const size_t p = rng() % env.neighborhoods.size();
+          if (i % 16 == 15) {  // updates must be refused, typed
+            try {
+              (void)client.Update(MakeInCellBatch(env.data, kDefaultLevel, 4,
+                                                  t * 7'000'003 + i));
+              return false;
+            } catch (const server::ServerError& e) {
+              return e.status == server::Status::kReadOnly;
+            }
+          }
+          if (i % 8 == 7) {
+            return client.Count(env.neighborhoods[p]) == expected_counts[p];
+          }
+          const core::QueryResult got =
+              client.Select(env.neighborhoods[p], req);
+          return got.count == expected[p].count &&
+                 got.values == expected[p].values;
+        });
+    server.Stop();
+    ::unlink(wal_path.c_str());
+    std::printf(
+        "degraded (WAL dead, read-only): %.0f qps, p99 %.1f us, "
+        "read_only_rejected: %llu\n",
+        degraded.qps, degraded.p99_us,
+        static_cast<unsigned long long>(server.stats().read_only_rejected));
+  }
+
   std::printf("hardware threads: %u, shards: %zu, requests/client: %zu\n",
               std::thread::hardware_concurrency(), kShards, per_client);
   std::printf("kernel dispatch: %s, pool type: %s\n",
@@ -319,6 +440,11 @@ void Run() {
        << "  \"requests_per_client\": " << per_client << ",\n"
        << "  \"update_tuples_per_frame\": " << kUpdateTuples << ",\n"
        << "  \"mismatches\": " << mismatches << ",\n"
+       << "  \"degraded\": {\"read_qps\": " << degraded.qps
+       << ", \"p50_us\": " << degraded.p50_us
+       << ", \"p99_us\": " << degraded.p99_us
+       << ", \"p999_us\": " << degraded.p999_us
+       << ", \"acked_tuples_before_fault\": " << degraded_acked << "},\n"
        << "  \"results\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -26,7 +26,8 @@ BlockSet::BlockSet(BlockSet&& other) noexcept
       dataset_attached_(other.dataset_attached_),
       log_(other.log_),
       change_number_(
-          other.change_number_.load(std::memory_order_relaxed)) {
+          other.change_number_.load(std::memory_order_relaxed)),
+      read_only_(other.read_only_.load(std::memory_order_relaxed)) {
   other.log_ = nullptr;
 }
 
@@ -48,6 +49,8 @@ BlockSet& BlockSet::operator=(BlockSet&& other) noexcept {
   other.log_ = nullptr;
   change_number_.store(other.change_number_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+  read_only_.store(other.read_only_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   return *this;
 }
 
@@ -323,6 +326,12 @@ BlockSet::SetUpdateResult BlockSet::ApplyBatchUpdate(
     return result;
   }
 
+  // Fault containment: a set whose log died is degraded read-only, and
+  // the rejection happens HERE — before the log, before memory — so the
+  // caller knows the batch was definitely not applied (unlike the
+  // unknown-outcome failure that caused the degradation).
+  if (read_only()) throw ReadOnlyError();
+
   // Durability first: with a log attached, the batch becomes a fsync'd WAL
   // record BEFORE it touches memory — Append blocks until the group
   // commits (or throws, in which case nothing was acknowledged and nothing
@@ -330,7 +339,17 @@ BlockSet::SetUpdateResult BlockSet::ApplyBatchUpdate(
   // memory.
   uint64_t cn = 0;
   if (log_ != nullptr) {
-    cn = log_->Append(batch);
+    try {
+      cn = log_->Append(batch);
+    } catch (...) {
+      // The log is dead (fsync error, ENOSPC, EIO, injected crash) and is
+      // never retried: flip the set into sticky degraded read-only mode.
+      // This in-flight batch still propagates the original unknown-outcome
+      // error — it may or may not be durable — while every later update is
+      // fenced off with the typed ReadOnlyError above. Reads are untouched.
+      if (log_->failed()) EnterReadOnly();
+      throw;
+    }
   }
 
   SetUpdateResult result = CommitRouted(batch, pool);

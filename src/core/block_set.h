@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,18 @@ class UpdateLog;
 }  // namespace geoblocks::io
 
 namespace geoblocks::core {
+
+/// Thrown by ApplyBatchUpdate once the set is in degraded read-only mode:
+/// the batch was rejected BEFORE any durability or memory step, so the
+/// caller knows it was definitely not applied (safe to retry against a
+/// healthy replica, unlike the unknown-outcome failure that caused the
+/// degradation). See docs/ARCHITECTURE.md §Failure containment.
+struct ReadOnlyError : std::runtime_error {
+  ReadOnlyError()
+      : std::runtime_error(
+            "geoblocks: BlockSet is in degraded read-only mode (the update "
+            "log failed); updates are rejected, reads keep working") {}
+};
 
 struct BlockSetOptions {
   /// Per-shard block configuration (level + filter). The shard partitioning
@@ -322,6 +335,27 @@ class BlockSet {
 
   /// @return The attached log, or null.
   io::UpdateLog* attached_log() const { return log_; }
+
+  /// Degraded read-only mode (sticky). The set enters it when the
+  /// attached log fails — a real or injected fsync error, ENOSPC, EIO —
+  /// because after a failed fsync nothing about the durability of further
+  /// writes can be promised (and a failed fsync is never retried). In
+  /// this state every ApplyBatchUpdate throws ReadOnlyError *before*
+  /// touching the log or memory, while every read path keeps answering
+  /// from the last committed state. The only way out is recovery: reopen
+  /// the log and OpenLogged a fresh set.
+  ///
+  /// @return True once the set has entered degraded read-only mode.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Forces degraded read-only mode (sticky). Called internally when the
+  /// log dies; exposed so an operator layer (or a test) can fence writes
+  /// explicitly — e.g. on an external low-disk signal.
+  void EnterReadOnly() {
+    read_only_.store(true, std::memory_order_release);
+  }
 
   /// The set's committed change number: the change number of the last
   /// batch integrated into memory (logged, replayed, or in-memory-only).
@@ -630,6 +664,9 @@ class BlockSet {
   // (persisted in the v2 manifest; the idempotency floor for replay).
   io::UpdateLog* log_ = nullptr;
   std::atomic<uint64_t> change_number_{0};
+  // Degraded read-only mode: sticky once the log fails. Not persisted —
+  // recovery reopens the log and starts healthy.
+  std::atomic<bool> read_only_{false};
 };
 
 }  // namespace geoblocks::core

@@ -109,15 +109,22 @@ void AtomicWriteFile(const std::string& path, std::string_view bytes) {
     ::unlink(tmp.c_str());
     ThrowErrno("rename failed for " + path);
   }
-  // Make the rename itself durable: sync the containing directory.
+  // Make the rename itself durable: sync the containing directory. A
+  // failed directory fsync is a durability failure like any other — the
+  // rename may not survive a crash, so the caller must NOT treat the file
+  // as durably replaced (never swallow it).
   const size_t slash = path.find_last_of('/');
   const std::string dir =
       slash == std::string::npos ? "." : path.substr(0, slash == 0 ? 1 : slash);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd >= 0) {
-    ::fsync(dfd);
+  if (dfd < 0) ThrowErrno("cannot open directory " + dir);
+  if (::fsync(dfd) != 0) {
+    const int saved_errno = errno;
     ::close(dfd);
+    errno = saved_errno;
+    ThrowErrno("directory fsync failed for " + dir);
   }
+  ::close(dfd);
 }
 
 UpdateLog::UpdateLog(std::string path, int fd, const Options& options)
@@ -226,9 +233,28 @@ void UpdateLog::WriteThroughFailPoint(std::string_view bytes) {
   if (options_.fail_point != nullptr) {
     admitted = options_.fail_point->AdmitBytes(bytes.size());
   }
-  WriteExact(fd_, append_offset_, bytes.data(),
-             static_cast<size_t>(admitted));
-  append_offset_ += admitted;
+  // The admitted prefix goes to the disk through the I/O shim, which may
+  // itself truncate it (short count — disk filling) or refuse it outright
+  // (ENOSPC/EIO). Either syscall-level failure surfaces as a thrown
+  // durability error after persisting only the prefix that went through —
+  // the same torn-tail shape a crash leaves, which is exactly what
+  // recovery already handles.
+  util::IoShim* io = options_.shim != nullptr ? options_.shim
+                                              : util::IoShim::Real();
+  size_t done = 0;
+  const auto want = static_cast<size_t>(admitted);
+  while (done < want) {
+    const ssize_t put =
+        io->Pwrite(fd_, bytes.data() + done, want - done,
+                   static_cast<off_t>(append_offset_ + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      append_offset_ += done;
+      ThrowErrno("write failed");
+    }
+    done += static_cast<size_t>(put);
+  }
+  append_offset_ += done;
   if (admitted < bytes.size()) {
     throw std::runtime_error(
         "geoblocks: update log: injected crash during write");
@@ -236,7 +262,13 @@ void UpdateLog::WriteThroughFailPoint(std::string_view bytes) {
 }
 
 void UpdateLog::SyncThroughFailPoint() {
-  if (::fsync(fd_) != 0) ThrowErrno("fsync failed for " + path_);
+  util::IoShim* io = options_.shim != nullptr ? options_.shim
+                                              : util::IoShim::Real();
+  // Policy: NEVER retry a failed fsync. After an fsync error the kernel
+  // may have dropped the dirty pages while clearing the error state, so a
+  // second fsync can return success without the data being durable
+  // (the post-fsyncgate rule). One failure kills the log permanently.
+  if (io->Fsync(fd_) != 0) ThrowErrno("fsync failed for " + path_);
   if (options_.fail_point != nullptr && !options_.fail_point->AdmitSync()) {
     throw std::runtime_error(
         "geoblocks: update log: injected crash after sync");

@@ -25,6 +25,7 @@
 
 #include "core/geoblock.h"
 #include "util/fail_point.h"
+#include "util/io_shim.h"
 
 namespace geoblocks::io {
 
@@ -78,6 +79,12 @@ class UpdateLog {
     /// admitted through this fail point (see util::FailPoint). Testing
     /// only; null in production.
     util::FailPoint* fail_point = nullptr;
+    /// Syscall fault injection: the commit path issues its pwrite/fsync
+    /// through this shim (see util::IoShim — ENOSPC, EIO, short writes).
+    /// Null uses the real syscalls. A shim-injected failure is
+    /// indistinguishable from a real one: the log dies and the owning
+    /// BlockSet enters degraded read-only mode.
+    util::IoShim* shim = nullptr;
   };
 
   /// Commit-activity counters (exact once appenders quiesce).

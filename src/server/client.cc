@@ -6,17 +6,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 namespace geoblocks::server {
 
 namespace {
 
-bool ReadFull(int fd, void* buf, size_t n) {
+bool ReadFull(util::IoShim* io, int fd, void* buf, size_t n) {
   char* p = static_cast<char*>(buf);
   while (n > 0) {
-    const ssize_t got = ::recv(fd, p, n, 0);
+    const ssize_t got = io->Recv(fd, p, n, 0);
     if (got > 0) {
       p += got;
       n -= static_cast<size_t>(got);
@@ -30,28 +34,50 @@ bool ReadFull(int fd, void* buf, size_t n) {
 
 }  // namespace
 
-Client Client::Connect(uint16_t port, const Options& options) {
+Client::Client(int fd, uint16_t port, const Options& options)
+    : fd_(fd), port_(port), options_(options) {
+  // The fence counter starts at a random 64-bit base so two clients in the
+  // same tenant cannot collide in the server's dedup window; the random
+  // draw also seeds the jitter PRNG.
+  std::random_device rd;
+  next_fence_ = (uint64_t{rd()} << 32) | rd();
+  if (next_fence_ == 0) next_fence_ = 1;
+  rng_.seed(rd());
+}
+
+int Client::Dial(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("geoblocks: client socket() failed");
+  if (fd < 0) throw TransportError("geoblocks: client socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
-    throw std::runtime_error("geoblocks: connect() failed");
+    throw TransportError("geoblocks: connect() failed");
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Client(fd, options);
+  return fd;
+}
+
+Client Client::Connect(uint16_t port, const Options& options) {
+  return Client(Dial(port), port, options);
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Client::Client(Client&& o) noexcept : fd_(o.fd_), options_(o.options_),
-                                      next_cookie_(o.next_cookie_) {
+Client::Client(Client&& o) noexcept
+    : fd_(o.fd_),
+      port_(o.port_),
+      options_(std::move(o.options_)),
+      next_cookie_(o.next_cookie_),
+      next_fence_(o.next_fence_),
+      reconnects_(o.reconnects_),
+      retries_(o.retries_),
+      rng_(o.rng_) {
   o.fd_ = -1;
 }
 
@@ -59,35 +85,42 @@ Client& Client::operator=(Client&& o) noexcept {
   if (this != &o) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = o.fd_;
-    options_ = o.options_;
+    port_ = o.port_;
+    options_ = std::move(o.options_);
     next_cookie_ = o.next_cookie_;
+    next_fence_ = o.next_fence_;
+    reconnects_ = o.reconnects_;
+    retries_ = o.retries_;
+    rng_ = o.rng_;
     o.fd_ = -1;
   }
   return *this;
 }
 
 void Client::SendBytes(std::string_view bytes) {
+  util::IoShim* io = options_.shim ? options_.shim : util::IoShim::Real();
   while (!bytes.empty()) {
-    const ssize_t put = ::send(fd_, bytes.data(), bytes.size(),
-                               MSG_NOSIGNAL);
+    const ssize_t put =
+        io->Send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (put > 0) {
       bytes.remove_prefix(static_cast<size_t>(put));
       continue;
     }
     if (put < 0 && errno == EINTR) continue;
-    throw std::runtime_error("geoblocks: client send failed");
+    throw TransportError("geoblocks: client send failed");
   }
 }
 
 bool Client::ReadResponse(Response* out) {
+  util::IoShim* io = options_.shim ? options_.shim : util::IoShim::Real();
   uint32_t frame_len = 0;
-  if (!ReadFull(fd_, &frame_len, sizeof(frame_len))) return false;
+  if (!ReadFull(io, fd_, &frame_len, sizeof(frame_len))) return false;
   if (frame_len == 0 || frame_len > options_.max_frame_bytes) {
-    throw std::runtime_error("geoblocks: oversized response frame");
+    throw TransportError("geoblocks: oversized response frame");
   }
   std::string body(frame_len, '\0');
-  if (!ReadFull(fd_, body.data(), frame_len)) {
-    throw std::runtime_error("geoblocks: torn response frame");
+  if (!ReadFull(io, fd_, body.data(), frame_len)) {
+    throw TransportError("geoblocks: torn response frame");
   }
   *out = DecodeResponse(body);
   return true;
@@ -95,29 +128,92 @@ bool Client::ReadResponse(Response* out) {
 
 void Client::ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
 
-Response Client::Call(const std::string& frame, uint64_t cookie) {
+void Client::Backoff(int attempt) {
+  const RetryPolicy& p = options_.retry;
+  double backoff = static_cast<double>(p.initial_backoff_ms) *
+                   std::pow(p.multiplier, attempt);
+  backoff = std::min(backoff, static_cast<double>(p.max_backoff_ms));
+  const double r = p.jitter_rng
+                       ? p.jitter_rng()
+                       : std::uniform_real_distribution<double>(0.0, 1.0)(
+                             rng_);
+  const double jitter = std::clamp(p.jitter, 0.0, 1.0);
+  const auto ms = static_cast<int64_t>(backoff * (1.0 - jitter * r));
+  if (p.sleep) {
+    p.sleep(ms);
+  } else if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+Response Client::CallOnce(const std::string& frame, uint64_t cookie) {
   SendBytes(frame);
   Response response;
   if (!ReadResponse(&response)) {
-    throw std::runtime_error("geoblocks: server closed the connection");
+    throw TransportError("geoblocks: server closed the connection");
   }
   if (response.cookie != cookie) {
+    // A protocol violation, not a transient fault — retrying will not
+    // un-confuse a desynchronized stream.
     throw std::runtime_error("geoblocks: response cookie mismatch");
   }
-  if (response.status != Status::kOk) throw ServerError(response.status);
   return response;
 }
 
+Response Client::Call(const std::string& frame, uint64_t cookie) {
+  const RetryPolicy& p = options_.retry;
+  int attempt = 0;
+  for (;;) {
+    try {
+      if (fd_ < 0) {
+        fd_ = Dial(port_);
+        ++reconnects_;
+      }
+      const Response response = CallOnce(frame, cookie);
+      if (response.status == Status::kOk) return response;
+      const bool transient = response.status == Status::kBusy ||
+                             response.status == Status::kTimeout;
+      if (transient && attempt + 1 < p.max_attempts) {
+        ++retries_;
+        Backoff(attempt++);
+        continue;
+      }
+      throw ServerError(response.status);
+    } catch (const TransportError&) {
+      // The connection is unusable (reset, torn frame, refused); drop it
+      // so the next attempt redials. Resending the same frame is safe:
+      // reads are idempotent and UPDATEs carry their fence.
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      if (attempt + 1 >= p.max_attempts) throw;
+      ++retries_;
+      Backoff(attempt++);
+    }
+  }
+}
+
 std::string Client::Ping(std::string_view payload) {
+  return PingHealth(payload).payload;
+}
+
+PingResult Client::PingHealth(std::string_view payload) {
   const uint64_t cookie = next_cookie_++;
-  return Call(EncodePing(options_.tenant, cookie, payload), cookie).payload;
+  const Response response =
+      Call(EncodePing(options_.tenant, cookie, payload,
+                      options_.retry.deadline_ms),
+           cookie);
+  return DecodePingResult(response.payload);
 }
 
 core::QueryResult Client::Select(const geo::Polygon& polygon,
                                  const core::AggregateRequest& request) {
   const uint64_t cookie = next_cookie_++;
   const Response response =
-      Call(EncodeSelect(options_.tenant, cookie, polygon, request), cookie);
+      Call(EncodeSelect(options_.tenant, cookie, polygon, request,
+                        options_.retry.deadline_ms),
+           cookie);
   const SelectResult wire = DecodeSelectResult(response.payload);
   core::QueryResult result;
   result.count = wire.count;
@@ -128,22 +224,32 @@ core::QueryResult Client::Select(const geo::Polygon& polygon,
 uint64_t Client::Count(const geo::Polygon& polygon) {
   const uint64_t cookie = next_cookie_++;
   const Response response =
-      Call(EncodeCount(options_.tenant, cookie, polygon), cookie);
+      Call(EncodeCount(options_.tenant, cookie, polygon,
+                       options_.retry.deadline_ms),
+           cookie);
   return DecodeCountResult(response.payload);
 }
 
 UpdateAck Client::Update(
     std::span<const core::GeoBlock::UpdateTuple> tuples) {
+  return UpdateFenced(tuples, next_fence_++);
+}
+
+UpdateAck Client::UpdateFenced(
+    std::span<const core::GeoBlock::UpdateTuple> tuples, uint64_t fence) {
   const uint64_t cookie = next_cookie_++;
   const Response response =
-      Call(EncodeUpdate(options_.tenant, cookie, tuples), cookie);
+      Call(EncodeUpdate(options_.tenant, cookie, tuples, fence,
+                        options_.retry.deadline_ms),
+           cookie);
   return DecodeUpdateAck(response.payload);
 }
 
 std::vector<std::pair<std::string, uint64_t>> Client::Stats() {
   const uint64_t cookie = next_cookie_++;
   const Response response =
-      Call(EncodeStats(options_.tenant, cookie), cookie);
+      Call(EncodeStats(options_.tenant, cookie, options_.retry.deadline_ms),
+           cookie);
   return DecodeStatsResult(response.payload);
 }
 

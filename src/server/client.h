@@ -9,8 +9,29 @@
 /// (SendBytes / ReadResponse) are the protocol-fuzzing surface — they let
 /// a test write arbitrary garbage and observe exactly how the server
 /// answers and closes.
+///
+/// ## Retries (docs/PROTOCOL.md §Retries)
+///
+/// With `Options::retry.max_attempts > 1` the typed calls absorb transient
+/// failures instead of surfacing them: kBusy and kTimeout responses are
+/// retried after exponential backoff with jitter, and transport failures
+/// (connection refused/reset, torn response, server-closed socket) trigger
+/// a reconnect to the same port before the next attempt. Retried UPDATEs
+/// are safe because every UPDATE carries a fence — a client-unique
+/// idempotence token the server remembers with the acknowledgment it
+/// earned — so a retry whose original was applied (but whose ack was lost
+/// in transit) is answered from the server's window, never applied twice.
+/// Statuses that retrying cannot fix (kThrottled, kGreylisted, kReadOnly,
+/// kInternal, kMalformed, ...) throw immediately: kReadOnly means the
+/// server is degraded and will stay so until operator recovery, and
+/// kInternal means the outcome is UNKNOWN — blind retry of an UNKNOWN
+/// outcome is exactly what the fence exists to make safe, but the policy
+/// still refuses it by default because the server's dedup window does not
+/// survive a restart.
 
 #include <cstdint>
+#include <functional>
+#include <random>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -22,11 +43,13 @@
 #include "core/geoblock.h"
 #include "geo/polygon.h"
 #include "server/protocol.h"
+#include "util/io_shim.h"
 
 namespace geoblocks::server {
 
 /// Thrown by the typed calls when the server answers a non-OK status
-/// (kBusy, kThrottled, kGreylisted, kInternal, ...).
+/// (kBusy, kThrottled, kGreylisted, kInternal, ...) that the retry policy
+/// does not absorb.
 struct ServerError : std::runtime_error {
   explicit ServerError(Status s)
       : std::runtime_error("geoblocks: server answered " +
@@ -35,16 +58,52 @@ struct ServerError : std::runtime_error {
   Status status;
 };
 
+/// Thrown when the transport fails (send/recv error, torn frame, server
+/// closed the connection, reconnect refused). A subclass of runtime_error
+/// so pre-retry callers that caught runtime_error keep working.
+struct TransportError : std::runtime_error {
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// How the typed calls retry. The zero-argument default (max_attempts 1)
+/// is "no retries" — the pre-v2 behavior.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying.
+  int max_attempts = 1;
+  /// Backoff before retry k (0-based) is
+  /// min(initial_backoff_ms * multiplier^k, max_backoff_ms), then jittered
+  /// down by up to `jitter` of itself — full-jitter-style decorrelation so
+  /// a burst of rejected clients does not re-converge on the server in
+  /// lockstep.
+  int64_t initial_backoff_ms = 10;
+  int64_t max_backoff_ms = 1000;
+  double multiplier = 2.0;
+  double jitter = 0.5;  ///< in [0, 1]: sleep in [b*(1-jitter), b]
+  /// Stamped into every request's v2 deadline header field (the server
+  /// answers kTimeout instead of executing late); 0 = no deadline.
+  uint32_t deadline_ms = 0;
+  /// Injectable sleeper (ms). Null sleeps for real; tests inject a
+  /// recording no-op so the fast tier never blocks.
+  std::function<void(int64_t)> sleep;
+  /// Injectable jitter source returning [0, 1). Null uses a seeded PRNG.
+  std::function<double()> jitter_rng;
+};
+
 /// A blocking TCP client. Move-only; the socket closes on destruction.
 class Client {
  public:
   struct Options {
     uint32_t tenant = 0;  ///< tenant id stamped on every request
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    RetryPolicy retry;    ///< default: no retries
+    /// Syscall fault injection for the client's send/recv (connection-loss
+    /// chaos in tests). Null uses the real syscalls.
+    util::IoShim* shim = nullptr;
   };
 
   /// Connects to 127.0.0.1:`port`.
-  /// @throws std::runtime_error when the connection fails.
+  /// @throws TransportError when the connection fails.
   static Client Connect(uint16_t port, const Options& options);
   /// Connect with default Options (an overload: a default argument cannot
   /// use the nested aggregate's member initializers inside the class).
@@ -57,8 +116,12 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Health check; the server echoes `payload`.
-  /// @return The echoed payload.
+  /// @return The echoed payload (the v2 health byte is stripped — see
+  ///     PingHealth for it).
   std::string Ping(std::string_view payload = {});
+
+  /// Health check returning the server's health byte alongside the echo.
+  PingResult PingHealth(std::string_view payload = {});
 
   /// SELECT. Doubles round-trip bit-identically, so the result can be
   /// compared `==` against a direct BlockSet::Select.
@@ -71,10 +134,18 @@ class Client {
   uint64_t Count(const geo::Polygon& polygon);
 
   /// UPDATE. An OK return means the batch is durable when the server has
-  /// a WAL attached (persist-first carried through the wire).
+  /// a WAL attached (persist-first carried through the wire). Stamps a
+  /// fresh client-unique fence; retries of this call reuse it, so the
+  /// server never applies one logical UPDATE twice.
   /// @throws ServerError on a non-OK status — kInternal means the outcome
-  ///     is UNKNOWN (the server's log died); only an OK is an ack.
+  ///     is UNKNOWN (the server's log died); kReadOnly means the server is
+  ///     degraded read-only and the update was definitely NOT applied.
   UpdateAck Update(std::span<const core::GeoBlock::UpdateTuple> tuples);
+
+  /// UPDATE with a caller-chosen fence (0 = unfenced). The idempotence
+  /// test surface: two calls with the same fence are one logical update.
+  UpdateAck UpdateFenced(std::span<const core::GeoBlock::UpdateTuple> tuples,
+                         uint64_t fence);
 
   /// STATS: the server's counters plus per-tenant audit counters.
   std::vector<std::pair<std::string, uint64_t>> Stats();
@@ -82,13 +153,13 @@ class Client {
   // -- Raw access (protocol tests) -----------------------------------------
 
   /// Writes raw bytes to the socket (no framing added).
-  /// @throws std::runtime_error on a write error.
+  /// @throws TransportError on a write error.
   void SendBytes(std::string_view bytes);
 
   /// Reads one response frame.
   /// @param out Receives the decoded response.
   /// @return False on clean EOF (the server closed the connection).
-  /// @throws std::runtime_error on a torn frame or an oversized length.
+  /// @throws TransportError on a torn frame or an oversized length.
   bool ReadResponse(Response* out);
 
   /// Half-closes the write side (the server's reader sees EOF).
@@ -97,17 +168,36 @@ class Client {
   /// @return The socket fd (tests only).
   int fd() const { return fd_; }
 
- private:
-  explicit Client(int fd, const Options& options)
-      : fd_(fd), options_(options) {}
+  /// @return How many reconnects the retry layer performed (tests).
+  uint64_t reconnects() const { return reconnects_; }
+  /// @return How many request attempts were retried (tests).
+  uint64_t retries() const { return retries_; }
 
-  /// Sends `frame` and blocks for the response with `cookie`; throws
-  /// ServerError on a non-OK status.
+ private:
+  Client(int fd, uint16_t port, const Options& options);
+
+  /// Dials 127.0.0.1:`port`; @throws TransportError on failure.
+  static int Dial(uint16_t port);
+
+  /// Sends `frame` and blocks for the response with `cookie`, retrying
+  /// per Options::retry (backoff on kBusy/kTimeout, reconnect + resend on
+  /// transport failure); throws ServerError on a terminal non-OK status.
   Response Call(const std::string& frame, uint64_t cookie);
 
+  /// One send + receive attempt; @throws TransportError on failure.
+  Response CallOnce(const std::string& frame, uint64_t cookie);
+
+  /// Sleeps the jittered backoff for 0-based retry `attempt`.
+  void Backoff(int attempt);
+
   int fd_ = -1;
+  uint16_t port_ = 0;  ///< reconnect target
   Options options_;
   uint64_t next_cookie_ = 1;
+  uint64_t next_fence_ = 0;  ///< client-unique fence counter (random base)
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
+  std::minstd_rand rng_;  ///< default jitter source
 };
 
 }  // namespace geoblocks::server

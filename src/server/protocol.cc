@@ -107,12 +107,14 @@ geo::Polygon GetPolygon(Cursor* in) {
   return polygon;
 }
 
-std::string RequestBody(Opcode opcode, uint32_t tenant, uint64_t cookie) {
+std::string RequestBody(Opcode opcode, uint32_t tenant, uint64_t cookie,
+                        uint32_t deadline_ms) {
   std::string body;
   Put<uint8_t>(&body, kProtocolVersion);
   Put<uint8_t>(&body, static_cast<uint8_t>(opcode));
   Put<uint32_t>(&body, tenant);
   Put<uint64_t>(&body, cookie);
+  Put<uint32_t>(&body, deadline_ms);
   return body;
 }
 
@@ -135,6 +137,8 @@ std::string_view ToString(Status s) {
     case Status::kUnsupported: return "unsupported";
     case Status::kShuttingDown: return "shutting_down";
     case Status::kInternal: return "internal";
+    case Status::kReadOnly: return "read_only";
+    case Status::kTimeout: return "timeout";
   }
   return "unknown";
 }
@@ -145,16 +149,17 @@ void AppendFrame(std::string* out, std::string_view body) {
 }
 
 std::string EncodePing(uint32_t tenant, uint64_t cookie,
-                       std::string_view payload) {
-  std::string body = RequestBody(Opcode::kPing, tenant, cookie);
+                       std::string_view payload, uint32_t deadline_ms) {
+  std::string body = RequestBody(Opcode::kPing, tenant, cookie, deadline_ms);
   body.append(payload);
   return Framed(body);
 }
 
 std::string EncodeSelect(uint32_t tenant, uint64_t cookie,
                          const geo::Polygon& polygon,
-                         const core::AggregateRequest& request) {
-  std::string body = RequestBody(Opcode::kSelect, tenant, cookie);
+                         const core::AggregateRequest& request,
+                         uint32_t deadline_ms) {
+  std::string body = RequestBody(Opcode::kSelect, tenant, cookie, deadline_ms);
   PutPolygon(&body, polygon);
   Put<uint16_t>(&body, static_cast<uint16_t>(request.size()));
   for (const core::AggSpec& spec : request.specs()) {
@@ -165,15 +170,17 @@ std::string EncodeSelect(uint32_t tenant, uint64_t cookie,
 }
 
 std::string EncodeCount(uint32_t tenant, uint64_t cookie,
-                        const geo::Polygon& polygon) {
-  std::string body = RequestBody(Opcode::kCount, tenant, cookie);
+                        const geo::Polygon& polygon, uint32_t deadline_ms) {
+  std::string body = RequestBody(Opcode::kCount, tenant, cookie, deadline_ms);
   PutPolygon(&body, polygon);
   return Framed(body);
 }
 
 std::string EncodeUpdate(uint32_t tenant, uint64_t cookie,
-                         std::span<const core::GeoBlock::UpdateTuple> tuples) {
-  std::string body = RequestBody(Opcode::kUpdate, tenant, cookie);
+                         std::span<const core::GeoBlock::UpdateTuple> tuples,
+                         uint64_t fence, uint32_t deadline_ms) {
+  std::string body = RequestBody(Opcode::kUpdate, tenant, cookie, deadline_ms);
+  Put<uint64_t>(&body, fence);
   Put<uint32_t>(&body, static_cast<uint32_t>(tuples.size()));
   // Same per-tuple layout as core/serialize EncodeUpdateTuples (f64 x,
   // f64 y, u32 value_count, values), written directly so the client does
@@ -187,8 +194,9 @@ std::string EncodeUpdate(uint32_t tenant, uint64_t cookie,
   return Framed(body);
 }
 
-std::string EncodeStats(uint32_t tenant, uint64_t cookie) {
-  return Framed(RequestBody(Opcode::kStats, tenant, cookie));
+std::string EncodeStats(uint32_t tenant, uint64_t cookie,
+                        uint32_t deadline_ms) {
+  return Framed(RequestBody(Opcode::kStats, tenant, cookie, deadline_ms));
 }
 
 std::string EncodeResponse(Status status, uint64_t cookie,
@@ -238,13 +246,19 @@ Request DecodeRequest(std::string_view body) {
   Cursor in(body);
   Request request;
   request.header.version = in.Get<uint8_t>();
-  if (request.header.version != kProtocolVersion) {
+  if (request.header.version < kMinProtocolVersion ||
+      request.header.version > kProtocolVersion) {
     throw ProtocolError(Status::kUnsupported,
                         "geoblocks: unsupported protocol version");
   }
   const uint8_t opcode = in.Get<uint8_t>();
   request.header.tenant = in.Get<uint32_t>();
   request.header.cookie = in.Get<uint64_t>();
+  // Version 2 appended the deadline to the header; a v1 request has none
+  // (deadline_ms stays 0 = no deadline).
+  if (request.header.version >= 2) {
+    request.header.deadline_ms = in.Get<uint32_t>();
+  }
   switch (opcode) {
     case static_cast<uint8_t>(Opcode::kPing):
       request.header.opcode = Opcode::kPing;
@@ -285,6 +299,11 @@ Request DecodeRequest(std::string_view body) {
       break;
     case static_cast<uint8_t>(Opcode::kUpdate): {
       request.header.opcode = Opcode::kUpdate;
+      // Version 2 leads the UPDATE payload with the idempotence fence; a
+      // v1 UPDATE is always unfenced (fence 0).
+      if (request.header.version >= 2) {
+        request.update_fence = in.Get<uint64_t>();
+      }
       const uint32_t num_tuples = in.Get<uint32_t>();
       if (num_tuples == 0 || num_tuples > kMaxUpdateTuples) {
         throw ProtocolError(Status::kMalformed,
@@ -328,12 +347,12 @@ Request DecodeRequest(std::string_view body) {
 Response DecodeResponse(std::string_view body) {
   Cursor in(body);
   const uint8_t version = in.Get<uint8_t>();
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw ProtocolError(Status::kMalformed,
                         "geoblocks: unsupported response version");
   }
   const uint8_t status = in.Get<uint8_t>();
-  if (status > static_cast<uint8_t>(Status::kInternal)) {
+  if (status > static_cast<uint8_t>(Status::kTimeout)) {
     throw ProtocolError(Status::kMalformed,
                         "geoblocks: unknown response status");
   }
@@ -342,6 +361,14 @@ Response DecodeResponse(std::string_view body) {
   response.cookie = in.Get<uint64_t>();
   response.payload = std::string(in.GetBytes(in.remaining()));
   return response;
+}
+
+PingResult DecodePingResult(std::string_view payload) {
+  Cursor in(payload);
+  PingResult result;
+  result.health = in.Get<uint8_t>();
+  result.payload = std::string(in.GetBytes(in.remaining()));
+  return result;
 }
 
 SelectResult DecodeSelectResult(std::string_view payload) {

@@ -12,13 +12,24 @@
 ///
 /// Framing: every message is a `u32 body_len` prefix followed by `body_len`
 /// bytes of body, little-endian like every other format in the repo
-/// (core/serialize.h). A request body is
+/// (core/serialize.h). A version-2 request body is
 ///
-///   u8 version | u8 opcode | u32 tenant | u64 cookie | payload
+///   u8 version | u8 opcode | u32 tenant | u64 cookie | u32 deadline_ms |
+///   payload
 ///
-/// and a response body is
+/// (version 1 omitted `deadline_ms`; the decoder still accepts it — see
+/// kMinProtocolVersion) and a response body is
 ///
 ///   u8 version | u8 status | u64 cookie | payload
+///
+/// `deadline_ms` is the request's time budget, counted from the moment the
+/// server reads the frame: a request still queued when its budget expires
+/// is answered kTimeout instead of being executed (dead work is dropped,
+/// not served late). 0 means no deadline. Version 2 also prefixes the
+/// UPDATE payload with a `u64 fence` — a client-chosen idempotence token
+/// the server remembers, so a retried UPDATE whose first ack was lost in
+/// transit is answered from the recorded acknowledgment instead of being
+/// applied twice (docs/PROTOCOL.md §Retries).
 ///
 /// The cookie is an opaque client-chosen request identifier echoed verbatim
 /// in the response: responses to pipelined requests on one connection may
@@ -47,9 +58,19 @@ namespace geoblocks::server {
 /// Versioning policy (docs/PROTOCOL.md §Versioning): additions arrive as
 /// new opcodes under the same version — an old server answers them with
 /// kUnsupported, which a client must treat as "feature absent", never as a
-/// transport error; layout changes to existing messages bump the version,
-/// and a server speaks exactly one version.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// transport error; layout changes to existing messages bump the version.
+/// Version 2 added the request deadline, the UPDATE fence, and the PING
+/// health byte.
+inline constexpr uint8_t kProtocolVersion = 2;
+/// Oldest request version the decoder still accepts. A v1 request (no
+/// deadline field, no UPDATE fence) decodes with deadline_ms = 0 and
+/// fence = 0 — old clients keep working against a v2 server.
+inline constexpr uint8_t kMinProtocolVersion = 1;
+
+/// PING health byte values (v2 PING responses lead with one; see
+/// docs/PROTOCOL.md §PING).
+inline constexpr uint8_t kHealthOk = 0;
+inline constexpr uint8_t kHealthDegraded = 1;  ///< read-only; WAL failed
 
 /// Default cap on one frame's body. The server refuses larger length
 /// prefixes before allocating (status kTooLarge), so a hostile 4 GiB
@@ -89,6 +110,8 @@ enum class Status : uint8_t {
   kUnsupported = 6,   ///< unknown version or opcode; closed
   kShuttingDown = 7,  ///< server draining; no new work admitted
   kInternal = 8,      ///< execution failed (e.g. dead WAL) — NOT acknowledged
+  kReadOnly = 9,      ///< degraded read-only mode; update NOT applied, reads OK
+  kTimeout = 10,      ///< request deadline expired before execution; dropped
 };
 
 /// @return A stable lower-case name for `s` (logs, tests, error messages).
@@ -102,12 +125,17 @@ struct ProtocolError : std::runtime_error {
   Status status;
 };
 
-/// The fixed 14-byte request header every request body starts with.
+/// The fixed request header every request body starts with: 18 bytes in
+/// version 2, 14 in version 1 (no deadline). The cookie sits at byte
+/// offset 6 in both versions, so the server's best-effort cookie recovery
+/// for malformed frames works regardless of version.
 struct RequestHeader {
   uint8_t version = kProtocolVersion;
   Opcode opcode = Opcode::kPing;
   uint32_t tenant = 0;
   uint64_t cookie = 0;
+  /// Time budget in milliseconds from frame arrival; 0 = none (v1 always 0).
+  uint32_t deadline_ms = 0;
 };
 
 /// A fully decoded request: the header plus whichever payload fields the
@@ -117,6 +145,8 @@ struct Request {
   geo::Polygon polygon;                              ///< kSelect, kCount
   core::AggregateRequest aggregates;                 ///< kSelect
   std::vector<core::GeoBlock::UpdateTuple> tuples;   ///< kUpdate
+  /// kUpdate idempotence token (0 = unfenced; v1 always 0). See §Retries.
+  uint64_t update_fence = 0;
   std::string ping_payload;                          ///< kPing
 };
 
@@ -151,19 +181,23 @@ void AppendFrame(std::string* out, std::string_view body);
 
 /// @return The framed PING request (payload echoed by the server).
 std::string EncodePing(uint32_t tenant, uint64_t cookie,
-                       std::string_view payload);
+                       std::string_view payload, uint32_t deadline_ms = 0);
 /// @return The framed SELECT request.
 std::string EncodeSelect(uint32_t tenant, uint64_t cookie,
                          const geo::Polygon& polygon,
-                         const core::AggregateRequest& request);
+                         const core::AggregateRequest& request,
+                         uint32_t deadline_ms = 0);
 /// @return The framed COUNT request.
 std::string EncodeCount(uint32_t tenant, uint64_t cookie,
-                        const geo::Polygon& polygon);
-/// @return The framed UPDATE request.
+                        const geo::Polygon& polygon, uint32_t deadline_ms = 0);
+/// @return The framed UPDATE request. `fence` is the idempotence token
+///     (0 = unfenced); a retried UPDATE must reuse the original fence.
 std::string EncodeUpdate(uint32_t tenant, uint64_t cookie,
-                         std::span<const core::GeoBlock::UpdateTuple> tuples);
+                         std::span<const core::GeoBlock::UpdateTuple> tuples,
+                         uint64_t fence = 0, uint32_t deadline_ms = 0);
 /// @return The framed STATS request (empty payload).
-std::string EncodeStats(uint32_t tenant, uint64_t cookie);
+std::string EncodeStats(uint32_t tenant, uint64_t cookie,
+                        uint32_t deadline_ms = 0);
 
 /// @return The framed response `u8 version | u8 status | u64 cookie |
 ///     payload`.
@@ -200,6 +234,17 @@ Request DecodeRequest(std::string_view body);
 ///     typed helpers below once the status is kOk).
 /// @throws ProtocolError (kMalformed) on truncation or a bad version.
 Response DecodeResponse(std::string_view body);
+
+/// A decoded v2 PING OK payload: the health byte plus the echoed bytes.
+struct PingResult {
+  uint8_t health = kHealthOk;  ///< kHealthOk or kHealthDegraded
+  std::string payload;         ///< the request payload, echoed verbatim
+};
+
+/// Decodes a v2 PING OK payload (u8 health | echo). A v1 PING response is
+/// a bare echo — decode it by reading the payload directly, not with this.
+/// @throws ProtocolError (kMalformed) on truncation (empty payload).
+PingResult DecodePingResult(std::string_view payload);
 
 /// @throws ProtocolError (kMalformed) on truncation or trailing bytes.
 SelectResult DecodeSelectResult(std::string_view payload);

@@ -3,12 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <utility>
@@ -17,36 +21,79 @@ namespace geoblocks::server {
 
 namespace {
 
-/// Reads exactly `n` bytes. False on EOF, a read error, or a shutdown —
-/// all of which mean "this connection is done".
-bool ReadFull(int fd, void* buf, size_t n) {
+/// Outcome of a deadline-bounded exact read/write.
+enum class IoStatus {
+  kOk,       ///< all bytes transferred
+  kClosed,   ///< EOF, error, or shutdown — the connection is done
+  kTimeout,  ///< the budget elapsed with the transfer incomplete (reap)
+};
+
+/// Waits for `events` on `fd` within the remaining budget. `timeout_ms`
+/// <= 0 means no deadline (block in the syscall instead). Returns kOk when
+/// the fd is ready, kTimeout when the budget ran out, kClosed on a poll
+/// error.
+IoStatus AwaitReady(int fd, short events, int64_t timeout_ms,
+                    std::chrono::steady_clock::time_point start) {
+  if (timeout_ms <= 0) return IoStatus::kOk;
+  const int64_t elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  const int64_t left = timeout_ms - elapsed;
+  if (left <= 0) return IoStatus::kTimeout;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int rc = ::poll(
+      &pfd, 1,
+      static_cast<int>(std::min<int64_t>(
+          left, std::numeric_limits<int>::max())));
+  if (rc == 0) return IoStatus::kTimeout;
+  if (rc < 0 && errno != EINTR) return IoStatus::kClosed;
+  return IoStatus::kOk;  // ready (POLLIN/POLLHUP/POLLERR all wake the recv)
+}
+
+/// Reads exactly `n` bytes, polling with `timeout_ms` as the total budget
+/// (0 = block forever — the pre-deadline behavior). kClosed covers EOF,
+/// read errors, and shutdown — all of which mean "this connection is
+/// done"; kTimeout means the peer stalled and must be reaped.
+IoStatus ReadFull(util::IoShim* io, int fd, void* buf, size_t n,
+                  int64_t timeout_ms) {
   char* p = static_cast<char*>(buf);
+  const auto start = std::chrono::steady_clock::now();
   while (n > 0) {
-    const ssize_t got = ::recv(fd, p, n, 0);
+    const IoStatus ready = AwaitReady(fd, POLLIN, timeout_ms, start);
+    if (ready != IoStatus::kOk) return ready;
+    const ssize_t got = io->Recv(fd, p, n, 0);
     if (got > 0) {
       p += got;
       n -= static_cast<size_t>(got);
       continue;
     }
     if (got < 0 && errno == EINTR) continue;
-    return false;
+    return IoStatus::kClosed;
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-/// Writes all of `data`; false on error (peer gone). MSG_NOSIGNAL keeps a
-/// dead peer from killing the process with SIGPIPE.
-bool WriteFull(int fd, std::string_view data) {
+/// Writes all of `data` within `timeout_ms` (0 = no deadline). kTimeout
+/// means the peer stopped draining its receive window. MSG_NOSIGNAL keeps
+/// a dead peer from killing the process with SIGPIPE.
+IoStatus WriteFull(util::IoShim* io, int fd, std::string_view data,
+                   int64_t timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
   while (!data.empty()) {
-    const ssize_t put = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    const IoStatus ready = AwaitReady(fd, POLLOUT, timeout_ms, start);
+    if (ready != IoStatus::kOk) return ready;
+    const ssize_t put =
+        io->Send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (put > 0) {
       data.remove_prefix(static_cast<size_t>(put));
       continue;
     }
     if (put < 0 && errno == EINTR) continue;
-    return false;
+    return IoStatus::kClosed;
   }
-  return true;
+  return IoStatus::kOk;
 }
 
 }  // namespace
@@ -199,10 +246,21 @@ void QueryServer::AcceptLoop() {
 }
 
 void QueryServer::ReadLoop(std::shared_ptr<Connection> conn) {
+  util::IoShim* io = options_.shim ? options_.shim : util::IoShim::Real();
   std::string body;
   for (;;) {
+    // The length prefix waits on the (long) idle budget — between frames a
+    // quiet peer is legitimate. Once a frame has started, its body runs on
+    // the (tight) read budget: a half-written frame is a stall, and the
+    // connection is reaped rather than parking this reader forever.
     uint32_t frame_len = 0;
-    if (!ReadFull(conn->fd, &frame_len, sizeof(frame_len))) break;
+    IoStatus s = ReadFull(io, conn->fd, &frame_len, sizeof(frame_len),
+                          options_.idle_timeout_ms);
+    if (s == IoStatus::kTimeout) {
+      connections_reaped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (s != IoStatus::kOk) break;
     frames_received_.fetch_add(1, std::memory_order_relaxed);
     if (frame_len == 0 || frame_len > options_.max_frame_bytes) {
       // Refuse before allocating or reading — a hostile 4 GiB prefix is
@@ -212,7 +270,13 @@ void QueryServer::ReadLoop(std::shared_ptr<Connection> conn) {
       break;
     }
     body.resize(frame_len);
-    if (!ReadFull(conn->fd, body.data(), frame_len)) break;  // torn frame
+    s = ReadFull(io, conn->fd, body.data(), frame_len,
+                 options_.read_timeout_ms);
+    if (s == IoStatus::kTimeout) {
+      connections_reaped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (s != IoStatus::kOk) break;  // torn frame
 
     Request request;
     try {
@@ -257,9 +321,21 @@ bool QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
   const uint32_t tenant = request.header.tenant;
   const uint64_t cookie = request.header.cookie;
   switch (request.header.opcode) {
-    case Opcode::kPing:
-      WriteResponse(conn, Status::kOk, cookie, request.ping_payload);
+    case Opcode::kPing: {
+      // A v2 PING reports health (ok | degraded) as the payload's first
+      // byte, then the echo; a v1 PING stays a pure echo. Health must work
+      // in degraded mode — that is the point of degraded mode.
+      if (request.header.version >= 2) {
+        std::string payload;
+        payload.push_back(static_cast<char>(
+            set_->read_only() ? kHealthDegraded : kHealthOk));
+        payload.append(request.ping_payload);
+        WriteResponse(conn, Status::kOk, cookie, payload);
+      } else {
+        WriteResponse(conn, Status::kOk, cookie, request.ping_payload);
+      }
       return true;
+    }
     case Opcode::kStats:
       WriteResponse(conn, Status::kOk, cookie,
                     EncodeStatsResult(BuildStats()));
@@ -272,6 +348,14 @@ bool QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
     malformed_frames_.fetch_add(1, std::memory_order_relaxed);
     WriteResponse(conn, Status::kMalformed, cookie, {});
     return false;  // schema-invalid requests close the connection
+  }
+  if (request.header.opcode == Opcode::kUpdate && set_->read_only()) {
+    // Degraded read-only mode: reject before QoS and admission so a dead
+    // WAL costs updaters one typed response, not queue slots or tenant
+    // budget. Reads flow on untouched.
+    read_only_rejected_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, Status::kReadOnly, cookie, {});
+    return true;
   }
   if (draining_.load()) {
     WriteResponse(conn, Status::kShuttingDown, cookie, {});
@@ -296,6 +380,11 @@ bool QueryServer::Dispatch(const std::shared_ptr<Connection>& conn,
   pending.polygon = std::move(request.polygon);
   pending.aggregates = std::move(request.aggregates);
   pending.tuples = std::move(request.tuples);
+  pending.fence = request.update_fence;
+  if (request.header.deadline_ms > 0) {
+    pending.deadline_at_ms =
+        NowMs() + static_cast<int64_t>(request.header.deadline_ms);
+  }
   pending.inflight_token = Connection::InflightToken(conn);
   if (!queue_.TryPush(std::move(pending))) {
     // Typed backpressure: the request was NOT admitted (never a silent
@@ -318,6 +407,21 @@ void QueryServer::BatchLoop() {
 }
 
 void QueryServer::ExecuteEpoch(std::vector<PendingRequest>& batch) {
+  // Expired requests are answered kTimeout and never executed: by its own
+  // declaration nobody is waiting for the result, so executing it would
+  // spend engine time on dead work (and a late response is worse than a
+  // typed timeout to a client that already gave up).
+  const int64_t now_ms = NowMs();
+  std::vector<char> expired(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline_at_ms != 0 && now_ms >= batch[i].deadline_at_ms) {
+      expired[i] = 1;
+      requests_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      governor_.RecordCompleted(batch[i].tenant);
+      WriteResponse(batch[i].conn, Status::kTimeout, batch[i].cookie, {});
+    }
+  }
+
   std::vector<size_t> count_idx;
   std::vector<size_t> update_idx;
   // SELECTs coalesce per aggregate-request signature: QueryBatch shares
@@ -325,6 +429,7 @@ void QueryServer::ExecuteEpoch(std::vector<PendingRequest>& batch) {
   // the same aggregates can ride one batch.
   std::map<std::string, std::vector<size_t>> select_groups;
   for (size_t i = 0; i < batch.size(); ++i) {
+    if (expired[i]) continue;
     switch (batch[i].opcode) {
       case Opcode::kCount:
         count_idx.push_back(i);
@@ -397,36 +502,100 @@ void QueryServer::ExecuteEpoch(std::vector<PendingRequest>& batch) {
   }
 
   if (!update_idx.empty()) {
-    // All UPDATE requests of the epoch coalesce into ONE ApplyBatchUpdate
-    // — one WAL record, one group-commit fsync, one change number shared
-    // by every acknowledgment (docs/PROTOCOL.md §UPDATE).
-    std::vector<core::GeoBlock::UpdateTuple> tuples;
-    size_t total = 0;
-    for (const size_t i : update_idx) total += batch[i].tuples.size();
-    tuples.reserve(total);
+    // Fenced-retry deduplication first: a request whose (tenant, fence) is
+    // already in the acknowledgment window is a retry of an UPDATE the
+    // server applied but whose ack the client lost — answer the recorded
+    // ack, never re-apply. A fence that duplicates a *fresh* request in
+    // this same epoch rides behind it (`dup_after`): its tuples are not
+    // coalesced, and it is answered from the window once the original
+    // commits.
+    std::vector<size_t> fresh;
+    std::vector<size_t> dup_after;
     for (const size_t i : update_idx) {
-      for (core::GeoBlock::UpdateTuple& t : batch[i].tuples) {
-        tuples.push_back(std::move(t));
+      if (batch[i].fence != 0) {
+        const auto key = std::make_pair(batch[i].tenant, batch[i].fence);
+        const auto it = update_dedup_.find(key);
+        if (it != update_dedup_.end()) {
+          update_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+          finish(batch[i], Status::kOk, EncodeUpdateAck(it->second));
+          continue;
+        }
+        bool in_epoch = false;
+        for (const size_t j : fresh) {
+          if (batch[j].tenant == batch[i].tenant &&
+              batch[j].fence == batch[i].fence) {
+            in_epoch = true;
+            break;
+          }
+        }
+        if (in_epoch) {
+          dup_after.push_back(i);
+          continue;
+        }
       }
+      fresh.push_back(i);
     }
-    try {
-      const core::BlockSet::SetUpdateResult result =
-          set_->ApplyBatchUpdate(tuples, options_.pool);
-      updates_executed_.fetch_add(update_idx.size(),
-                                  std::memory_order_relaxed);
-      update_tuples_.fetch_add(total, std::memory_order_relaxed);
-      for (const size_t i : update_idx) {
-        UpdateAck ack;
-        ack.accepted = batch[i].tuples.size();
-        ack.change_number = result.change_number;
-        finish(batch[i], Status::kOk, EncodeUpdateAck(ack));
+    if (!fresh.empty()) {
+      // All fresh UPDATE requests of the epoch coalesce into ONE
+      // ApplyBatchUpdate — one WAL record, one group-commit fsync, one
+      // change number shared by every acknowledgment (docs/PROTOCOL.md
+      // §UPDATE).
+      std::vector<core::GeoBlock::UpdateTuple> tuples;
+      size_t total = 0;
+      for (const size_t i : fresh) total += batch[i].tuples.size();
+      tuples.reserve(total);
+      for (const size_t i : fresh) {
+        for (core::GeoBlock::UpdateTuple& t : batch[i].tuples) {
+          tuples.push_back(std::move(t));
+        }
       }
-    } catch (const std::exception&) {
-      // Persist-first failed (e.g. the WAL died): the batch is NOT
-      // acknowledged. Clients must treat kInternal as "unknown outcome";
-      // recovery restores exactly the acknowledged prefix.
-      for (const size_t i : update_idx) {
-        finish(batch[i], Status::kInternal, {});
+      try {
+        const core::BlockSet::SetUpdateResult result =
+            set_->ApplyBatchUpdate(tuples, options_.pool);
+        updates_executed_.fetch_add(fresh.size(), std::memory_order_relaxed);
+        update_tuples_.fetch_add(total, std::memory_order_relaxed);
+        for (const size_t i : fresh) {
+          UpdateAck ack;
+          ack.accepted = batch[i].tuples.size();
+          ack.change_number = result.change_number;
+          if (batch[i].fence != 0) {
+            const auto key = std::make_pair(batch[i].tenant, batch[i].fence);
+            update_dedup_[key] = ack;
+            dedup_fifo_.push_back(key);
+            while (dedup_fifo_.size() > options_.update_dedup_window) {
+              update_dedup_.erase(dedup_fifo_.front());
+              dedup_fifo_.pop_front();
+            }
+          }
+          finish(batch[i], Status::kOk, EncodeUpdateAck(ack));
+        }
+        for (const size_t i : dup_after) {
+          update_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+          const auto key = std::make_pair(batch[i].tenant, batch[i].fence);
+          finish(batch[i], Status::kOk, EncodeUpdateAck(update_dedup_[key]));
+        }
+      } catch (const core::ReadOnlyError&) {
+        // The set was already read-only when the batcher got here (the
+        // dispatch-time check raced the transition): definitely NOT
+        // applied, so kReadOnly — safe for the client to retry elsewhere.
+        for (const size_t i : fresh) {
+          read_only_rejected_.fetch_add(1, std::memory_order_relaxed);
+          finish(batch[i], Status::kReadOnly, {});
+        }
+        for (const size_t i : dup_after) {
+          read_only_rejected_.fetch_add(1, std::memory_order_relaxed);
+          finish(batch[i], Status::kReadOnly, {});
+        }
+      } catch (const std::exception&) {
+        // Persist-first failed (e.g. the WAL died mid-append): the batch
+        // is NOT acknowledged, but the outcome is genuinely unknown (the
+        // record may or may not be durable). Clients must treat kInternal
+        // as "unknown outcome"; recovery restores exactly the
+        // acknowledged prefix. Follow-up UPDATEs hit the read-only path.
+        for (const size_t i : fresh) finish(batch[i], Status::kInternal, {});
+        for (const size_t i : dup_after) {
+          finish(batch[i], Status::kInternal, {});
+        }
       }
     }
   }
@@ -435,9 +604,26 @@ void QueryServer::ExecuteEpoch(std::vector<PendingRequest>& batch) {
 void QueryServer::WriteResponse(const std::shared_ptr<Connection>& conn,
                                 Status status, uint64_t cookie,
                                 std::string_view payload) {
+  util::IoShim* io = options_.shim ? options_.shim : util::IoShim::Real();
   const std::string frame = EncodeResponse(status, cookie, payload);
   std::lock_guard<std::mutex> lock(conn->write_mu);
-  (void)WriteFull(conn->fd, frame);  // peer gone == nothing to do
+  const IoStatus s =
+      WriteFull(io, conn->fd, frame, options_.write_timeout_ms);
+  if (s == IoStatus::kTimeout) {
+    // The peer stopped draining its responses: reap the connection so one
+    // stalled receiver cannot park the batcher (which writes responses for
+    // every connection) behind a full socket buffer.
+    connections_reaped_.fetch_add(1, std::memory_order_relaxed);
+    conn->Shutdown();
+  }
+  // kClosed: peer gone == nothing to do.
+}
+
+int64_t QueryServer::NowMs() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 ServerStats QueryServer::stats() const {
@@ -454,6 +640,10 @@ ServerStats QueryServer::stats() const {
   s.update_tuples = update_tuples_.load();
   s.select_groups = select_groups_.load();
   s.queue_depth = queue_.size();
+  s.connections_reaped = connections_reaped_.load();
+  s.requests_timed_out = requests_timed_out_.load();
+  s.read_only_rejected = read_only_rejected_.load();
+  s.update_dedup_hits = update_dedup_hits_.load();
   return s;
 }
 
@@ -474,6 +664,11 @@ std::vector<std::pair<std::string, uint64_t>> QueryServer::BuildStats()
       {"server.update_tuples", s.update_tuples},
       {"server.select_groups", s.select_groups},
       {"server.change_number", set_->change_number()},
+      {"server.health", set_->read_only() ? uint64_t{1} : uint64_t{0}},
+      {"server.reaped", s.connections_reaped},
+      {"server.timed_out", s.requests_timed_out},
+      {"server.read_only_rejected", s.read_only_rejected},
+      {"server.update_dedup_hits", s.update_dedup_hits},
   };
   for (const auto& [tenant, c] : governor_.Snapshot()) {
     const std::string prefix = "tenant." + std::to_string(tenant) + ".";

@@ -27,20 +27,38 @@
 /// admitted backlog, then close connections); Abort() simulates a crash
 /// (admitted-but-unanswered requests die unanswered, connections drop).
 /// See docs/ARCHITECTURE.md §Serving.
+///
+/// Fault containment (docs/ARCHITECTURE.md §Failure containment): a dead
+/// WAL no longer takes reads down with it — the BlockSet turns sticky
+/// read-only, UPDATEs are answered Status::kReadOnly without touching the
+/// engine, and SELECT / COUNT / PING / STATS keep serving (PING v2 and
+/// STATS report the degradation). Per-connection poll deadlines bound how
+/// long a stalled peer can hold a reader thread (slow-loris defense): a
+/// connection idle past `idle_timeout_ms`, or stuck mid-frame past
+/// `read_timeout_ms`, or not draining responses past `write_timeout_ms`,
+/// is reaped without affecting other connections. Requests carrying a v2
+/// deadline that expires while queued are answered Status::kTimeout
+/// instead of being executed late. Fenced UPDATE retries (protocol v2) are
+/// answered from a bounded per-server acknowledgment window so a retry
+/// whose first ack was lost is never applied twice.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/block_set.h"
 #include "server/admission_queue.h"
 #include "server/protocol.h"
 #include "server/qos.h"
+#include "util/io_shim.h"
 #include "util/thread_pool.h"
 
 namespace geoblocks::server {
@@ -65,6 +83,31 @@ struct ServerOptions {
   /// here to fill the admission queue deterministically. Null in
   /// production.
   std::function<void()> batch_hook;
+  /// Reap a connection that has been idle (no frame started) this long;
+  /// 0 disables. Idle peers are the cheap kind of stall — this bounds how
+  /// many parked reader threads they can accumulate.
+  int64_t idle_timeout_ms = 0;
+  /// Reap a connection that started a frame (length prefix arrived) but
+  /// has not delivered the rest within this budget; 0 disables. This is
+  /// the slow-loris defense: a half-written frame cannot park a reader
+  /// thread forever.
+  int64_t read_timeout_ms = 0;
+  /// Reap a connection that stops draining its responses for this long
+  /// (blocked send); 0 disables.
+  int64_t write_timeout_ms = 0;
+  /// How many fenced UPDATE acknowledgments the server remembers for
+  /// retry deduplication, across all tenants (FIFO eviction; entries are
+  /// keyed by tenant + fence). The window is in-memory only — it does not
+  /// survive a server restart (see docs/PROTOCOL.md §Retries for the
+  /// residual crash-retry caveat).
+  size_t update_dedup_window = 1024;
+  /// Injectable clock for request-deadline arithmetic, milliseconds on an
+  /// arbitrary monotone epoch. Null uses std::chrono::steady_clock. Tests
+  /// advance a fake clock to expire queued requests without real sleeps.
+  std::function<int64_t()> clock;
+  /// Syscall fault injection for the connection I/O paths (send/recv
+  /// through util::IoShim). Null uses the real syscalls. Testing only.
+  util::IoShim* shim = nullptr;
 };
 
 /// Point-in-time server counters (see QueryServer::stats and the STATS
@@ -82,6 +125,10 @@ struct ServerStats {
   uint64_t update_tuples = 0;      ///< tuples committed through the wire
   uint64_t select_groups = 0;      ///< QueryBatches formed (coalescing meter)
   uint64_t queue_depth = 0;        ///< point-in-time backlog
+  uint64_t connections_reaped = 0; ///< closed by idle/read/write deadline
+  uint64_t requests_timed_out = 0; ///< answered kTimeout (deadline expired)
+  uint64_t read_only_rejected = 0; ///< UPDATEs answered kReadOnly
+  uint64_t update_dedup_hits = 0;  ///< fenced retries answered from the window
 };
 
 /// The server. Construct over a built (or loaded) BlockSet, Start(), and
@@ -140,6 +187,8 @@ class QueryServer {
     geo::Polygon polygon;
     core::AggregateRequest aggregates;
     std::vector<core::GeoBlock::UpdateTuple> tuples;
+    uint64_t fence = 0;        ///< UPDATE idempotence token (0 = unfenced)
+    int64_t deadline_at_ms = 0;  ///< clock value the request expires at; 0=none
     /// Released when this request dies (answered or discarded); the
     /// reader's EOF path waits on it before closing the connection.
     std::shared_ptr<void> inflight_token;
@@ -166,6 +215,10 @@ class QueryServer {
 
   /// @return True when `request`'s columns fit the served schema.
   bool ValidateSchema(const Request& request) const;
+
+  /// @return The injectable clock's current value in milliseconds
+  ///     (steady_clock when no clock was injected).
+  int64_t NowMs() const;
 
   std::vector<std::pair<std::string, uint64_t>> BuildStats() const;
 
@@ -200,6 +253,19 @@ class QueryServer {
   std::atomic<uint64_t> updates_executed_{0};
   std::atomic<uint64_t> update_tuples_{0};
   std::atomic<uint64_t> select_groups_{0};
+  std::atomic<uint64_t> connections_reaped_{0};
+  std::atomic<uint64_t> requests_timed_out_{0};
+  std::atomic<uint64_t> read_only_rejected_{0};
+  std::atomic<uint64_t> update_dedup_hits_{0};
+
+  /// Fenced-UPDATE acknowledgment window: (tenant, fence) -> the ack the
+  /// original apply earned, so a retry is answered instead of re-applied.
+  /// Touched only by the batcher thread (single consumer), so no mutex;
+  /// `dedup_fifo_` bounds it to options_.update_dedup_window entries per
+  /// eviction sweep (FIFO). The stats() path reads only the atomic hit
+  /// counter, never the map.
+  std::map<std::pair<uint32_t, uint64_t>, UpdateAck> update_dedup_;
+  std::deque<std::pair<uint32_t, uint64_t>> dedup_fifo_;
 };
 
 }  // namespace geoblocks::server

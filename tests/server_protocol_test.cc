@@ -122,6 +122,71 @@ TEST(ProtocolCodec, UpdateRoundTripIsBitIdentical) {
   }
 }
 
+TEST(ProtocolCodec, DeadlineAndFenceRoundTrip) {
+  // v2 header fields survive the round trip.
+  const Request ping =
+      DecodeRequest(Body(server::EncodePing(7, 42, "x", /*deadline_ms=*/250)));
+  EXPECT_EQ(ping.header.version, server::kProtocolVersion);
+  EXPECT_EQ(ping.header.deadline_ms, 250u);
+
+  std::vector<GeoBlock::UpdateTuple> tuples(1);
+  tuples[0].location = {-73.97, 40.75};
+  tuples[0].values = {1.0};
+  const Request upd = DecodeRequest(Body(server::EncodeUpdate(
+      1, 5, tuples, /*fence=*/0xFEEDFACEu, /*deadline_ms=*/99)));
+  EXPECT_EQ(upd.update_fence, 0xFEEDFACEu);
+  EXPECT_EQ(upd.header.deadline_ms, 99u);
+  ASSERT_EQ(upd.tuples.size(), 1u);
+  EXPECT_EQ(upd.tuples[0].values, tuples[0].values);
+}
+
+TEST(ProtocolCodec, VersionOneRequestsStillDecode) {
+  // A v1 request has no deadline field and no UPDATE fence; a v2 server
+  // must keep accepting it (kMinProtocolVersion) with both defaulted to 0.
+  const auto v1_header = [](Opcode op, uint32_t tenant, uint64_t cookie) {
+    std::string body;
+    body.push_back('\x01');
+    body.push_back(static_cast<char>(op));
+    body.append(reinterpret_cast<const char*>(&tenant), 4);
+    body.append(reinterpret_cast<const char*>(&cookie), 8);
+    return body;
+  };
+  std::string ping = v1_header(Opcode::kPing, 3, 77);
+  ping += "hello";
+  const Request decoded_ping = DecodeRequest(ping);
+  EXPECT_EQ(decoded_ping.header.version, 1);
+  EXPECT_EQ(decoded_ping.header.tenant, 3u);
+  EXPECT_EQ(decoded_ping.header.cookie, 77u);
+  EXPECT_EQ(decoded_ping.header.deadline_ms, 0u);
+  EXPECT_EQ(decoded_ping.ping_payload, "hello");
+
+  // v1 UPDATE: u32 num_tuples directly after the header, no fence.
+  std::string upd = v1_header(Opcode::kUpdate, 1, 5);
+  const uint32_t num_tuples = 1;
+  upd.append(reinterpret_cast<const char*>(&num_tuples), 4);
+  const double x = -73.97, y = 40.75;
+  upd.append(reinterpret_cast<const char*>(&x), 8);
+  upd.append(reinterpret_cast<const char*>(&y), 8);
+  const uint32_t num_values = 1;
+  upd.append(reinterpret_cast<const char*>(&num_values), 4);
+  const double v = 2.5;
+  upd.append(reinterpret_cast<const char*>(&v), 8);
+  const Request decoded_upd = DecodeRequest(upd);
+  EXPECT_EQ(decoded_upd.update_fence, 0u);
+  ASSERT_EQ(decoded_upd.tuples.size(), 1u);
+  EXPECT_EQ(decoded_upd.tuples[0].values, std::vector<double>{2.5});
+
+  // A v1 response body is accepted by DecodeResponse too.
+  std::string resp;
+  resp.push_back('\x01');
+  resp.push_back(static_cast<char>(Status::kBusy));
+  const uint64_t cookie = 9;
+  resp.append(reinterpret_cast<const char*>(&cookie), 8);
+  const Response decoded_resp = server::DecodeResponse(resp);
+  EXPECT_EQ(decoded_resp.status, Status::kBusy);
+  EXPECT_EQ(decoded_resp.cookie, 9u);
+}
+
 TEST(ProtocolCodec, ResponsePayloadsRoundTrip) {
   server::SelectResult sr;
   sr.count = 123;
@@ -175,16 +240,17 @@ TEST(ProtocolCodec, RejectsShortHeaderAndUnknownVersionOrOpcode) {
 TEST(ProtocolCodec, RejectsTruncatedAndOverclaimedPayloads) {
   const std::string select =
       Body(server::EncodeSelect(0, 0, Triangle(), TwoAggs()));
-  // Every strict prefix of a valid SELECT must be malformed, not UB.
-  for (size_t cut = 14; cut < select.size(); ++cut) {
+  // Every strict prefix of a valid SELECT must be malformed, not UB
+  // (18 = the v2 request header size).
+  for (size_t cut = 18; cut < select.size(); ++cut) {
     EXPECT_EQ(DecodeStatusOf(select.substr(0, cut)), Status::kMalformed)
         << "prefix " << cut;
   }
   // A vertex count far beyond the actual bytes must be caught by the
   // bytes-present check, not allocate or scan garbage.
   std::string overclaim = select;
-  overclaim[16] = '\xFF';  // ring vertex count u32 at offset 16
-  overclaim[17] = '\x00';
+  overclaim[20] = '\xFF';  // ring vertex count u32 at offset 20 (v2)
+  overclaim[21] = '\x00';
   EXPECT_EQ(DecodeStatusOf(overclaim), Status::kMalformed);
 }
 
@@ -210,18 +276,18 @@ TEST(ProtocolCodec, RejectsTrailingBytesAndNonFiniteCoordinates) {
 }
 
 TEST(ProtocolCodec, RejectsImplausibleCounts) {
-  // Zero rings.
-  std::string body(14, '\0');
+  // Zero rings (18 = the v2 request header size).
+  std::string body(18, '\0');
   body[0] = server::kProtocolVersion;
   body[1] = static_cast<char>(Opcode::kCount);
   body += std::string(2, '\0');  // u16 num_rings == 0
   EXPECT_EQ(DecodeStatusOf(body), Status::kMalformed);
 
-  // Zero-tuple UPDATE.
-  std::string upd(14, '\0');
+  // Zero-tuple UPDATE (u64 fence then u32 num_tuples == 0).
+  std::string upd(18, '\0');
   upd[0] = server::kProtocolVersion;
   upd[1] = static_cast<char>(Opcode::kUpdate);
-  upd += std::string(4, '\0');  // u32 num_tuples == 0
+  upd += std::string(12, '\0');
   EXPECT_EQ(DecodeStatusOf(upd), Status::kMalformed);
 
   // STATS with trailing bytes.
