@@ -1,0 +1,255 @@
+// Figure 24 (this repo's extension beyond the paper): memory governance.
+// The same persisted BlockSet is served fully resident (eager ReadFrom —
+// the oracle) and lazily (OpenMapped: mmap'd manifest, shards fault in on
+// first route) under a byte-budgeted MemoryGovernor at 100% / 50% / 10%
+// of the fully-resident footprint. A Zipfian neighborhood workload skews
+// the shard popularity so the LRU/cost policy has something to exploit.
+// Reported per budget:
+//
+//   * query throughput and the p99 latency split into fault queries
+//     (paid a shard materialization) vs warm queries,
+//   * fault / eviction / refusal counts from the governor,
+//   * steady-state governed bytes vs the budget, and process VmRSS.
+//
+// Correctness gate: every lazy result must be BIT-IDENTICAL to the
+// fully-resident oracle's (same covering, same fold order — eviction and
+// re-fault must be invisible in the output), and steady-state governed
+// bytes must stay within 1.2x the budget. Violations count as mismatches;
+// CI gates on "mismatches: 0". Numbers are recorded (BENCH_memory.json),
+// never gated — CI containers may be single-core.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/block_set.h"
+#include "core/memory_governor.h"
+#include "core/scan_kernels.h"
+#include "storage/sharded_dataset.h"
+#include "util/thread_pool.h"
+
+namespace geoblocks::bench {
+namespace {
+
+constexpr size_t kShards = 32;
+constexpr const char* kPath = "fig24_memory.gbst";
+
+uint64_t ReadVmRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+bool BitIdentical(const core::QueryResult& a, const core::QueryResult& b) {
+  if (a.count != b.count || a.values.size() != b.values.size()) return false;
+  if (a.values.empty()) return true;
+  return std::memcmp(a.values.data(), b.values.data(),
+                     a.values.size() * sizeof(double)) == 0;
+}
+
+double Percentile(std::vector<double>& us, double p) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const size_t idx = std::min(
+      us.size() - 1, static_cast<size_t>(p * static_cast<double>(us.size())));
+  return us[idx];
+}
+
+struct Row {
+  size_t budget_pct = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t steady_bytes = 0;     // governed bytes after the run
+  uint64_t faults = 0;
+  uint64_t evictions = 0;
+  uint64_t refusals = 0;
+  size_t resident_shards = 0;
+  double qps = 0.0;
+  double warm_p99_us = 0.0;
+  double fault_p99_us = 0.0;
+  uint64_t rss_kb = 0;
+};
+
+void Run() {
+  bench_util::Banner(
+      "Figure 24 — memory governance (beyond the paper)",
+      "mmap-backed lazy shard loading (BlockSet::OpenMapped) under a "
+      "byte-budgeted LRU governor at 100/50/10% of the resident "
+      "footprint; a Zipfian neighborhood workload, every result checked "
+      "bit-identical against the fully-resident oracle.");
+  const TaxiEnv env = TaxiEnv::Create(TaxiPoints());
+  const core::AggregateRequest req = RequestN(7, env.data.num_columns());
+
+  storage::ShardOptions shard_options;
+  shard_options.num_shards = kShards;
+  shard_options.align_level = kDefaultLevel;
+  const storage::ShardedDataset sharded =
+      storage::ShardedDataset::Partition(env.data, shard_options);
+
+  {
+    const core::BlockSet built = core::BlockSet::Build(
+        sharded, core::BlockSetOptions{{kDefaultLevel, {}}});
+    std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+    built.WriteTo(out);
+  }
+
+  // The oracle: the same file, loaded eagerly. Every lazy answer below is
+  // compared against these bit for bit.
+  std::ifstream in(kPath, std::ios::binary);
+  const core::BlockSet oracle = core::BlockSet::ReadFrom(in);
+  std::vector<std::vector<cell::CellId>> coverings;
+  std::vector<core::QueryResult> expected;
+  for (const geo::Polygon& poly : env.neighborhoods) {
+    coverings.push_back(oracle.Cover(poly));
+    expected.push_back(oracle.SelectCovering(coverings.back(), req));
+  }
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  const core::QueryResult expected_all = oracle.SelectCovering(all, req);
+
+  uint64_t mismatches = 0;
+
+  // Measure the fully-resident governed footprint: an unlimited governor
+  // only accounts. One root-covering query routes through (and charges)
+  // every shard.
+  uint64_t full_bytes = 0;
+  {
+    core::MemoryGovernor probe(core::MemoryGovernor::Options{0});
+    core::LazyOpenOptions opts;
+    opts.governor = &probe;
+    const core::BlockSet set = core::BlockSet::OpenMapped(kPath, opts);
+    if (!BitIdentical(set.SelectCovering(all, req), expected_all)) {
+      ++mismatches;
+    }
+    full_bytes = probe.resident_bytes();
+  }
+
+  const size_t queries = std::max<size_t>(600, bench_util::Scaled(1500));
+  // Zipf(s=1) over the neighborhoods: rank r is drawn with weight
+  // 1/(r+1), so a few hot polygons (and the shards under them) dominate.
+  std::vector<double> weights;
+  for (size_t i = 0; i < coverings.size(); ++i) {
+    weights.push_back(1.0 / static_cast<double>(i + 1));
+  }
+
+  std::vector<Row> rows;
+  bench_util::TablePrinter table({"budget", "faults", "evict", "refuse",
+                                  "resident", "qps", "warm p99 us",
+                                  "fault p99 us", "bytes/budget", "rss MB"});
+  for (const size_t pct : {size_t{100}, size_t{50}, size_t{10}}) {
+    const uint64_t budget = full_bytes * pct / 100;
+    core::MemoryGovernor gov(core::MemoryGovernor::Options{budget});
+    core::LazyOpenOptions opts;
+    opts.governor = &gov;
+    const core::BlockSet set = core::BlockSet::OpenMapped(kPath, opts);
+
+    std::mt19937_64 rng(12345);
+    std::discrete_distribution<size_t> zipf(weights.begin(), weights.end());
+    std::vector<double> warm_us;
+    std::vector<double> fault_us;
+    bench_util::Timer run_timer;
+    for (size_t q = 0; q < queries; ++q) {
+      const size_t i = zipf(rng);
+      const uint64_t faults_before = gov.stats().faults;
+      bench_util::Timer t;
+      const core::QueryResult r = set.SelectCovering(coverings[i], req);
+      const double us = t.ElapsedUs();
+      if (!BitIdentical(r, expected[i])) ++mismatches;
+      (gov.stats().faults > faults_before ? fault_us : warm_us).push_back(us);
+    }
+    const double run_ms = run_timer.ElapsedMs();
+
+    Row row;
+    row.budget_pct = pct;
+    row.budget_bytes = budget;
+    const core::MemoryGovernor::Stats s = gov.stats();
+    row.steady_bytes = s.resident_bytes;
+    row.faults = s.faults;
+    row.evictions = s.evictions;
+    row.refusals = s.refusals;
+    row.resident_shards = set.resident_shards();
+    row.qps = static_cast<double>(queries) / (run_ms / 1000.0);
+    row.warm_p99_us = Percentile(warm_us, 0.99);
+    row.fault_p99_us = Percentile(fault_us, 0.99);
+    row.rss_kb = ReadVmRssKb();
+    // Steady-state containment: the governed footprint must sit within
+    // 1.2x the budget once the workload settles (transient overshoot
+    // while a fault is being paid for is allowed; a violation that
+    // survives the run's final rebalance is not).
+    if (budget > 0 && row.steady_bytes > budget + budget / 5) ++mismatches;
+
+    rows.push_back(row);
+    table.AddRow(
+        {std::to_string(pct) + "%", std::to_string(row.faults),
+         std::to_string(row.evictions), std::to_string(row.refusals),
+         std::to_string(row.resident_shards) + "/" + std::to_string(kShards),
+         bench_util::TablePrinter::Fmt(row.qps, 0),
+         bench_util::TablePrinter::Fmt(row.warm_p99_us, 1),
+         bench_util::TablePrinter::Fmt(row.fault_p99_us, 1),
+         bench_util::TablePrinter::Fmt(
+             budget == 0 ? 0.0
+                         : static_cast<double>(row.steady_bytes) /
+                               static_cast<double>(budget),
+             2),
+         bench_util::TablePrinter::Fmt(
+             static_cast<double>(row.rss_kb) / 1024.0, 1)});
+  }
+  table.Print();
+  std::printf("shards: %zu, resident footprint: %llu bytes, queries: %zu\n",
+              kShards, static_cast<unsigned long long>(full_bytes), queries);
+  std::printf("hardware threads: %u, kernel dispatch: %s, pool type: %s\n",
+              std::thread::hardware_concurrency(),
+              core::kernels::ToString(core::kernels::ActiveDispatchLevel()),
+              util::ThreadPool::pool_type());
+  std::printf("mismatches: %llu\n",
+              static_cast<unsigned long long>(mismatches));
+
+  // Machine-readable record for CI trend tracking; records, never gates.
+  std::ofstream json("BENCH_memory.json");
+  json << "{\n"
+       << "  \"bench\": \"fig24_memory\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"kernel_dispatch\": \""
+       << core::kernels::ToString(core::kernels::ActiveDispatchLevel())
+       << "\",\n"
+       << "  \"pool_type\": \"" << util::ThreadPool::pool_type() << "\",\n"
+       << "  \"shards\": " << kShards << ",\n"
+       << "  \"resident_footprint_bytes\": " << full_bytes << ",\n"
+       << "  \"queries_per_budget\": " << queries << ",\n"
+       << "  \"mismatches\": " << mismatches << ",\n"
+       << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"budget_pct\": " << r.budget_pct
+         << ", \"budget_bytes\": " << r.budget_bytes
+         << ", \"steady_bytes\": " << r.steady_bytes
+         << ", \"faults\": " << r.faults
+         << ", \"evictions\": " << r.evictions
+         << ", \"refusals\": " << r.refusals
+         << ", \"resident_shards\": " << r.resident_shards
+         << ", \"qps\": " << r.qps << ", \"warm_p99_us\": " << r.warm_p99_us
+         << ", \"fault_p99_us\": " << r.fault_p99_us
+         << ", \"rss_kb\": " << r.rss_kb << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::remove(kPath);
+}
+
+}  // namespace
+}  // namespace geoblocks::bench
+
+int main() {
+  geoblocks::bench::Run();
+  return 0;
+}

@@ -29,7 +29,7 @@ QueryResult GeoBlockQC::SelectCovering(
   return acc.Finish();
 }
 
-void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
+bool GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
                                  Accumulator* acc_out) const {
   {
     // Two epoch guards per query: the whole covering is answered from a
@@ -39,6 +39,10 @@ void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
     const util::SnapshotCell<AggregateTrie>::ReadGuard trie(trie_);
     const util::SnapshotCell<BlockState>::ReadGuard state(
         block_->state_cell());
+    // Evicted shard: fold nothing — a still-populated trie could answer
+    // full hits, but partial hits would fall back to the (empty)
+    // tombstone and silently lose rows. The caller re-faults and retries.
+    if (state->evicted) return false;
     Accumulator& acc = *acc_out;
     size_t last_idx = GeoBlock::kNoLastAgg;
     for (cell::CellId qcell : covering) {
@@ -92,6 +96,19 @@ void GeoBlockQC::CombineCovering(std::span<const cell::CellId> covering,
   // Outside the guards: an inline rebuild must not wait for its own
   // reader lease to drain.
   MaybeRebuildAfterQuery();
+  return true;
+}
+
+size_t GeoBlockQC::DropTrie() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const AggregateTrie* prev = trie_.WriterPeek();
+  if (prev->empty()) return 0;
+  const size_t bytes = prev->MemoryBytes();
+  trie_.Publish(std::make_shared<AggregateTrie>());
+  // The retire hook just parked the dropped snapshot as the recycling
+  // spare; eviction exists to free those bytes, so drop the spare too.
+  spare_trie_.reset();
+  return bytes;
 }
 
 void GeoBlockQC::MaybeRebuildAfterQuery() const {

@@ -233,9 +233,19 @@ class GeoBlockQC {
   /// several cached blocks into one query answer (BlockSet). Loads the
   /// trie snapshot exactly once, so one call is internally consistent.
   ///
+  /// Memory governance: when the pinned block state is an eviction
+  /// tombstone (the shard was dropped back to "mapped, not materialized"
+  /// between the caller's fault-in and this pin), the call folds NOTHING
+  /// — not even trie hits, since partial hits would mix cached aggregates
+  /// with an empty base state — and returns false so the caller can
+  /// re-materialize and retry. Callers without a fault-in path (plain
+  /// non-lazy sets, direct QC use) always get true.
+  ///
   /// @param covering Covering cells, ascending and disjoint.
   /// @param acc      Accumulator the aggregates are folded into.
-  void CombineCovering(std::span<const cell::CellId> covering,
+  /// @return False iff the block state was an eviction tombstone (nothing
+  ///     was folded into `acc`).
+  bool CombineCovering(std::span<const cell::CellId> covering,
                        Accumulator* acc) const;
 
   /// COUNT uses the unmodified base algorithm (no noticeable speedup is
@@ -304,6 +314,20 @@ class GeoBlockQC {
   size_t MemoryBytes() const {
     return block_->MemoryBytes() + trie_snapshot()->MemoryBytes();
   }
+
+  /// @return Bytes of the published trie snapshot alone — the charge the
+  ///     MemoryGovernor accounts for the cache-trie resource class.
+  size_t TrieBytes() const { return trie_snapshot()->MemoryBytes(); }
+
+  /// Memory-governor eviction entry point: publishes an empty trie (and
+  /// drops the recycled spare), reclaiming the cache bytes once the grace
+  /// period drains. Always succeeds — the trie is a pure accelerator, so
+  /// unlike block-state eviction there is nothing to refuse over; queries
+  /// simply miss until interval-triggered rebuilds repopulate it from the
+  /// stats table. Safe concurrently with readers, rebuilds, and commits.
+  ///
+  /// @return Bytes the dropped snapshot held (0 when already empty).
+  size_t DropTrie() const;
 
  private:
   /// Clones the published trie (into the recycled spare when one is

@@ -10,7 +10,12 @@
 
 namespace geoblocks::core {
 
-BlockSet::~BlockSet() { NeutralizeWriters(); }
+BlockSet::~BlockSet() {
+  // Governor entries first: Unregister waits out in-flight evict callbacks,
+  // which hold the per-shard records this destructor is about to drop.
+  UnregisterGovernorEntries();
+  NeutralizeWriters();
+}
 
 BlockSet::BlockSet(BlockSet&& other) noexcept
     : level_(other.level_),
@@ -24,15 +29,23 @@ BlockSet::BlockSet(BlockSet&& other) noexcept
       boundaries_(std::move(other.boundaries_)),
       windows_(std::move(other.windows_)),
       dataset_attached_(other.dataset_attached_),
+      // The governor callbacks captured the stable per-shard records
+      // (block addresses, writer/residency shared_ptrs), never `other`,
+      // so the registered entries survive the move untouched.
+      source_(std::move(other.source_)),
+      residency_(std::move(other.residency_)),
+      governor_(other.governor_),
       log_(other.log_),
       change_number_(
           other.change_number_.load(std::memory_order_relaxed)),
       read_only_(other.read_only_.load(std::memory_order_relaxed)) {
+  other.governor_ = nullptr;
   other.log_ = nullptr;
 }
 
 BlockSet& BlockSet::operator=(BlockSet&& other) noexcept {
   if (this == &other) return *this;
+  UnregisterGovernorEntries();
   NeutralizeWriters();
   level_ = other.level_;
   projection_ = other.projection_;
@@ -45,6 +58,10 @@ BlockSet& BlockSet::operator=(BlockSet&& other) noexcept {
   boundaries_ = std::move(other.boundaries_);
   windows_ = std::move(other.windows_);
   dataset_attached_ = other.dataset_attached_;
+  source_ = std::move(other.source_);
+  residency_ = std::move(other.residency_);
+  governor_ = other.governor_;
+  other.governor_ = nullptr;
   log_ = other.log_;
   other.log_ = nullptr;
   change_number_.store(other.change_number_.load(std::memory_order_relaxed),
@@ -107,11 +124,16 @@ BlockSet BlockSet::Build(const storage::ShardedDataset& shards,
 size_t BlockSet::num_cells() const {
   // Pin each shard's state: this is a read path and must stay safe
   // concurrently with update commits (the raw GeoBlock accessors are
-  // writer-quiesced only).
+  // writer-quiesced only). A lazy set faults cold shards in — counting
+  // cells needs every payload — and rebalances once at the end.
   size_t cells = 0;
-  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
-    cells += b->StateSnapshot()->num_cells();
+  for (size_t s = 0; s < blocks_.size(); ++s) {
+    const std::shared_ptr<const BlockState> state =
+        source_ != nullptr ? ResidentState(s, /*rebalance=*/false)
+                           : blocks_[s]->StateSnapshot();
+    cells += state->num_cells();
   }
+  if (source_ != nullptr && governor_ != nullptr) governor_->EnsureBudget();
   return cells;
 }
 
@@ -126,8 +148,12 @@ BlockHeader BlockSet::MergedHeader() const {
   bool any = false;
   // One pinned version per shard (not the unpinned header() peek): a
   // monitoring thread may merge headers while commits publish successors.
-  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
-    const std::shared_ptr<const BlockState> state = b->StateSnapshot();
+  // On a lazy set cold shards fault in — the merged global aggregate
+  // needs every shard's payload.
+  for (size_t s = 0; s < blocks_.size(); ++s) {
+    const std::shared_ptr<const BlockState> state =
+        source_ != nullptr ? ResidentState(s, /*rebalance=*/false)
+                           : blocks_[s]->StateSnapshot();
     if (state->num_cells() == 0) continue;
     if (!any) {
       header.min_cell = state->header.min_cell;
@@ -139,6 +165,7 @@ BlockHeader BlockSet::MergedHeader() const {
     }
     header.global.Merge(state->header.global);
   }
+  if (source_ != nullptr && governor_ != nullptr) governor_->EnsureBudget();
   return header;
 }
 
@@ -174,10 +201,32 @@ void BlockSet::OverlappingShards(std::span<const cell::CellId> covering,
   result.reserve(blocks_.size());
   for (size_t s = 0; s < blocks_.size(); ++s) {
     const GeoBlock& b = *blocks_[s];
+    if (source_ != nullptr &&
+        !residency_[s]->hull_known.load(std::memory_order_acquire)) {
+      // Never-materialized lazy shard: its routing hull is unknown, so
+      // route by the manifest boundary range instead — conservative (a
+      // wrongly included shard materializes, folds nothing, and tightens
+      // its own routing for next time) but it can never exclude a shard
+      // that could answer. Shard s holds keys [b[s], b[s+1]), the last
+      // shard inclusive of the end key.
+      constexpr uint64_t kEndKey = ~uint64_t{0};
+      const uint64_t lo = boundaries_[s];
+      const uint64_t hi = boundaries_[s + 1];
+      const auto it = std::lower_bound(
+          covering.begin(), covering.end(), lo,
+          [](const cell::CellId& c, uint64_t key) {
+            return c.RangeMax().id() < key;
+          });
+      if (it == covering.end()) continue;
+      if (hi == kEndKey || it->RangeMin().id() < hi) result.push_back(s);
+      continue;
+    }
     // Routing reads the lock-free atomic mirror of each shard's key hull,
     // never a pinned state: safe concurrently with update commits (a
     // racing merge can shift the hull; MayOverlap documents why any tear
-    // is benign for routing).
+    // is benign for routing). An evicted shard keeps its hull (EvictState
+    // leaves the routing atomics), so cold-but-known shards route
+    // precisely without faulting in.
     if (!b.has_cells()) continue;
     // Covering cells are disjoint and sorted, so their leaf ranges ascend:
     // binary-search the first cell whose range reaches the shard, then a
@@ -209,9 +258,16 @@ QueryResult BlockSet::SelectCovering(std::span<const cell::CellId> covering,
   Accumulator acc(&request);
   // Each shard folds its whole covering contribution under one pinned
   // state version (GeoBlock::CombineCovering); shards ascend, so the fold
-  // order matches a single block over the same data bit for bit.
+  // order matches a single block over the same data bit for bit. On a
+  // lazy set the pin comes from ResidentState, which faults cold shards
+  // in first — the fold never sees a tombstone, so answers stay
+  // bit-identical to the fully resident set.
   for (const size_t s : shards) {
-    blocks_[s]->CombineCovering(covering, &acc);
+    if (source_ != nullptr) {
+      ResidentState(s, /*rebalance=*/true)->CombineCovering(covering, &acc);
+    } else {
+      blocks_[s]->CombineCovering(covering, &acc);
+    }
   }
   return acc.Finish();
 }
@@ -228,7 +284,11 @@ uint64_t BlockSet::CountCovering(
   OverlappingShards(covering, &shards);
   uint64_t result = 0;
   for (const size_t s : shards) {
-    result += blocks_[s]->CountCovering(covering);
+    if (source_ != nullptr) {
+      result += ResidentState(s, /*rebalance=*/true)->CountCovering(covering);
+    } else {
+      result += blocks_[s]->CountCovering(covering);
+    }
   }
   return result;
 }
@@ -273,7 +333,16 @@ std::vector<QueryResult> BlockSet::ExecuteBatch(const QueryBatch& batch,
   std::vector<Accumulator> partials(parts.size(), Accumulator(&request));
   const auto run_part = [&](size_t p) {
     const Part& part = parts[p];
-    blocks_[part.shard]->CombineCovering(coverings[part.query], &partials[p]);
+    if (source_ != nullptr) {
+      // Admission-time fault-in: the pool worker that admits this
+      // (query, shard) task pays the shard's materialization, so cold
+      // shards hydrate in parallel across the work-stealing pool.
+      ResidentState(part.shard, /*rebalance=*/true)
+          ->CombineCovering(coverings[part.query], &partials[p]);
+    } else {
+      blocks_[part.shard]->CombineCovering(coverings[part.query],
+                                           &partials[p]);
+    }
   };
   if (pool != nullptr) {
     pool->ParallelFor(parts.size(), run_part);
@@ -442,6 +511,14 @@ void BlockSet::CommitShardBatch(size_t s,
   GeoBlock* block = blocks_[s].get();
   GeoBlockQC* qc = cache_enabled() ? cached_[s].get() : nullptr;
   std::lock_guard<std::mutex> lock(w.mu);
+  // Lazy set: the commit must patch a materialized state — applying a
+  // batch to a tombstone would reject every tuple into pending, and the
+  // eventual merge would then build a state holding ONLY those tuples
+  // (data loss). Fault-in here is bookkeeping-only (no EnsureBudget while
+  // holding a shard lock — another shard's evict callback could be
+  // waiting on ours); the budget transiently overshoots and the next
+  // query-path fault trims it.
+  if (source_ != nullptr) EnsureResident(s);
   // The commit proper: with a cache, block-state publish and trie patch
   // run as one writer critical section (GeoBlockQC::CommitBlockBatch), so
   // an interval-triggered trie rebuild can never interleave half a commit.
@@ -458,6 +535,13 @@ void BlockSet::CommitShardBatch(size_t s,
     w.pending.push_back(batch[idx]);
   }
   w.pending_count.store(w.pending.size(), std::memory_order_relaxed);
+  if (source_ != nullptr && (r.applied > 0 || !r.rejected.empty())) {
+    // Sticky: this shard's in-memory state now runs ahead of the mapped
+    // payload (applied tuples immediately; buffered ones at merge time,
+    // possibly on a background task with no path back here), so it must
+    // never be evicted — a re-fault would resurrect the stale payload.
+    residency_[s]->dirty.store(true, std::memory_order_release);
+  }
 
   const size_t threshold = update_options_.pending_rebuild_threshold;
   if (threshold == 0 || w.pending.size() < threshold) return;
@@ -507,8 +591,17 @@ size_t BlockSet::FlushPendingUpdates() {
   for (size_t s = 0; s < writers_.size(); ++s) {
     ShardWriter& w = *writers_[s];
     std::lock_guard<std::mutex> lock(w.mu);
+    // A lazily opened set can hold file-restored pending tuples for a
+    // shard that never materialized: merge into the real state, never
+    // into a tombstone (which would drop every previously aggregated
+    // cell). Merging also marks the shard dirty — its state now runs
+    // ahead of the mapped payload.
+    if (source_ != nullptr && !w.pending.empty()) EnsureResident(s);
     if (MergePendingLocked(&w, blocks_[s].get(),
                            cache_enabled() ? cached_[s].get() : nullptr)) {
+      if (source_ != nullptr) {
+        residency_[s]->dirty.store(true, std::memory_order_release);
+      }
       ++merged;
     }
   }
@@ -594,6 +687,13 @@ void BlockSet::AttachDataset(
         "BlockSet::AttachDataset: dataset already attached; DetachDataset "
         "first");
   }
+  // Attachment validates per-shard schema widths, which only materialized
+  // shards know: fault everything in first (the views attached below are
+  // independent of residency — an eviction after attach keeps them).
+  if (source_ != nullptr) {
+    for (size_t s = 0; s < blocks_.size(); ++s) EnsureResident(s);
+    if (governor_ != nullptr) governor_->EnsureBudget();
+  }
   if (data->num_rows() != total_rows_) {
     throw std::runtime_error(
         "BlockSet::AttachDataset: dataset row count does not match the "
@@ -642,6 +742,16 @@ void BlockSet::DetachDataset() {
 }
 
 void BlockSet::EnableCache(const GeoBlockQC::Options& options) {
+  // Trie governor entries reference the outgoing QCs: drop them before
+  // the QCs die (Unregister waits out an in-flight evict callback).
+  if (governor_ != nullptr) {
+    for (const std::shared_ptr<ShardResidency>& res : residency_) {
+      if (res != nullptr && res->trie_entry != nullptr) {
+        governor_->Unregister(res->trie_entry);
+        res->trie_entry = nullptr;
+      }
+    }
+  }
   // Re-enabling after updates ran: background merge tasks still queued on
   // a rebuild pool captured the *outgoing* QCs. Neutralize each shard's
   // gate (the task locks, sees dead, skips) and migrate its pending
@@ -662,6 +772,16 @@ void BlockSet::EnableCache(const GeoBlockQC::Options& options) {
   cached_.reserve(blocks_.size());
   for (const std::unique_ptr<GeoBlock>& b : blocks_) {
     cached_.push_back(std::make_unique<GeoBlockQC>(b.get(), options));
+  }
+  // Lazy sets re-wire the governor: the payload evict callbacks captured
+  // the OLD writer records (now flipped dead above) and would refuse
+  // every eviction, so they are re-registered against the fresh writers;
+  // the new tries get their own entries.
+  if (source_ != nullptr && governor_ != nullptr) {
+    for (size_t s = 0; s < blocks_.size(); ++s) {
+      RegisterShardEntry(s);
+      RegisterTrieEntry(s);
+    }
   }
 }
 
@@ -704,11 +824,35 @@ void BlockSet::SelectCoveringCachedInto(std::span<const cell::CellId> covering,
   // the raw blocks (identical to SelectCovering).
   if (cache_enabled()) {
     for (const size_t s : shards) {
-      cached_[s]->CombineCovering(covering, &acc);
+      if (source_ == nullptr) {
+        cached_[s]->CombineCovering(covering, &acc);
+        continue;
+      }
+      // Lazy set: the cached fold refuses to answer over a tombstone
+      // (GeoBlockQC::CombineCovering returns false having folded
+      // nothing). Fault the shard in and retry; if eviction keeps
+      // winning the race, fold straight from the pinned state we just
+      // materialized — it is guaranteed non-tombstone, so correctness
+      // never depends on winning a race.
+      if (cached_[s]->CombineCovering(covering, &acc)) continue;
+      bool folded = false;
+      for (int attempt = 0; attempt < 2 && !folded; ++attempt) {
+        const std::shared_ptr<const BlockState> pinned =
+            ResidentState(s, /*rebalance=*/true);
+        folded = cached_[s]->CombineCovering(covering, &acc);
+        if (!folded && attempt == 1) {
+          pinned->CombineCovering(covering, &acc);
+          folded = true;
+        }
+      }
     }
   } else {
     for (const size_t s : shards) {
-      blocks_[s]->CombineCovering(covering, &acc);
+      if (source_ != nullptr) {
+        ResidentState(s, /*rebalance=*/true)->CombineCovering(covering, &acc);
+      } else {
+        blocks_[s]->CombineCovering(covering, &acc);
+      }
     }
   }
   acc.FinishInto(out);

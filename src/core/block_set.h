@@ -9,16 +9,23 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/block_qc.h"
 #include "core/geoblock.h"
+#include "core/memory_governor.h"
+#include "io/mapped_file.h"
 #include "storage/sharded_dataset.h"
 #include "util/thread_pool.h"
 
 namespace geoblocks::io {
 class UpdateLog;
 }  // namespace geoblocks::io
+
+namespace geoblocks::util {
+class IoShim;
+}  // namespace geoblocks::util
 
 namespace geoblocks::core {
 
@@ -32,6 +39,35 @@ struct ReadOnlyError : std::runtime_error {
       : std::runtime_error(
             "geoblocks: BlockSet is in degraded read-only mode (the update "
             "log failed); updates are rejected, reads keep working") {}
+};
+
+/// Thrown when materializing a lazily mapped shard fails — a payload CRC
+/// mismatch, a short or failing pread, or a structurally corrupt payload.
+/// Carries the shard index so callers (and the server) can report which
+/// shard is damaged; the rest of the set stays healthy and queryable
+/// (other shards keep faulting in normally, and the bad shard throws the
+/// same typed error again on the next route to it).
+struct ShardFaultError : std::runtime_error {
+  size_t shard;
+  ShardFaultError(size_t shard_index, const std::string& what)
+      : std::runtime_error("geoblocks: shard " + std::to_string(shard_index) +
+                           " fault failed: " + what),
+        shard(shard_index) {}
+};
+
+/// Configuration of BlockSet::OpenMapped.
+struct LazyOpenOptions {
+  /// When set, every shard's resident payload (and, after EnableCache,
+  /// every shard's trie) is registered with this governor, whose byte
+  /// budget drives LRU/cost eviction back to "mapped, not materialized".
+  /// Null = lazy loading without a budget (shards fault in and stay).
+  /// Must outlive the set.
+  MemoryGovernor* governor = nullptr;
+  /// When set, payload bytes are read through `shim->Pread` on the mapped
+  /// file's descriptor instead of being touched through the mapping — the
+  /// chaos-test seam for injecting fault-time I/O errors (the mmap read
+  /// path can otherwise only fail as SIGBUS). Must outlive the set.
+  util::IoShim* shim = nullptr;
 };
 
 struct BlockSetOptions {
@@ -440,6 +476,76 @@ class BlockSet {
   ///     levels).
   static BlockSet ReadFrom(std::istream& in);
 
+  /// -- Lazy loading and memory governance ----------------------------------
+  /// (docs/FORMAT.md §Lazy loading, docs/ARCHITECTURE.md §Memory governance)
+
+  /// Opens a WriteTo/Checkpoint file *lazily*: the file is mmap'd, only
+  /// the manifest (including the per-shard CRC table) is read and
+  /// validated up front, and each shard's payload is deserialized on the
+  /// first route to it — bytes touched at open are O(manifest + shard 0 +
+  /// pending), not O(file). Shard 0 is materialized eagerly (it carries
+  /// the level/projection/schema every other shard is validated against,
+  /// and the pending section needs the schema width to decode).
+  ///
+  /// The loaded set is detached, answers every query path bit-identically
+  /// to ReadFrom of the same file, and accepts updates; shards touched by
+  /// an update (or holding pending tuples) become non-evictable, because
+  /// their in-memory state has diverged from the mapped payload. With a
+  /// governor, faulted payloads and cache tries are evicted back to
+  /// "mapped, not materialized" when the byte budget is exceeded; eviction
+  /// unpublishes through the normal snapshot grace period, so readers
+  /// holding pinned states are never invalidated.
+  ///
+  /// The file must outlive... nothing: the set owns the mapping. The
+  /// caller must not truncate or rewrite the file in place while the set
+  /// is open (a torn mapping is a SIGBUS; use Checkpoint's atomic-rename
+  /// protocol, under which the old inode stays valid until the set drops
+  /// the mapping).
+  ///
+  /// @param path    File written by WriteTo (via a file stream) or
+  ///     Checkpoint.
+  /// @param options Governor and I/O-shim wiring.
+  /// @return The lazily opened set, detached, shard 0 resident.
+  /// @throws std::runtime_error on open/map failure or any manifest
+  ///     validation error ReadFrom would raise.
+  /// @throws ShardFaultError when shard 0's payload is corrupt.
+  static BlockSet OpenMapped(const std::string& path,
+                             const LazyOpenOptions& options = {});
+
+  /// @return True when the set was opened by OpenMapped (payloads fault in
+  ///     from a mapped file).
+  bool lazy() const { return source_ != nullptr; }
+
+  /// @return The governor passed to OpenMapped, or null.
+  MemoryGovernor* governor() const { return governor_; }
+
+  /// Per-shard residency: true when shard `s` currently holds a
+  /// materialized (non-tombstone) state. Always true on eager sets.
+  /// Point-in-time — a concurrent eviction or fault can flip it.
+  ///
+  /// @param s Shard index in [0, num_shards()).
+  /// @return Whether the shard's payload is resident.
+  bool shard_resident(size_t s) const {
+    return source_ == nullptr ||
+           residency_[s]->resident.load(std::memory_order_acquire);
+  }
+
+  /// @return Number of shards currently resident (== num_shards() on an
+  ///     eager set). Point-in-time.
+  size_t resident_shards() const;
+
+  /// @return Total shard payload materializations (first faults plus
+  ///     re-faults after eviction) since open; 0 on an eager set.
+  uint64_t shard_fault_count() const;
+
+  /// Faults shard `s` in if it is cold, without rebalancing the budget
+  /// (bookkeeping-only; the next query-path fault or EnsureBudget trims).
+  /// No-op on eager sets.
+  ///
+  /// @param s Shard index in [0, num_shards()).
+  /// @throws ShardFaultError when the shard's payload is corrupt.
+  void EnsureResident(size_t s) const;
+
   /// Re-binds the base dataset to a detached (loaded) set after validating
   /// it against the manifest: the row count must equal the manifest total,
   /// the schema width and projection domain must match the blocks, and
@@ -607,6 +713,90 @@ class BlockSet {
     std::atomic<bool> merge_inflight{false};
   };
 
+  /// Everything a lazily opened set needs to fault a shard payload in
+  /// later: the mapping itself plus the manifest's payload table. Behind a
+  /// shared_ptr so governor evict callbacks (which capture shard state,
+  /// never the movable set) and the set agree on lifetime.
+  struct LazySource {
+    io::MappedFile file;
+    /// Optional fault-injection seam: payload reads go through
+    /// shim->Pread on file.fd() instead of the mapping when set.
+    util::IoShim* shim = nullptr;
+    /// First payload byte in the file (== manifest size incl. CRC).
+    uint64_t payload_base = 0;
+    std::vector<uint64_t> payload_offsets;  ///< relative to payload_base
+    std::vector<uint64_t> payload_sizes;
+    std::vector<uint32_t> payload_crcs;
+    std::vector<uint64_t> state_rows;
+    std::vector<uint64_t> window_rows;
+    uint64_t manifest_change_number = 0;
+  };
+
+  /// Per-shard residency record of a lazy set. The mutex is the shard's
+  /// *residency lock* (r.mu): materialization publishes under it, and
+  /// eviction takes it after the shard's writer lock (w.mu) — the global
+  /// lock order is always w.mu -> r.mu, so commit publishes, fault-in
+  /// publishes, and eviction publishes all serialize on the state cell.
+  /// Behind a shared_ptr: governor callbacks capture it, so it must
+  /// survive set moves (and outlive the set if a callback is in flight).
+  struct ShardResidency {
+    std::mutex mu;
+    std::atomic<bool> resident{false};
+    /// False until first materialization: the routing atomics still hold
+    /// their empty-shell defaults, so OverlappingShards falls back to the
+    /// shard's manifest boundary range (conservative, never excludes a
+    /// shard that could answer). Once true, the published hull is precise
+    /// and stays so across evictions (EvictState keeps the atomics).
+    std::atomic<bool> hull_known{false};
+    /// Sticky: set on the first committed update or pending merge.
+    /// A dirty shard is never evicted — its in-memory state has diverged
+    /// from the mapped payload, and after a Checkpoint the mapping is
+    /// stale outright, so a re-fault would resurrect old data.
+    std::atomic<bool> dirty{false};
+    std::atomic<uint64_t> faults{0};
+    MemoryGovernor::EntryHandle entry;       ///< payload residency charge
+    MemoryGovernor::EntryHandle trie_entry;  ///< cache-trie charge
+  };
+
+  /// The read-path unit of the lazy plane: returns a pinned, guaranteed
+  /// non-tombstone state of shard `s`, materializing it first when cold.
+  /// Fast path (resident): one StateSnapshot + a relaxed governor touch.
+  /// Slow path: deserialize under r.mu, pin before unlocking (so the
+  /// caller's fold survives an immediate re-eviction), then — with
+  /// `rebalance` — let the governor evict someone else to pay for it.
+  /// Never called with any shard lock held when `rebalance` is true
+  /// (evict callbacks take other shards' w.mu/r.mu).
+  std::shared_ptr<const BlockState> ResidentState(size_t s,
+                                                  bool rebalance) const;
+
+  /// Deserializes shard `s`'s payload from the mapping and publishes it.
+  /// Caller holds residency_[s]->mu; the shard must be cold.
+  void MaterializeShardLocked(size_t s) const;
+
+  /// (Re-)registers shard `s`'s payload entry with the governor. Captures
+  /// the shard's writer record, so EnableCache (which replaces writers)
+  /// re-registers.
+  void RegisterShardEntry(size_t s);
+  /// Registers shard `s`'s cache trie with the governor (lazy sets with a
+  /// cache only).
+  void RegisterTrieEntry(size_t s);
+  /// Unregisters every governor entry (waits out in-flight evictions);
+  /// destructor / move-assign / EnableCache teardown.
+  void UnregisterGovernorEntries();
+
+  /// Parses and fully cross-checks one shard payload (CRC, structure,
+  /// level/schema agreement with `reference`, exact state-row check) —
+  /// shared by the eager loader and fault-in. Defined in serialize.cc.
+  static std::unique_ptr<GeoBlock> ParseShardPayload(
+      std::string_view payload, uint32_t expected_crc, uint64_t state_rows,
+      uint64_t window_rows, uint64_t manifest_change_number,
+      const GeoBlock* reference);
+
+  /// Checksums and decodes the pending-updates section into the per-shard
+  /// writer buffers. Defined in serialize.cc.
+  void RestorePendingTuples(std::string_view pending_section,
+                            uint32_t expected_crc);
+
   /// The memory half of ApplyBatchUpdate: routes `batch` to shards and
   /// commits each sub-batch under its shard's writer lock. No logging, no
   /// change-number assignment — callers (the public update path and WAL
@@ -659,6 +849,12 @@ class BlockSet {
   std::vector<uint64_t> boundaries_;
   std::vector<ShardWindow> windows_;
   bool dataset_attached_ = false;
+
+  // The lazy plane (null/empty on eager sets): the mapped file + payload
+  // table, one residency record per shard, and the optional governor.
+  std::shared_ptr<LazySource> source_;
+  std::vector<std::shared_ptr<ShardResidency>> residency_;
+  MemoryGovernor* governor_ = nullptr;
 
   // Durability: the optional attached WAL and the committed change number
   // (persisted in the v2 manifest; the idempotency floor for replay).

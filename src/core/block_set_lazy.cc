@@ -1,0 +1,308 @@
+// The lazy half of BlockSet: OpenMapped and the shard fault-in / residency
+// machinery. The eager loader (ReadFrom) lives in serialize.cc; both share
+// ReadSetManifest and ParseShardPayload so the two paths validate payloads
+// identically — only *when* bytes are touched differs.
+//
+// Locking (docs/ARCHITECTURE.md §Memory governance): the global order is
+// governor cb_mu -> shard writer lock (w.mu) -> shard residency lock (r.mu).
+//   - Fault-in (readers):       r.mu only.
+//   - Update commit:            w.mu, then r.mu transiently via
+//                               EnsureResident.
+//   - Eviction (governor cb):   w.mu -> r.mu.
+// All three publish through the shard's SnapshotCell; the pairs above
+// serialize every publish. Governor charge updates (which take cb_mu) are
+// never made while holding a shard lock — an evict callback of *another*
+// shard could be inside cb_mu waiting for shard locks.
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/block_set.h"
+#include "core/serialize.h"
+#include "util/io_shim.h"
+
+namespace geoblocks::core {
+
+namespace {
+
+/// One shard-payload (or pending-section) read: a zero-copy view of the
+/// mapping, or — with a shim — a pread loop into `scratch`, which is the
+/// chaos-test seam for injecting fault-time I/O errors (the raw mapping
+/// path can only fail as SIGBUS, which no test harness wants to catch).
+std::string_view ReadFileBytes(const io::MappedFile& file, util::IoShim* shim,
+                               uint64_t offset, uint64_t size,
+                               std::string* scratch) {
+  if (shim == nullptr) return file.View(offset, size);
+  scratch->resize(size);
+  uint64_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        shim->Pread(file.fd(), scratch->data() + done, size - done,
+                    static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pread failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error("pread hit end of file (truncated file)");
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  return std::string_view(*scratch);
+}
+
+}  // namespace
+
+BlockSet BlockSet::OpenMapped(const std::string& path,
+                              const LazyOpenOptions& options) {
+  io::MappedFile file = io::MappedFile::Open(path);
+  serialize::SetManifest m;
+  {
+    io::ViewStream manifest_stream(file.data(), file.size());
+    m = serialize::ReadSetManifest(manifest_stream);
+  }
+  const uint64_t k = m.shard_count;
+  // The whole payload region and the pending section must be inside the
+  // mapping: checked once here so later faults can never run off the end
+  // of the file (which would be a SIGBUS, not an exception).
+  if (file.size() < m.manifest_bytes + m.payload_bytes + m.pending_bytes) {
+    throw std::runtime_error(
+        "geoblocks: mapped BlockSet file is shorter than its manifest "
+        "promises");
+  }
+
+  BlockSet set;
+  set.align_level_ = m.align_level;
+  set.total_rows_ = m.total_rows;
+  set.change_number_.store(m.change_number, std::memory_order_relaxed);
+  set.boundaries_ = std::move(m.boundaries);
+  set.windows_.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    set.windows_[i] = {m.window_offsets[i], m.window_rows[i]};
+  }
+
+  auto src = std::make_shared<LazySource>();
+  src->file = std::move(file);
+  src->shim = options.shim;
+  src->payload_base = m.manifest_bytes;
+  src->payload_offsets = std::move(m.payload_offsets);
+  src->payload_sizes = std::move(m.payload_sizes);
+  src->payload_crcs = std::move(m.payload_crcs);
+  src->state_rows = std::move(m.state_rows);
+  src->window_rows = std::move(m.window_rows);
+  src->manifest_change_number = m.change_number;
+  set.source_ = std::move(src);
+  set.governor_ = options.governor;
+
+  set.blocks_.reserve(k);
+  set.residency_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    // Each shard starts as a tombstone shell: "mapped, not materialized".
+    // The block object (and its snapshot cell) is the one readers, caches,
+    // and queued merges will hold for the set's whole life — fault-in and
+    // eviction republish INTO it, never replace it.
+    auto shell = std::make_unique<GeoBlock>();
+    shell->EvictState();
+    set.blocks_.push_back(std::move(shell));
+    set.writers_.push_back(std::make_shared<ShardWriter>());
+    set.residency_.push_back(std::make_shared<ShardResidency>());
+  }
+
+  // Shard 0 is materialized eagerly: it carries the level / projection /
+  // schema width every later fault is cross-checked against, and decoding
+  // the pending section needs the schema width.
+  {
+    std::lock_guard<std::mutex> lock(set.residency_[0]->mu);
+    set.MaterializeShardLocked(0);
+  }
+  set.level_ = set.blocks_[0]->level();
+  set.projection_ = set.blocks_[0]->projection();
+
+  // The pending section is restored eagerly, exactly like ReadFrom:
+  // buffered tuples must be queryable-after-merge without depending on
+  // which shards ever fault in.
+  std::string scratch;
+  const std::string_view pending =
+      ReadFileBytes(set.source_->file, set.source_->shim,
+                    m.manifest_bytes + m.payload_bytes, m.pending_bytes,
+                    &scratch);
+  set.RestorePendingTuples(pending, m.pending_crc);
+
+  if (set.governor_ != nullptr) {
+    for (size_t i = 0; i < k; ++i) set.RegisterShardEntry(i);
+  }
+  set.dataset_attached_ = false;
+  return set;
+}
+
+void BlockSet::MaterializeShardLocked(size_t s) const {
+  const LazySource& src = *source_;
+  std::string scratch;
+  try {
+    const std::string_view payload = ReadFileBytes(
+        src.file, src.shim, src.payload_base + src.payload_offsets[s],
+        src.payload_sizes[s], &scratch);
+    // First materialization adopts the payload's configuration (level,
+    // schema, projection, filter) and seeds the routing hull; a re-fault
+    // after eviction must not rewrite them — readers may be looking, and
+    // the manifest cross-checks prove the re-loaded values are identical.
+    const bool first =
+        !residency_[s]->hull_known.load(std::memory_order_relaxed);
+    std::unique_ptr<GeoBlock> loaded = ParseShardPayload(
+        payload, src.payload_crcs[s], src.state_rows[s], src.window_rows[s],
+        src.manifest_change_number, s == 0 ? nullptr : blocks_[0].get());
+    blocks_[s]->AdoptDeserialized(std::move(*loaded), /*adopt_config=*/first);
+  } catch (const std::exception& e) {
+    // Typed containment: the caller learns which shard is damaged; the
+    // set stays healthy (this shard stays a tombstone and throws the same
+    // way on the next route to it; every other shard is unaffected).
+    throw ShardFaultError(s, e.what());
+  }
+  residency_[s]->hull_known.store(true, std::memory_order_release);
+  residency_[s]->resident.store(true, std::memory_order_release);
+  residency_[s]->faults.fetch_add(1, std::memory_order_relaxed);
+  if (governor_ != nullptr && residency_[s]->entry != nullptr) {
+    governor_->RecordFault(residency_[s]->entry);
+  }
+}
+
+std::shared_ptr<const BlockState> BlockSet::ResidentState(
+    size_t s, bool rebalance) const {
+  GeoBlock& block = *blocks_[s];
+  std::shared_ptr<const BlockState> state = block.StateSnapshot();
+  if (!state->evicted) {
+    if (governor_ != nullptr && residency_[s]->entry != nullptr) {
+      governor_->Touch(residency_[s]->entry);
+    }
+    return state;
+  }
+  {
+    std::lock_guard<std::mutex> lock(residency_[s]->mu);
+    state = block.StateSnapshot();
+    if (state->evicted) {
+      MaterializeShardLocked(s);
+      // Pinning under r.mu guarantees a non-tombstone: eviction needs this
+      // lock, so even an immediate re-eviction cannot beat the pin — the
+      // caller always folds real data, and fault-evict races can never
+      // livelock a reader.
+      state = block.StateSnapshot();
+    }
+  }
+  // Outside every shard lock: charge the fault and (on query paths) let
+  // the governor evict colder entries to pay for it. Never inside a shard
+  // lock — the evict callbacks take other shards' locks.
+  if (governor_ != nullptr && residency_[s]->entry != nullptr) {
+    governor_->UpdateCharge(residency_[s]->entry);
+    if (rebalance) governor_->EnsureBudget();
+  }
+  return state;
+}
+
+void BlockSet::EnsureResident(size_t s) const {
+  if (source_ == nullptr) return;
+  if (!blocks_[s]->StateSnapshot()->evicted) return;
+  std::lock_guard<std::mutex> lock(residency_[s]->mu);
+  if (!blocks_[s]->StateSnapshot()->evicted) return;
+  MaterializeShardLocked(s);
+}
+
+size_t BlockSet::resident_shards() const {
+  if (source_ == nullptr) return blocks_.size();
+  size_t n = 0;
+  for (const std::shared_ptr<ShardResidency>& r : residency_) {
+    if (r->resident.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+uint64_t BlockSet::shard_fault_count() const {
+  uint64_t n = 0;
+  for (const std::shared_ptr<ShardResidency>& r : residency_) {
+    n += r->faults.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void BlockSet::RegisterShardEntry(size_t s) {
+  if (governor_ == nullptr || source_ == nullptr) return;
+  const std::shared_ptr<ShardResidency> res = residency_[s];
+  if (res->entry != nullptr) {
+    governor_->Unregister(res->entry);
+    res->entry = nullptr;
+  }
+  GeoBlock* block = blocks_[s].get();
+  const std::shared_ptr<ShardWriter> writer = writers_[s];
+  // Callbacks capture the stable per-shard objects (block address, writer
+  // record, residency record) — never the movable set.
+  res->entry = governor_->Register(
+      "shard:" + std::to_string(s),
+      [block] {
+        const std::shared_ptr<const BlockState> st = block->StateSnapshot();
+        // Tombstones charge nothing; resident states charge their
+        // aggregate arrays plus a small fixed node overhead.
+        return st->evicted ? size_t{0} : st->CellAggregateBytes() + 256;
+      },
+      [block, writer, res] {
+        // Lock order: (governor cb_mu) -> w.mu -> r.mu.
+        std::lock_guard<std::mutex> w_lock(writer->mu);
+        if (!writer->alive) return false;  // set torn down or re-wired
+        if (writer->pending_count.load(std::memory_order_relaxed) > 0) {
+          // Unmerged buffered tuples need the resident state to merge
+          // into; evicting now would lose them at merge time.
+          return false;
+        }
+        if (res->dirty.load(std::memory_order_acquire)) {
+          // The in-memory state diverged from the mapped payload (or the
+          // mapping went stale after a checkpoint): a re-fault would
+          // resurrect old data — acknowledged updates must never be lost.
+          return false;
+        }
+        std::lock_guard<std::mutex> r_lock(res->mu);
+        if (block->StateSnapshot()->evicted) return false;  // already cold
+        block->EvictState();
+        res->resident.store(false, std::memory_order_release);
+        return true;
+      });
+}
+
+void BlockSet::RegisterTrieEntry(size_t s) {
+  if (governor_ == nullptr || source_ == nullptr || !cache_enabled()) return;
+  const std::shared_ptr<ShardResidency> res = residency_[s];
+  if (res->trie_entry != nullptr) {
+    governor_->Unregister(res->trie_entry);
+    res->trie_entry = nullptr;
+  }
+  const GeoBlockQC* qc = cached_[s].get();
+  res->trie_entry = governor_->Register(
+      "trie:" + std::to_string(s), [qc] { return qc->TrieBytes(); },
+      [qc] {
+        // The trie is a pure accelerator over the block state: dropping
+        // it can never lose data, so trie eviction always succeeds (the
+        // next RebuildCache repopulates it from statistics).
+        qc->DropTrie();
+        return true;
+      });
+}
+
+void BlockSet::UnregisterGovernorEntries() {
+  if (governor_ == nullptr) return;
+  for (const std::shared_ptr<ShardResidency>& res : residency_) {
+    if (res == nullptr) continue;
+    if (res->entry != nullptr) {
+      governor_->Unregister(res->entry);
+      res->entry = nullptr;
+    }
+    if (res->trie_entry != nullptr) {
+      governor_->Unregister(res->trie_entry);
+      res->trie_entry = nullptr;
+    }
+  }
+}
+
+}  // namespace geoblocks::core

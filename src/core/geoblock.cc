@@ -597,6 +597,9 @@ GeoBlock::UpdateResult GeoBlock::ApplyBatchUpdate(
   std::shared_ptr<BlockState> next = arena_->Acquire();
   next->header = cur->header;
   next->num_columns = num_columns_;
+  // A recycled spare may be a retired eviction tombstone; successors are
+  // always real, materialized versions.
+  next->evicted = false;
   auto counts = CloneReusing(&next->counts, *cur->counts);
   auto min_keys = CloneReusing(&next->min_keys, *cur->min_keys);
   auto max_keys = CloneReusing(&next->max_keys, *cur->max_keys);
@@ -731,6 +734,45 @@ size_t GeoBlock::MergeNewRegionTuples(std::span<const UpdateTuple> batch) {
 
   PublishState(b.Finish());
   return new_cells;
+}
+
+// ---------------------------------------------------------------------------
+// Lazy materialization plane (BlockSet::OpenMapped machinery)
+// ---------------------------------------------------------------------------
+
+void GeoBlock::AdoptDeserialized(GeoBlock&& loaded, bool adopt_config) {
+  std::shared_ptr<const BlockState> state = loaded.StateSnapshot();
+  if (adopt_config) {
+    // First materialization: no reader has ever seen this shard's
+    // configuration (BlockSet routes cold shards by manifest boundaries
+    // and serializes them through the residency lock), so the scalar
+    // fields are safe to set exactly once here. On a re-fault they are
+    // left alone — the manifest cross-checks guarantee the re-loaded
+    // values are identical, and rewriting them would race readers.
+    filter_ = std::move(loaded.filter_);
+    projection_ = loaded.projection_;
+    level_ = loaded.level_;
+    num_columns_ = loaded.num_columns_;
+  }
+  // Publish through the existing cell: readers and the shard's
+  // GeoBlockQC keep their pointers; the routing mirror advances to the
+  // loaded hull (identical to the manifest hull on a re-fault).
+  PublishState(std::move(state));
+}
+
+void GeoBlock::EvictState() {
+  auto tomb = std::make_shared<BlockState>();
+  tomb->evicted = true;
+  tomb->header.level = level_;
+  tomb->num_columns = num_columns_;
+  // Publish the tombstone through the normal epoch swap — the retired
+  // version is freed only after its grace period drains, so pinned
+  // readers keep answering bitwise-stably from it. The routing atomics
+  // stay at the (manifest-true) hull of the evicted clean shard.
+  state_->Publish(std::move(tomb));
+  // The retire hook may have parked the big retired version as an arena
+  // spare; eviction exists to reclaim those bytes.
+  arena_->Clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -79,6 +79,17 @@ struct BlockState {
   BlockHeader header;
   size_t num_columns = 0;
 
+  /// True only for the eviction tombstone a lazily opened BlockSet
+  /// publishes when a shard is dropped back to "mapped, not
+  /// materialized" (and for the initial shell of a never-materialized
+  /// lazy shard). A tombstone holds empty arrays, so every query method
+  /// on it folds nothing — readers that can fault the shard back in
+  /// (BlockSet) check this flag and re-materialize instead of answering
+  /// from it; pinned snapshots of *real* versions are unaffected
+  /// (eviction unpublishes, it never frees in place). Successor-building
+  /// commits always clear the flag.
+  bool evicted = false;
+
   /// Parallel arrays, one entry per non-empty grid cell, ascending by cell
   /// id. Each array is individually refcounted so a clone-patch-publish
   /// update copies only the arrays it changes (an in-place aggregate patch
@@ -173,6 +184,11 @@ class StateArena {
     }
     return std::make_shared<BlockState>();
   }
+
+  /// Drops every spare. Eviction calls this after unpublishing a shard:
+  /// the point of evicting is reclaiming bytes, and a retired multi-
+  /// megabyte version parked here as a spare would defeat it.
+  void Clear() { spares_.clear(); }
 
  private:
   static constexpr size_t kMaxSpares = 4;
@@ -540,6 +556,50 @@ class GeoBlock {
   /// @throws std::runtime_error on bad magic, an unsupported version,
   ///     truncation, or inconsistent array lengths.
   static GeoBlock ReadFrom(std::istream& in);
+
+  /// WriteTo for an explicitly pinned state version: BlockSet::WriteTo
+  /// pins each shard's state once and serializes exactly that version, so
+  /// the payload and the manifest row count can never disagree even with
+  /// concurrent eviction/re-fault traffic. `state` must be a (current or
+  /// pinned) version of *this* block and must not be a tombstone.
+  ///
+  /// @param out   Destination stream (open in binary mode).
+  /// @param state The version to persist.
+  void WriteStateTo(std::ostream& out, const BlockState& state) const;
+
+  // -- Lazy materialization plane (BlockSet::OpenMapped machinery) --------
+  //
+  // A lazily opened set constructs its shard GeoBlocks as empty shells
+  // whose published state is a tombstone (`BlockState::evicted`), then
+  // materializes each shard on first route by deserializing its payload
+  // and publishing the loaded state INTO the existing block — the block
+  // object, its SnapshotCell, and the pointers GeoBlockQC and concurrent
+  // readers hold all stay valid. Both calls below are state-cell writes
+  // and must obey the external-serialization contract BlockSet provides
+  // (per-shard writer/residency locks; see docs/ARCHITECTURE.md §Memory
+  // governance for the exact lock pairing).
+
+  /// Publishes `loaded`'s state (a GeoBlock::ReadFrom result) through
+  /// this block's cell. With `adopt_config` (first materialization) the
+  /// scalar configuration — level, schema width, projection, filter — is
+  /// copied too and the routing atomics are seeded; a re-fault after
+  /// eviction passes false, because the configuration is immutable once
+  /// readers may be looking at it (the manifest cross-checks guarantee
+  /// the re-loaded values are identical anyway) and the routing hull of a
+  /// clean shard never moved.
+  ///
+  /// @param loaded       The freshly deserialized block (consumed).
+  /// @param adopt_config True on first materialization only.
+  void AdoptDeserialized(GeoBlock&& loaded, bool adopt_config);
+
+  /// Drops the shard back to "mapped, not materialized": publishes an
+  /// eviction tombstone through the normal SnapshotCell swap, so the
+  /// grace period retires (frees) the old version only after every
+  /// pinned reader drains — never free-in-place. The routing atomics are
+  /// deliberately left untouched: only clean shards are evictable, so
+  /// the published hull still equals the manifest hull and routing stays
+  /// precise while the shard is cold.
+  void EvictState();
 
   // Raw cell-aggregate accessors (tests, serialization, the trie builder —
   // writer-quiesced use only; see the class comment).

@@ -25,7 +25,9 @@
 #include "core/aggregate_trie.h"
 #include "core/block_set.h"
 #include "core/geoblock.h"
+#include "core/memory_governor.h"
 #include "core/update_codec.h"
+#include "io/mapped_file.h"
 
 namespace geoblocks::core {
 
@@ -110,11 +112,17 @@ storage::Filter ReadFilter(std::istream& in, size_t num_columns) {
 // ---------------------------------------------------------------------------
 
 void GeoBlock::WriteTo(std::ostream& out) const {
-  serialize::RequireLittleEndianHost();
   // The currently published MVCC version is what persists: a block that
   // received updates writes the updated aggregates (docs/FORMAT.md,
   // "Updates and re-serialization").
   const std::shared_ptr<const BlockState> state = StateSnapshot();
+  WriteStateTo(out, *state);
+}
+
+void GeoBlock::WriteStateTo(std::ostream& out, const BlockState& state_ref)
+    const {
+  serialize::RequireLittleEndianHost();
+  const BlockState* state = &state_ref;
   WritePod(out, serialize::kBlockMagic);
   WritePod(out, serialize::kBlockVersion);
   WritePod<int32_t>(out, state->header.level);
@@ -258,18 +266,24 @@ void BlockSet::WriteTo(std::ostream& out) const {
   }
 
   // Serialize every shard payload first: the manifest needs their sizes
-  // and checksums. Capture each shard's published row count for the
-  // manifest's exact cross-check; with writers quiesced (the documented
-  // requirement for persisting) it is the same state the payload captured.
+  // and checksums. Each shard's state is pinned ONCE and both the payload
+  // and the manifest's state_rows cross-check come from that same pinned
+  // version, so the two can never disagree — not even on a lazily opened
+  // set where the governor may evict (unpublish) the shard between the
+  // two reads. On a lazy set, cold shards are faulted in first (a
+  // tombstone has no aggregates to persist).
   std::vector<std::string> payloads;
   std::vector<uint64_t> state_rows;
   payloads.reserve(k);
   state_rows.reserve(k);
-  for (const std::unique_ptr<GeoBlock>& b : blocks_) {
+  for (size_t i = 0; i < k; ++i) {
+    const std::shared_ptr<const BlockState> state =
+        source_ != nullptr ? ResidentState(i, /*rebalance=*/false)
+                           : blocks_[i]->StateSnapshot();
     std::ostringstream payload(std::ios::binary);
-    b->WriteTo(payload);
+    blocks_[i]->WriteStateTo(payload, *state);
     payloads.push_back(std::move(payload).str());
-    state_rows.push_back(b->StateSnapshot()->header.global.count);
+    state_rows.push_back(state->header.global.count);
   }
 
   // The pending-updates section: every still-buffered new-region tuple,
@@ -323,28 +337,32 @@ void BlockSet::WriteTo(std::ostream& out) const {
   }
   out.write(pending_section.data(),
             static_cast<std::streamsize>(pending_section.size()));
+  // Persisting a lazy set faulted every cold shard in; hand the overshoot
+  // back to the governor now that the payloads are on their way out.
+  if (source_ != nullptr && governor_ != nullptr) governor_->EnsureBudget();
 }
 
-BlockSet BlockSet::ReadFrom(std::istream& in) {
-  serialize::RequireLittleEndianHost();
+namespace serialize {
+
+SetManifest ReadSetManifest(std::istream& in) {
+  RequireLittleEndianHost();
   // Fixed 40-byte prefix: enough to learn K and size the rest.
   char prefix[40];
   in.read(prefix, sizeof(prefix));
   if (!in) throw std::runtime_error("geoblocks: truncated BlockSet manifest");
   uint32_t magic, version, flags;
-  int32_t align_level;
-  uint64_t k, total_rows, change_number;
+  SetManifest m;
   std::memcpy(&magic, prefix + 0, 4);
   std::memcpy(&version, prefix + 4, 4);
   std::memcpy(&flags, prefix + 8, 4);
-  std::memcpy(&align_level, prefix + 12, 4);
-  std::memcpy(&k, prefix + 16, 8);
-  std::memcpy(&total_rows, prefix + 24, 8);
-  std::memcpy(&change_number, prefix + 32, 8);
-  if (magic != serialize::kSetMagic) {
+  std::memcpy(&m.align_level, prefix + 12, 4);
+  std::memcpy(&m.shard_count, prefix + 16, 8);
+  std::memcpy(&m.total_rows, prefix + 24, 8);
+  std::memcpy(&m.change_number, prefix + 32, 8);
+  if (magic != kSetMagic) {
     throw std::runtime_error("geoblocks: not a BlockSet stream");
   }
-  if (version != serialize::kSetVersion) {
+  if (version != kSetVersion) {
     throw std::runtime_error("geoblocks: unsupported BlockSet version");
   }
   if (flags != 0) {
@@ -352,7 +370,8 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
     // does not implement (docs/FORMAT.md §Versioning).
     throw std::runtime_error("geoblocks: unsupported BlockSet flags");
   }
-  if (k == 0 || k > serialize::kMaxManifestShards) {
+  const uint64_t k = m.shard_count;
+  if (k == 0 || k > kMaxManifestShards) {
     throw std::runtime_error("geoblocks: implausible BlockSet shard count");
   }
 
@@ -365,10 +384,11 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
   in.read(manifest.data() + sizeof(prefix),
           static_cast<std::streamsize>(rest_bytes));
   if (!in) throw std::runtime_error("geoblocks: truncated BlockSet manifest");
+  m.manifest_bytes = manifest.size();
   uint32_t stored_crc;
   std::memcpy(&stored_crc, manifest.data() + manifest.size() - 4, 4);
   const std::string_view checksummed(manifest.data(), manifest.size() - 4);
-  if (serialize::Crc32(checksummed) != stored_crc) {
+  if (Crc32(checksummed) != stored_crc) {
     throw std::runtime_error("geoblocks: BlockSet manifest checksum mismatch");
   }
 
@@ -383,120 +403,112 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
     return v;
   };
 
-  BlockSet set;
-  set.align_level_ = align_level;
-  set.total_rows_ = total_rows;
-  set.change_number_.store(change_number, std::memory_order_relaxed);
   size_t pos = sizeof(prefix);
-  set.boundaries_.resize(k + 1);
+  m.boundaries.resize(k + 1);
   for (size_t i = 0; i <= k; ++i, pos += 8) {
-    set.boundaries_[i] = read_u64_at(pos);
-    if (i > 0 && set.boundaries_[i] < set.boundaries_[i - 1]) {
+    m.boundaries[i] = read_u64_at(pos);
+    if (i > 0 && m.boundaries[i] < m.boundaries[i - 1]) {
       throw std::runtime_error(
           "geoblocks: BlockSet manifest boundaries not ascending");
     }
   }
-  set.windows_.resize(k);
+  m.window_offsets.resize(k);
+  m.window_rows.resize(k);
   uint64_t next_row = 0;
   for (size_t i = 0; i < k; ++i, pos += 16) {
-    set.windows_[i] = {read_u64_at(pos), read_u64_at(pos + 8)};
-    if (set.windows_[i].offset != next_row) {
+    m.window_offsets[i] = read_u64_at(pos);
+    m.window_rows[i] = read_u64_at(pos + 8);
+    if (m.window_offsets[i] != next_row) {
       throw std::runtime_error(
           "geoblocks: BlockSet manifest windows not contiguous");
     }
-    next_row += set.windows_[i].num_rows;
+    next_row += m.window_rows[i];
   }
-  if (next_row != total_rows) {
+  if (next_row != m.total_rows) {
     throw std::runtime_error(
         "geoblocks: BlockSet manifest row total does not match the windows");
   }
-  std::vector<uint64_t> state_rows(k);
-  for (size_t i = 0; i < k; ++i, pos += 8) state_rows[i] = read_u64_at(pos);
-  std::vector<uint64_t> payload_sizes(k);
+  m.state_rows.resize(k);
+  for (size_t i = 0; i < k; ++i, pos += 8) m.state_rows[i] = read_u64_at(pos);
+  m.payload_offsets.resize(k);
+  m.payload_sizes.resize(k);
   uint64_t next_byte = 0;
   for (size_t i = 0; i < k; ++i, pos += 16) {
-    const uint64_t byte_offset = read_u64_at(pos);
-    payload_sizes[i] = read_u64_at(pos + 8);
-    if (byte_offset != next_byte ||
-        payload_sizes[i] > serialize::kMaxPayloadBytes) {
+    m.payload_offsets[i] = read_u64_at(pos);
+    m.payload_sizes[i] = read_u64_at(pos + 8);
+    if (m.payload_offsets[i] != next_byte ||
+        m.payload_sizes[i] > kMaxPayloadBytes) {
       throw std::runtime_error(
           "geoblocks: BlockSet manifest payload table is inconsistent");
     }
-    next_byte += payload_sizes[i];
+    next_byte += m.payload_sizes[i];
   }
-  std::vector<uint32_t> payload_crcs(k);
-  for (size_t i = 0; i < k; ++i, pos += 4) payload_crcs[i] = read_u32_at(pos);
-  const uint64_t pending_bytes = read_u64_at(pos);
+  m.payload_bytes = next_byte;
+  m.payload_crcs.resize(k);
+  for (size_t i = 0; i < k; ++i, pos += 4) {
+    m.payload_crcs[i] = read_u32_at(pos);
+  }
+  m.pending_bytes = read_u64_at(pos);
   pos += 8;
-  const uint32_t pending_crc = read_u32_at(pos);
-  if (pending_bytes > serialize::kMaxPayloadBytes) {
+  m.pending_crc = read_u32_at(pos);
+  if (m.pending_bytes > kMaxPayloadBytes) {
     throw std::runtime_error(
         "geoblocks: implausible BlockSet pending section size");
   }
+  return m;
+}
 
-  // Shard payloads: checksum each one, then parse it in isolation so a
-  // payload that lies about its length cannot bleed into its neighbor.
-  set.blocks_.reserve(k);
-  std::string payload;
-  for (size_t i = 0; i < k; ++i) {
-    payload.resize(payload_sizes[i]);
-    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!in) {
-      throw std::runtime_error("geoblocks: truncated BlockSet shard payload");
-    }
-    if (serialize::Crc32(payload) != payload_crcs[i]) {
-      throw std::runtime_error(
-          "geoblocks: BlockSet shard payload checksum mismatch");
-    }
-    std::istringstream payload_stream(payload, std::ios::binary);
-    set.blocks_.push_back(
-        std::make_unique<GeoBlock>(GeoBlock::ReadFrom(payload_stream)));
-    set.writers_.push_back(std::make_shared<BlockSet::ShardWriter>());
-    if (payload_stream.peek() != std::istringstream::traits_type::eof()) {
-      throw std::runtime_error(
-          "geoblocks: BlockSet shard payload has trailing bytes");
-    }
-    const GeoBlock& b = *set.blocks_.back();
-    if (b.level() != set.blocks_.front()->level() ||
-        b.num_columns() != set.blocks_.front()->num_columns()) {
-      throw std::runtime_error(
-          "geoblocks: BlockSet shards disagree on level or schema width");
-    }
-    // Exact manifest ↔ payload cross-check: the manifest records each
-    // shard's post-update row count (state_rows), so the payload's global
-    // count must equal it — no permissive `>=` (docs/FORMAT.md, "Updates
-    // and re-serialization").
-    if (b.header().global.count != state_rows[i]) {
-      throw std::runtime_error(
-          "geoblocks: BlockSet shard row count does not match its manifest "
-          "state rows");
-    }
-    // And on a never-updated set without a filter, every window row was
-    // aggregated, so the state rows must equal the window exactly.
-    if (change_number == 0 && b.filter().IsTrue() &&
-        state_rows[i] != set.windows_[i].num_rows) {
-      throw std::runtime_error(
-          "geoblocks: BlockSet shard row count does not match its manifest "
-          "window");
-    }
-  }
+}  // namespace serialize
 
-  // Pending-updates section: checksum, then restore each shard's buffered
-  // new-region tuples exactly as they were saved.
-  std::string pending_section(pending_bytes, '\0');
-  in.read(pending_section.data(),
-          static_cast<std::streamsize>(pending_section.size()));
-  if (!in) {
+std::unique_ptr<GeoBlock> BlockSet::ParseShardPayload(
+    std::string_view payload, uint32_t expected_crc, uint64_t state_rows,
+    uint64_t window_rows, uint64_t manifest_change_number,
+    const GeoBlock* reference) {
+  if (serialize::Crc32(payload) != expected_crc) {
     throw std::runtime_error(
-        "geoblocks: truncated BlockSet pending section");
+        "geoblocks: BlockSet shard payload checksum mismatch");
   }
-  if (serialize::Crc32(pending_section) != pending_crc) {
+  io::ViewStream payload_stream(payload);
+  auto block = std::make_unique<GeoBlock>(GeoBlock::ReadFrom(payload_stream));
+  if (payload_stream.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet shard payload has trailing bytes");
+  }
+  if (reference != nullptr &&
+      (block->level() != reference->level() ||
+       block->num_columns() != reference->num_columns())) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet shards disagree on level or schema width");
+  }
+  // Exact manifest ↔ payload cross-check: the manifest records each
+  // shard's post-update row count (state_rows), so the payload's global
+  // count must equal it — no permissive `>=` (docs/FORMAT.md, "Updates
+  // and re-serialization").
+  if (block->header().global.count != state_rows) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet shard row count does not match its manifest "
+        "state rows");
+  }
+  // And on a never-updated set without a filter, every window row was
+  // aggregated, so the state rows must equal the window exactly.
+  if (manifest_change_number == 0 && block->filter().IsTrue() &&
+      state_rows != window_rows) {
+    throw std::runtime_error(
+        "geoblocks: BlockSet shard row count does not match its manifest "
+        "window");
+  }
+  return block;
+}
+
+void BlockSet::RestorePendingTuples(std::string_view pending_section,
+                                    uint32_t expected_crc) {
+  if (serialize::Crc32(pending_section) != expected_crc) {
     throw std::runtime_error(
         "geoblocks: BlockSet pending section checksum mismatch");
   }
   size_t pending_pos = 0;
-  const size_t num_columns = set.blocks_.front()->num_columns();
-  for (size_t i = 0; i < k; ++i) {
+  const size_t num_columns = blocks_.front()->num_columns();
+  for (size_t i = 0; i < blocks_.size(); ++i) {
     if (pending_section.size() - pending_pos < 8) {
       throw std::runtime_error(
           "geoblocks: truncated BlockSet pending section");
@@ -513,7 +525,7 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
             "schema");
       }
     }
-    ShardWriter& w = *set.writers_[i];
+    ShardWriter& w = *writers_[i];
     w.pending_count.store(tuples.size(), std::memory_order_relaxed);
     w.pending = std::move(tuples);
   }
@@ -521,6 +533,52 @@ BlockSet BlockSet::ReadFrom(std::istream& in) {
     throw std::runtime_error(
         "geoblocks: BlockSet pending section has trailing bytes");
   }
+}
+
+BlockSet BlockSet::ReadFrom(std::istream& in) {
+  serialize::RequireLittleEndianHost();
+  // Shared header pass: the eager and lazy (OpenMapped) loaders validate
+  // the same manifest the same way; they differ only in when payload bytes
+  // are touched (here: immediately; lazily: on first route to the shard).
+  const serialize::SetManifest m = serialize::ReadSetManifest(in);
+  const uint64_t k = m.shard_count;
+
+  BlockSet set;
+  set.align_level_ = m.align_level;
+  set.total_rows_ = m.total_rows;
+  set.change_number_.store(m.change_number, std::memory_order_relaxed);
+  set.boundaries_ = m.boundaries;
+  set.windows_.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    set.windows_[i] = {m.window_offsets[i], m.window_rows[i]};
+  }
+
+  // Shard payloads: checksum each one, then parse it in isolation so a
+  // payload that lies about its length cannot bleed into its neighbor.
+  set.blocks_.reserve(k);
+  std::string payload;
+  for (size_t i = 0; i < k; ++i) {
+    payload.resize(m.payload_sizes[i]);
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!in) {
+      throw std::runtime_error("geoblocks: truncated BlockSet shard payload");
+    }
+    set.blocks_.push_back(ParseShardPayload(
+        payload, m.payload_crcs[i], m.state_rows[i], m.window_rows[i],
+        m.change_number, i == 0 ? nullptr : set.blocks_.front().get()));
+    set.writers_.push_back(std::make_shared<BlockSet::ShardWriter>());
+  }
+
+  // Pending-updates section: checksum, then restore each shard's buffered
+  // new-region tuples exactly as they were saved.
+  std::string pending_section(m.pending_bytes, '\0');
+  in.read(pending_section.data(),
+          static_cast<std::streamsize>(pending_section.size()));
+  if (!in) {
+    throw std::runtime_error(
+        "geoblocks: truncated BlockSet pending section");
+  }
+  set.RestorePendingTuples(pending_section, m.pending_crc);
   set.level_ = set.blocks_.front()->level();
   set.projection_ = set.blocks_.front()->projection();
   set.dataset_attached_ = false;

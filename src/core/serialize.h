@@ -150,4 +150,54 @@ std::vector<T> ReadVector(std::istream& in) {
   return v;
 }
 
+// ---------------------------------------------------------------------------
+// BlockSet manifest
+// ---------------------------------------------------------------------------
+
+/// The decoded, CRC-verified and structurally validated BlockSet manifest
+/// (docs/FORMAT.md §BlockSet manifest): everything a reader needs to locate
+/// and cross-check each shard payload *without* touching payload bytes.
+/// Shared by the eager loader (BlockSet::ReadFrom) and the lazy one
+/// (BlockSet::OpenMapped) so the two paths can never drift in what they
+/// validate up front.
+struct SetManifest {
+  int32_t align_level = -1;
+  uint64_t shard_count = 0;
+  uint64_t total_rows = 0;
+  uint64_t change_number = 0;
+  /// Shard boundary keys, ascending; size shard_count + 1.
+  std::vector<uint64_t> boundaries;
+  /// Per-shard base-row windows (contiguous; sum == total_rows).
+  std::vector<uint64_t> window_offsets;
+  std::vector<uint64_t> window_rows;
+  /// Per-shard post-update global tuple counts — the exact cross-check
+  /// target for each shard's payload.
+  std::vector<uint64_t> state_rows;
+  /// Payload table: byte offsets relative to the end of the manifest,
+  /// contiguous, each size capped at kMaxPayloadBytes.
+  std::vector<uint64_t> payload_offsets;
+  std::vector<uint64_t> payload_sizes;
+  /// Per-shard payload CRC-32s (validated against each payload when it is
+  /// read — at load time on the eager path, at fault time on the lazy one).
+  std::vector<uint32_t> payload_crcs;
+  uint64_t pending_bytes = 0;
+  uint32_t pending_crc = 0;
+  /// Total manifest size including its trailing CRC: 64 + 52 * shard_count.
+  /// Payload offsets are relative to this position in the stream.
+  uint64_t manifest_bytes = 0;
+  /// Sum of payload_sizes (the payload region's total extent).
+  uint64_t payload_bytes = 0;
+};
+
+/// Reads and fully validates a BlockSet manifest from the current stream
+/// position: magic, version, flags, the manifest CRC, ascending boundaries,
+/// contiguous windows summing to total_rows, and a contiguous payload
+/// table. On return the stream is positioned at the first payload byte.
+///
+/// @param in Source stream (open in binary mode).
+/// @return The decoded manifest.
+/// @throws std::runtime_error on truncation, bad magic, an unsupported
+///     version or flags, a checksum mismatch, or structural inconsistency.
+SetManifest ReadSetManifest(std::istream& in);
+
 }  // namespace geoblocks::core::serialize

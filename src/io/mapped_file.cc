@@ -1,0 +1,113 @@
+#include "io/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace geoblocks::io {
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_), fd_(other.fd_) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+  other.fd_ = -1;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, size_t{0});
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void MappedFile::Reset() noexcept {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+    size_ = 0;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+MappedFile MappedFile::Open(const std::string& path) {
+  MappedFile file;
+  file.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd_ < 0) {
+    throw std::runtime_error("geoblocks: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(file.fd_, &st) != 0) {
+    throw std::runtime_error("geoblocks: cannot stat " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    throw std::runtime_error("geoblocks: not a regular file: " + path);
+  }
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    // An empty file maps to nothing; mmap(len=0) is EINVAL, and every
+    // valid GBST container is at least one manifest long anyway.
+    return file;
+  }
+  void* addr =
+      ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, file.fd_, 0);
+  if (addr == MAP_FAILED) {
+    throw std::runtime_error("geoblocks: cannot mmap " + path + ": " +
+                             std::strerror(errno));
+  }
+  file.addr_ = addr;
+  return file;
+}
+
+std::string_view MappedFile::View(size_t offset, size_t count) const {
+  if (offset > size_ || count > size_ - offset) {
+    throw std::out_of_range("geoblocks: mapped view out of range");
+  }
+  return std::string_view(data() + offset, count);
+}
+
+ViewStreambuf::pos_type ViewStreambuf::seekoff(
+    off_type off, std::ios_base::seekdir dir, std::ios_base::openmode which) {
+  if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+  char* base = eback();
+  off_type size = egptr() - base;
+  off_type target = 0;
+  switch (dir) {
+    case std::ios_base::beg:
+      target = off;
+      break;
+    case std::ios_base::cur:
+      target = (gptr() - base) + off;
+      break;
+    case std::ios_base::end:
+      target = size + off;
+      break;
+    default:
+      return pos_type(off_type(-1));
+  }
+  if (target < 0 || target > size) return pos_type(off_type(-1));
+  setg(base, base + target, base + size);
+  return pos_type(target);
+}
+
+ViewStreambuf::pos_type ViewStreambuf::seekpos(pos_type pos,
+                                               std::ios_base::openmode which) {
+  return seekoff(off_type(pos), std::ios_base::beg, which);
+}
+
+}  // namespace geoblocks::io

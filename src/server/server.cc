@@ -670,6 +670,15 @@ std::vector<std::pair<std::string, uint64_t>> QueryServer::BuildStats()
       {"server.read_only_rejected", s.read_only_rejected},
       {"server.update_dedup_hits", s.update_dedup_hits},
   };
+  if (options_.memory != nullptr) {
+    const core::MemoryGovernor::Stats m = options_.memory->stats();
+    entries.emplace_back("memory.resident_bytes", m.resident_bytes);
+    entries.emplace_back("memory.budget_bytes", m.budget_bytes);
+    entries.emplace_back("memory.evictions", m.evictions);
+    entries.emplace_back("memory.faults", m.faults);
+    entries.emplace_back("memory.refusals", m.refusals);
+    entries.emplace_back("memory.resident_shards", set_->resident_shards());
+  }
   for (const auto& [tenant, c] : governor_.Snapshot()) {
     const std::string prefix = "tenant." + std::to_string(tenant) + ".";
     entries.emplace_back(prefix + "requests", c.requests);

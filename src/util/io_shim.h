@@ -42,6 +42,11 @@ class IoShim {
     return ::pwrite(fd, buf, count, offset);
   }
 
+  /// @return As ::pread — bytes read, 0 at EOF, or -1 with errno set.
+  virtual ssize_t Pread(int fd, void* buf, size_t count, off_t offset) {
+    return ::pread(fd, buf, count, offset);
+  }
+
   /// @return As ::fsync — 0, or -1 with errno set.
   virtual int Fsync(int fd) { return ::fsync(fd); }
 
@@ -118,17 +123,26 @@ class FaultShim : public IoShim {
                uint64_t fail_times = kUnlimited) {
     Arm(&recv_, after_bytes, err, fail_times);
   }
+  /// Arms the pread fault (byte budget, like pwrite) — the lazy shard
+  /// fault-in path reads payloads through here, so chaos tests can model
+  /// a file truncated (short read, then EOF-as-error) or a dying device
+  /// (EIO) under a reader that must answer a typed error, not crash.
+  void ArmPread(uint64_t after_bytes, int err,
+                uint64_t fail_times = kUnlimited) {
+    Arm(&pread_, after_bytes, err, fail_times);
+  }
 
   /// Disarms every fault; counters are preserved.
   void Disarm() {
     std::lock_guard<std::mutex> lock(mu_);
-    for (Fault* f : {&pwrite_, &fsync_, &send_, &recv_}) {
+    for (Fault* f : {&pwrite_, &fsync_, &send_, &recv_, &pread_}) {
       f->budget = kUnlimited;
       f->fail_times = 0;
     }
   }
 
   Counters pwrite_counters() const { return Snapshot(pwrite_); }
+  Counters pread_counters() const { return Snapshot(pread_); }
   Counters fsync_counters() const { return Snapshot(fsync_); }
   Counters send_counters() const { return Snapshot(send_); }
   Counters recv_counters() const { return Snapshot(recv_); }
@@ -171,6 +185,15 @@ class FaultShim : public IoShim {
       return -1;
     }
     return IoShim::Recv(fd, buf, d.admit, flags);
+  }
+
+  ssize_t Pread(int fd, void* buf, size_t count, off_t offset) override {
+    const Decision d = Decide(&pread_, count);
+    if (d.inject_error) {
+      errno = d.err;
+      return -1;
+    }
+    return IoShim::Pread(fd, buf, d.admit, offset);
   }
 
  private:
@@ -235,6 +258,7 @@ class FaultShim : public IoShim {
   Fault fsync_;
   Fault send_;
   Fault recv_;
+  Fault pread_;
 };
 
 }  // namespace geoblocks::util

@@ -1,0 +1,392 @@
+// Lazy loading (BlockSet::OpenMapped): parity with the eager loader,
+// fault-in on first route, typed containment of corrupt payloads and
+// injected I/O errors, pending-buffer restoration, updates against a
+// mapped set, and WAL crash recovery from a mapped checkpoint.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/geoblock.h"
+#include "core/memory_governor.h"
+#include "core/serialize.h"
+#include "io/update_log.h"
+#include "storage/sharded_dataset.h"
+#include "util/io_shim.h"
+#include "workload/datagen.h"
+#include "workload/polygen.h"
+
+namespace geoblocks {
+namespace {
+
+using core::AggFn;
+using core::AggregateRequest;
+using core::BlockSet;
+using core::BlockSetOptions;
+using core::GeoBlock;
+using core::LazyOpenOptions;
+using core::MemoryGovernor;
+using core::QueryResult;
+using core::ShardFaultError;
+
+class LazyLoadTest : public ::testing::Test {
+ protected:
+  static constexpr int kLevel = 15;
+  static constexpr size_t kShards = 4;
+
+  static void SetUpTestSuite() {
+    raw_ = new storage::PointTable(workload::GenTaxi(30000, 21));
+    storage::ExtractOptions options;
+    options.clean_bounds = workload::NycBounds();
+    data_ = new std::shared_ptr<const storage::SortedDataset>(
+        std::make_shared<const storage::SortedDataset>(
+            storage::SortedDataset::Extract(*raw_, options)));
+    polygons_ = new std::vector<geo::Polygon>(
+        workload::Neighborhoods(*raw_, 20, 22));
+  }
+  static void TearDownTestSuite() {
+    delete polygons_;
+    delete data_;
+    delete raw_;
+    polygons_ = nullptr;
+    data_ = nullptr;
+    raw_ = nullptr;
+  }
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "lazy_load_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".gbst";
+    wal_path_ = path_ + ".wal";
+  }
+  void TearDown() override {
+    ::unlink(path_.c_str());
+    ::unlink(wal_path_.c_str());
+  }
+
+  static AggregateRequest Request() {
+    AggregateRequest req;
+    req.Add(AggFn::kCount);
+    req.Add(AggFn::kSum, 0);
+    req.Add(AggFn::kMin, 1);
+    req.Add(AggFn::kMax, 2);
+    req.Add(AggFn::kAvg, 3);
+    return req;
+  }
+
+  static BlockSet BuildSet(size_t k) {
+    storage::ShardOptions options;
+    options.num_shards = k;
+    options.align_level = kLevel;
+    return BlockSet::Build(storage::ShardedDataset::Partition(*data_, options),
+                           BlockSetOptions{{kLevel, {}}});
+  }
+
+  void WriteFile(const BlockSet& set) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    set.WriteTo(out);
+  }
+
+  BlockSet Eager() const {
+    std::ifstream in(path_, std::ios::binary);
+    return BlockSet::ReadFrom(in);
+  }
+
+  /// Asserts `lazy` answers every polygon bit-identically to `want`
+  /// through the uncached SELECT and COUNT paths (which fold shards in
+  /// the same deterministic order on both loaders).
+  static void ExpectBitIdentical(const BlockSet& lazy, const BlockSet& want) {
+    const AggregateRequest req = Request();
+    for (const geo::Polygon& poly : *polygons_) {
+      const auto covering = want.Cover(poly);
+      const QueryResult a = want.SelectCovering(covering, req);
+      const QueryResult b = lazy.SelectCovering(covering, req);
+      ASSERT_EQ(a.count, b.count);
+      ASSERT_EQ(a.values.size(), b.values.size());
+      for (size_t i = 0; i < a.values.size(); ++i) {
+        ASSERT_EQ(a.values[i], b.values[i]) << "value " << i;
+      }
+      ASSERT_EQ(want.CountCovering(covering), lazy.CountCovering(covering));
+    }
+  }
+
+  std::string ReadFileBytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+  }
+
+  /// A one-cell covering lying inside shard `s` (taken from the eager
+  /// twin, whose blocks are always materialized).
+  static std::vector<cell::CellId> ShardCovering(const BlockSet& eager,
+                                                 size_t s) {
+    const auto& cells = eager.shard(s).cells();
+    EXPECT_FALSE(cells.empty());
+    return {cell::CellId(cells[cells.size() / 2])};
+  }
+
+  static storage::PointTable* raw_;
+  static std::shared_ptr<const storage::SortedDataset>* data_;
+  static std::vector<geo::Polygon>* polygons_;
+
+  std::string path_;
+  std::string wal_path_;
+};
+
+storage::PointTable* LazyLoadTest::raw_ = nullptr;
+std::shared_ptr<const storage::SortedDataset>* LazyLoadTest::data_ = nullptr;
+std::vector<geo::Polygon>* LazyLoadTest::polygons_ = nullptr;
+
+TEST_F(LazyLoadTest, MappedAnswersBitIdenticalToEagerAcrossShardCounts) {
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{7}}) {
+    WriteFile(BuildSet(k));
+    const BlockSet eager = Eager();
+    const BlockSet mapped = BlockSet::OpenMapped(path_);
+    ASSERT_TRUE(mapped.lazy());
+    ASSERT_EQ(mapped.num_shards(), k);
+    EXPECT_EQ(mapped.level(), eager.level());
+    EXPECT_EQ(mapped.align_level(), eager.align_level());
+    EXPECT_EQ(mapped.total_rows(), eager.total_rows());
+    EXPECT_EQ(mapped.boundaries(), eager.boundaries());
+    ExpectBitIdentical(mapped, eager);
+    EXPECT_EQ(mapped.num_cells(), eager.num_cells());
+  }
+}
+
+TEST_F(LazyLoadTest, ShardsFaultInOnFirstRouteOnly) {
+  WriteFile(BuildSet(kShards));
+  const BlockSet eager = Eager();
+  const BlockSet mapped = BlockSet::OpenMapped(path_);
+  // Only shard 0 (the configuration donor) is materialized at open.
+  EXPECT_EQ(mapped.resident_shards(), 1u);
+  EXPECT_TRUE(mapped.shard_resident(0));
+  for (size_t s = 1; s < kShards; ++s) {
+    EXPECT_FALSE(mapped.shard_resident(s)) << "shard " << s;
+  }
+  const AggregateRequest req = Request();
+  // Touch one cold shard: exactly that shard materializes.
+  const auto covering = ShardCovering(eager, 2);
+  const QueryResult want = eager.SelectCovering(covering, req);
+  const QueryResult got = mapped.SelectCovering(covering, req);
+  EXPECT_EQ(want.count, got.count);
+  EXPECT_TRUE(mapped.shard_resident(2));
+  EXPECT_FALSE(mapped.shard_resident(1));
+  EXPECT_FALSE(mapped.shard_resident(3));
+  // A root covering routes through everything.
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  EXPECT_EQ(mapped.CountCovering(all), eager.CountCovering(all));
+  EXPECT_EQ(mapped.resident_shards(), kShards);
+  EXPECT_GE(mapped.shard_fault_count(), kShards);
+}
+
+TEST_F(LazyLoadTest, CachedQueriesServeFromMappedSet) {
+  WriteFile(BuildSet(kShards));
+  const BlockSet eager = Eager();
+  BlockSet mapped = BlockSet::OpenMapped(path_);
+  mapped.EnableCache(core::GeoBlockQC::Options{0.10, 0});
+  const AggregateRequest req = Request();
+  for (const geo::Polygon& poly : *polygons_) {
+    const auto covering = eager.Cover(poly);
+    const QueryResult want = eager.SelectCovering(covering, req);
+    const QueryResult got = mapped.SelectCoveringCached(covering, req);
+    ASSERT_EQ(want.count, got.count);
+    ASSERT_EQ(want.values.size(), got.values.size());
+    for (size_t i = 0; i < want.values.size(); ++i) {
+      ASSERT_NEAR(want.values[i], got.values[i],
+                  1e-9 * std::abs(want.values[i]) + 1e-9);
+    }
+  }
+  mapped.RebuildCaches();
+  for (const geo::Polygon& poly : *polygons_) {
+    const auto covering = eager.Cover(poly);
+    ASSERT_EQ(eager.CountCovering(covering),
+              mapped.SelectCoveringCached(covering, req).count);
+  }
+}
+
+TEST_F(LazyLoadTest, CorruptShardPayloadFaultsTypedAndStaysContained) {
+  WriteFile(BuildSet(kShards));
+  const BlockSet eager = Eager();
+
+  // Flip one byte in shard 2's payload; the manifest stays intact, so
+  // OpenMapped succeeds — the damage must surface at fault time, typed.
+  std::string bytes = ReadFileBytes();
+  core::serialize::SetManifest m;
+  {
+    std::istringstream in(bytes, std::ios::binary);
+    m = core::serialize::ReadSetManifest(in);
+  }
+  ASSERT_GT(m.payload_sizes[2], 0u);
+  const size_t victim =
+      m.manifest_bytes + m.payload_offsets[2] + m.payload_sizes[2] / 2;
+  bytes[victim] ^= 0x5A;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const BlockSet mapped = BlockSet::OpenMapped(path_);
+  const AggregateRequest req = Request();
+  const auto bad = ShardCovering(eager, 2);
+  try {
+    (void)mapped.SelectCovering(bad, req);
+    FAIL() << "faulting a corrupt payload must throw";
+  } catch (const ShardFaultError& e) {
+    EXPECT_EQ(e.shard, 2u);
+    EXPECT_NE(std::string(e.what()).find("shard 2"), std::string::npos);
+  }
+  // The set stays healthy: the damaged shard throws the same way again,
+  // every other shard keeps answering bit-identically.
+  EXPECT_THROW((void)mapped.SelectCovering(bad, req), ShardFaultError);
+  EXPECT_FALSE(mapped.shard_resident(2));
+  for (const size_t s : {size_t{0}, size_t{1}, size_t{3}}) {
+    const auto good = ShardCovering(eager, s);
+    EXPECT_EQ(mapped.SelectCovering(good, req).count,
+              eager.SelectCovering(good, req).count)
+        << "shard " << s;
+  }
+}
+
+TEST_F(LazyLoadTest, InjectedPreadErrorsAreContainedAndRetryable) {
+  WriteFile(BuildSet(kShards));
+  const BlockSet eager = Eager();
+  util::FaultShim shim;
+  LazyOpenOptions options;
+  options.shim = &shim;
+  const BlockSet mapped = BlockSet::OpenMapped(path_, options);
+
+  shim.ArmPread(0, EIO);
+  const auto covering = ShardCovering(eager, 1);
+  const AggregateRequest req = Request();
+  try {
+    (void)mapped.SelectCovering(covering, req);
+    FAIL() << "an injected EIO at fault time must throw";
+  } catch (const ShardFaultError& e) {
+    EXPECT_EQ(e.shard, 1u);
+  }
+  EXPECT_FALSE(mapped.shard_resident(1));
+
+  // The device recovers; the same shard faults in cleanly.
+  shim.Disarm();
+  EXPECT_EQ(mapped.SelectCovering(covering, req).count,
+            eager.SelectCovering(covering, req).count);
+  EXPECT_TRUE(mapped.shard_resident(1));
+  EXPECT_GT(shim.pread_counters().errors, 0u);
+}
+
+TEST_F(LazyLoadTest, PendingTuplesSurviveMappedOpenAndFlush) {
+  BlockSet built = BuildSet(kShards);
+  BlockSet::UpdateOptions update_options;
+  update_options.pending_rebuild_threshold = 0;  // manual flush only
+  built.ConfigureUpdates(update_options);
+
+  // New-region tuples buffer instead of applying.
+  std::vector<GeoBlock::UpdateTuple> fresh;
+  std::mt19937_64 rng(9);
+  while (fresh.size() < 24) {
+    const double x = (static_cast<double>(rng() % 100000) + 0.5) / 100000.0;
+    const double y = (static_cast<double>(rng() % 100000) + 0.5) / 100000.0;
+    const cell::CellId cell = cell::CellId::FromPoint({x, y}).Parent(kLevel);
+    bool taken = false;
+    for (size_t s = 0; s < built.num_shards() && !taken; ++s) {
+      const auto& cells = built.shard(s).cells();
+      taken = std::binary_search(cells.begin(), cells.end(), cell.id());
+    }
+    if (taken) continue;
+    GeoBlock::UpdateTuple t;
+    t.location = (*data_)->projection().FromUnit(cell.CenterPoint());
+    t.values.assign((*data_)->num_columns(), 1.0);
+    fresh.push_back(std::move(t));
+  }
+  const auto result = built.ApplyBatchUpdate(fresh);
+  ASSERT_EQ(result.buffered, 24u);
+  WriteFile(built);
+
+  BlockSet mapped = BlockSet::OpenMapped(path_);
+  EXPECT_EQ(mapped.PendingUpdateCount(), 24u);
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  const uint64_t base = (*data_)->num_rows();
+  EXPECT_EQ(mapped.CountCovering(all), base);
+  EXPECT_GT(mapped.FlushPendingUpdates(), 0u);
+  EXPECT_EQ(mapped.PendingUpdateCount(), 0u);
+  EXPECT_EQ(mapped.CountCovering(all), base + 24);
+}
+
+TEST_F(LazyLoadTest, UpdatesAgainstMappedSetMatchEager) {
+  WriteFile(BuildSet(kShards));
+  BlockSet eager = Eager();
+  BlockSet mapped = BlockSet::OpenMapped(path_);
+
+  // In-cell tuples spread over every shard, applied to both twins.
+  std::vector<GeoBlock::UpdateTuple> batch;
+  std::mt19937_64 rng(17);
+  for (size_t i = 0; i < 200; ++i) {
+    const size_t s = rng() % kShards;
+    const auto& cells = eager.shard(s).cells();
+    const geo::Point unit =
+        cell::CellId(cells[rng() % cells.size()]).CenterPoint();
+    GeoBlock::UpdateTuple t;
+    t.location = (*data_)->projection().FromUnit(unit);
+    t.values.assign((*data_)->num_columns(), 0.0);
+    for (size_t c = 0; c < t.values.size(); ++c) {
+      t.values[c] = static_cast<double>(rng() % 1000) / 10.0;
+    }
+    batch.push_back(std::move(t));
+  }
+  const auto want = eager.ApplyBatchUpdate(batch);
+  const auto got = mapped.ApplyBatchUpdate(batch);
+  EXPECT_EQ(want.applied, got.applied);
+  EXPECT_EQ(want.buffered, got.buffered);
+  ExpectBitIdentical(mapped, eager);
+}
+
+TEST_F(LazyLoadTest, AcknowledgedUpdatesSurviveCrashRecovery) {
+  // A mapped set serving with a WAL attached: after a crash (set and log
+  // dropped with no checkpoint), OpenLogged over the original manifest
+  // replays every acknowledged batch.
+  WriteFile(BuildSet(kShards));
+  BlockSet eager = Eager();
+
+  std::vector<GeoBlock::UpdateTuple> batch;
+  std::mt19937_64 rng(23);
+  for (size_t i = 0; i < 100; ++i) {
+    const size_t s = rng() % kShards;
+    const auto& cells = eager.shard(s).cells();
+    const geo::Point unit =
+        cell::CellId(cells[rng() % cells.size()]).CenterPoint();
+    GeoBlock::UpdateTuple t;
+    t.location = (*data_)->projection().FromUnit(unit);
+    t.values.assign((*data_)->num_columns(), 2.0);
+    batch.push_back(std::move(t));
+  }
+
+  uint64_t expected_count = 0;
+  const std::vector<cell::CellId> all{cell::CellId::Root()};
+  {
+    auto log = io::UpdateLog::Open(wal_path_);
+    BlockSet mapped = BlockSet::OpenMapped(path_);
+    mapped.AttachLog(log.get());
+    (void)mapped.ApplyBatchUpdate(batch);
+    expected_count = mapped.CountCovering(all);
+    mapped.AttachLog(nullptr);
+    // Crash: mapped and log die here without a checkpoint.
+  }
+  auto log = io::UpdateLog::Open(wal_path_);
+  const BlockSet recovered = BlockSet::OpenLogged(path_, log.get());
+  EXPECT_EQ(recovered.CountCovering(all), expected_count);
+  EXPECT_EQ(recovered.CountCovering(all),
+            (*data_)->num_rows() + batch.size());
+}
+
+}  // namespace
+}  // namespace geoblocks

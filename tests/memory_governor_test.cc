@@ -1,0 +1,200 @@
+// MemoryGovernor unit tests: charge accounting (including shrink
+// deltas), the bucketed-LRU + hit-cost victim order, the skip-MRU
+// anti-thrash rule, refusal handling, and runtime budget adjustment.
+// The governed resources here are plain structs — the BlockSet-level
+// integration (tombstone publishes, dirty refusal, fault-in) is covered
+// by LazyLoadTest and EvictionStressTest.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/memory_governor.h"
+
+namespace geoblocks {
+namespace {
+
+using core::MemoryGovernor;
+
+/// A governed resource: `bytes` is its resident charge; eviction drops
+/// it to zero (or refuses when `sticky`).
+struct Resource {
+  size_t bytes = 0;
+  bool sticky = false;
+  int evict_calls = 0;
+};
+
+class MemoryGovernorTest : public ::testing::Test {
+ protected:
+  static MemoryGovernor::Options Budget(size_t bytes) {
+    MemoryGovernor::Options o;
+    o.budget_bytes = bytes;
+    return o;
+  }
+
+  static MemoryGovernor::EntryHandle Add(MemoryGovernor* gov, Resource* r,
+                                         const char* name) {
+    return gov->Register(
+        name, [r] { return r->bytes; },
+        [r] {
+          ++r->evict_calls;
+          if (r->sticky) return false;
+          r->bytes = 0;
+          return true;
+        });
+  }
+};
+
+TEST_F(MemoryGovernorTest, ChargeAccountingTracksGrowShrinkUnregister) {
+  MemoryGovernor gov(Budget(0));
+  Resource a{100}, b{50};
+  const auto ea = Add(&gov, &a, "a");
+  const auto eb = Add(&gov, &b, "b");
+  EXPECT_EQ(gov.resident_bytes(), 150u);
+  EXPECT_EQ(gov.stats().entries, 2u);
+
+  a.bytes = 70;  // shrink: the delta is negative
+  gov.UpdateCharge(ea);
+  EXPECT_EQ(gov.resident_bytes(), 120u);
+
+  b.bytes = 500;  // grow
+  gov.UpdateCharge(eb);
+  EXPECT_EQ(gov.resident_bytes(), 570u);
+
+  gov.Unregister(ea);
+  EXPECT_EQ(gov.resident_bytes(), 500u);
+  EXPECT_EQ(gov.stats().entries, 1u);
+  gov.Unregister(eb);
+  EXPECT_EQ(gov.resident_bytes(), 0u);
+}
+
+TEST_F(MemoryGovernorTest, UnlimitedBudgetOnlyAccounts) {
+  MemoryGovernor gov(Budget(0));
+  Resource a{1 << 20};
+  const auto ea = Add(&gov, &a, "a");
+  gov.Touch(ea);
+  gov.EnsureBudget();
+  EXPECT_EQ(a.evict_calls, 0);
+  EXPECT_EQ(gov.stats().evictions, 0u);
+  EXPECT_EQ(gov.resident_bytes(), size_t{1} << 20);
+}
+
+TEST_F(MemoryGovernorTest, EvictsColdestRecencyBucketFirst) {
+  MemoryGovernor gov(Budget(250));
+  Resource a{100}, b{100}, c{100};
+  const auto ea = Add(&gov, &a, "a");
+  const auto eb = Add(&gov, &b, "b");
+  const auto ec = Add(&gov, &c, "c");
+  // a's last access lands in bucket 0; b and c in a later bucket (the
+  // touch loop advances the global access sequence past kRecencyBucket).
+  gov.Touch(ea);
+  for (uint64_t i = 0; i < MemoryGovernor::kRecencyBucket + 8; ++i) {
+    gov.Touch(eb);
+  }
+  gov.Touch(ec);
+  gov.EnsureBudget();
+  EXPECT_EQ(a.bytes, 0u) << "coldest bucket must be the first victim";
+  EXPECT_EQ(b.bytes, 100u);
+  EXPECT_EQ(c.bytes, 100u);
+  EXPECT_EQ(gov.stats().evictions, 1u);
+  EXPECT_LE(gov.resident_bytes(), 250u);
+}
+
+TEST_F(MemoryGovernorTest, HitCountBreaksTiesWithinABucket) {
+  MemoryGovernor gov(Budget(250));
+  Resource a{100}, b{100}, c{100};
+  const auto ea = Add(&gov, &a, "a");
+  const auto eb = Add(&gov, &b, "b");
+  const auto ec = Add(&gov, &c, "c");
+  // All three land in recency bucket 0, so hit counts decide: a is hot
+  // (3 hits), b and c are 1-hit entries, and c is the MRU (never a
+  // victim) — b must go first despite a being strictly older.
+  gov.Touch(ea);
+  gov.Touch(ea);
+  gov.Touch(ea);
+  gov.Touch(eb);
+  gov.Touch(ec);
+  gov.EnsureBudget();
+  EXPECT_EQ(b.bytes, 0u) << "fewest hits in the bucket goes first";
+  EXPECT_EQ(a.bytes, 100u);
+  EXPECT_EQ(c.bytes, 100u);
+}
+
+TEST_F(MemoryGovernorTest, MostRecentEntryIsNeverAVictim) {
+  // Budget smaller than the single hot entry: evicting it would only
+  // force a re-fault on the very next query (ping-pong), so the governor
+  // leaves it resident and over budget.
+  MemoryGovernor gov(Budget(10));
+  Resource a{100};
+  const auto ea = Add(&gov, &a, "a");
+  gov.Touch(ea);
+  gov.EnsureBudget();
+  EXPECT_EQ(a.bytes, 100u);
+  EXPECT_EQ(a.evict_calls, 0);
+  EXPECT_EQ(gov.stats().evictions, 0u);
+  EXPECT_EQ(gov.resident_bytes(), 100u);
+}
+
+TEST_F(MemoryGovernorTest, RefusalsAreCountedAndSkipped) {
+  MemoryGovernor gov(Budget(150));
+  Resource a{100}, b{100}, c{100};
+  a.sticky = true;  // the coldest entry refuses (think: dirty shard)
+  const auto ea = Add(&gov, &a, "a");
+  const auto eb = Add(&gov, &b, "b");
+  const auto ec = Add(&gov, &c, "c");
+  gov.Touch(ea);
+  gov.Touch(eb);
+  gov.Touch(ec);
+  gov.EnsureBudget();
+  EXPECT_EQ(a.evict_calls, 1);
+  EXPECT_EQ(a.bytes, 100u) << "a refused; its charge must be untouched";
+  EXPECT_EQ(b.bytes, 0u) << "the scan moves on past a refusal";
+  EXPECT_EQ(c.bytes, 100u) << "MRU stays";
+  const MemoryGovernor::Stats s = gov.stats();
+  EXPECT_EQ(s.refusals, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST_F(MemoryGovernorTest, BudgetAdjustableAtRuntime) {
+  MemoryGovernor gov(Budget(0));
+  Resource a{100}, b{100};
+  const auto ea = Add(&gov, &a, "a");
+  const auto eb = Add(&gov, &b, "b");
+  gov.Touch(ea);
+  gov.Touch(eb);
+  gov.EnsureBudget();
+  EXPECT_EQ(gov.resident_bytes(), 200u);  // unlimited: nothing happens
+  gov.set_budget_bytes(100);
+  gov.EnsureBudget();
+  EXPECT_EQ(a.bytes, 0u);
+  EXPECT_EQ(b.bytes, 100u);
+  EXPECT_LE(gov.resident_bytes(), 100u);
+}
+
+TEST_F(MemoryGovernorTest, UnregisteredEntryIsNeverCalledAgain) {
+  MemoryGovernor gov(Budget(50));
+  Resource a{100}, b{100};
+  const auto ea = Add(&gov, &a, "a");
+  const auto eb = Add(&gov, &b, "b");
+  gov.Touch(ea);
+  gov.Touch(eb);
+  gov.Unregister(ea);
+  EXPECT_EQ(gov.resident_bytes(), 100u);
+  gov.EnsureBudget();
+  EXPECT_EQ(a.evict_calls, 0) << "unregistered entries are not candidates";
+  // b is the only candidate left and it is the MRU, so it survives.
+  EXPECT_EQ(b.bytes, 100u);
+}
+
+TEST_F(MemoryGovernorTest, RecordFaultCountsAndTouches) {
+  MemoryGovernor gov(Budget(0));
+  Resource a{10};
+  const auto ea = Add(&gov, &a, "a");
+  gov.RecordFault(ea);
+  gov.RecordFault(ea);
+  EXPECT_EQ(gov.stats().faults, 2u);
+  EXPECT_EQ(ea->hits(), 2u);
+}
+
+}  // namespace
+}  // namespace geoblocks
